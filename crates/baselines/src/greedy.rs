@@ -1,0 +1,147 @@
+//! The greedy `(2κ−1)`-spanner (Althöfer–Das–Dobkin–Joseph–Soares).
+//!
+//! Scans the edges (in sorted order — all weights are 1) and keeps an edge
+//! iff the spanner built so far does not already connect its endpoints
+//! within `2κ−1` hops. The result matches the existential size bound
+//! `O(n^{1+1/κ})` and is the quality yardstick for the size experiments.
+
+use nas_graph::{EdgeSet, Graph, GraphBuilder};
+use std::collections::VecDeque;
+
+/// Builds the greedy `(2κ−1)`-spanner of `g`.
+///
+/// Runs in `O(m·(n + m_H))` — intended for the experiment sizes, not for
+/// huge graphs.
+///
+/// # Panics
+///
+/// Panics if `kappa == 0`.
+pub fn greedy_spanner(g: &Graph, kappa: u32) -> EdgeSet {
+    assert!(kappa >= 1, "kappa must be positive");
+    let n = g.num_vertices();
+    let threshold = 2 * kappa - 1;
+    let mut h = EdgeSet::new(n);
+    // Incremental adjacency of H for the bounded BFS.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for (u, v) in g.edges() {
+        // Bounded BFS from u in H: is v within `threshold` hops?
+        let mut within = false;
+        dist[u] = 0;
+        touched.push(u);
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[x];
+            if x == v {
+                within = true;
+                break;
+            }
+            if dx == threshold {
+                continue;
+            }
+            for &y in &adj[x] {
+                let y = y as usize;
+                if dist[y] == u32::MAX {
+                    dist[y] = dx + 1;
+                    touched.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        for &t in &touched {
+            dist[t] = u32::MAX;
+        }
+        touched.clear();
+        queue.clear();
+
+        if !within {
+            h.insert(u, v);
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+    }
+    h
+}
+
+/// Convenience: materializes the greedy spanner as a graph directly.
+pub fn greedy_spanner_graph(g: &Graph, kappa: u32) -> Graph {
+    let h = greedy_spanner(g, kappa);
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), h.len());
+    for (u, v) in h.iter() {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nas_graph::apsp::DistanceMatrix;
+    use nas_graph::generators;
+
+    #[test]
+    fn stretch_bound_holds() {
+        let g = generators::connected_gnp(50, 0.15, 3);
+        for kappa in [2u32, 3] {
+            let h = greedy_spanner(&g, kappa);
+            let dg = DistanceMatrix::exact(&g);
+            let dh = DistanceMatrix::exact(&h.to_graph());
+            let t = 2 * kappa - 1;
+            for (u, v, d) in dg.reachable_pairs() {
+                let s = dh.get(u, v).expect("greedy spanner preserves connectivity");
+                assert!(s <= t * d, "stretch violated at ({u},{v}): {s} > {t}·{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_one_keeps_everything() {
+        let g = generators::complete(12);
+        let h = greedy_spanner(&g, 1);
+        assert_eq!(h.len(), g.num_edges());
+    }
+
+    #[test]
+    fn girth_property() {
+        // The greedy (2κ−1)-spanner has girth > 2κ (every kept edge closes
+        // no short cycle). For κ = 2 on K_n: girth > 4.
+        let g = generators::complete(20);
+        let h = greedy_spanner(&g, 2).to_graph();
+        // No 3- or 4-cycles: count via neighbor intersection.
+        for u in 0..20 {
+            for &v in h.neighbors(u) {
+                let v = v as usize;
+                let common = h
+                    .neighbors(u)
+                    .iter()
+                    .filter(|&&w| h.has_edge(w as usize, v))
+                    .count();
+                assert_eq!(common, 0, "triangle through ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn sparsifies_clique() {
+        let g = generators::complete(64);
+        let h = greedy_spanner(&g, 3);
+        // Existential bound ~ n^{1+1/3}: far below 2016.
+        assert!(h.len() < 500, "greedy kept {} edges", h.len());
+    }
+
+    #[test]
+    fn tree_is_kept_whole() {
+        let g = generators::binary_tree(31);
+        let h = greedy_spanner(&g, 3);
+        assert_eq!(h.len(), 30, "a tree has no redundant edges");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::gnp(40, 0.3, 8);
+        assert_eq!(greedy_spanner(&g, 2), greedy_spanner(&g, 2));
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion benches for the *figure* experiments (E-F1/2, E-F3, E-F4/5,
+//! E-F6/7/8). Printable versions: the `fig_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nas_bench::default_params;
+use nas_core::algo1::algo1_centralized;
+use nas_core::build_centralized;
+use nas_graph::generators;
+use nas_metrics::stretch_audit;
+use nas_ruling::{ruling_set_centralized, RulingParams};
+use std::hint::black_box;
+
+/// E-F1/F2: the superclustering pipeline (per-phase cluster decay).
+fn bench_fig12_supercluster(c: &mut Criterion) {
+    let g = generators::complete(64);
+    let params = default_params();
+    c.bench_function("fig12_supercluster/complete64", |b| {
+        b.iter(|| {
+            let r = build_centralized(&g, params).unwrap();
+            black_box(r.phases.iter().map(|p| p.superclustered).sum::<usize>())
+        })
+    });
+}
+
+/// E-F3: ruling-set separation on the popular centers.
+fn bench_fig3_separation(c: &mut Criterion) {
+    let g = generators::connected_gnp(96, 0.08, 9);
+    c.bench_function("fig3_separation/ruling_set", |b| {
+        b.iter(|| {
+            let is_center = vec![true; g.num_vertices()];
+            let info = algo1_centralized(&g, &is_center, 8, 2);
+            let rs = ruling_set_centralized(&g, &info.popular, RulingParams::new(4, 3));
+            black_box(rs.members.len())
+        })
+    });
+}
+
+/// E-F4/F5: the path-addition machinery (interconnection dominated).
+fn bench_fig45_paths(c: &mut Criterion) {
+    let g = generators::connected_gnp(96, 0.08, 21);
+    let params = default_params();
+    c.bench_function("fig45_paths/build", |b| {
+        b.iter(|| {
+            let r = build_centralized(&g, params).unwrap();
+            black_box(
+                r.phases
+                    .iter()
+                    .map(|p| p.interconnect_paths)
+                    .sum::<usize>(),
+            )
+        })
+    });
+}
+
+/// E-F6/F7/F8: the stretch decomposition audit.
+fn bench_fig678_stretch(c: &mut Criterion) {
+    let g = generators::torus2d(8, 8);
+    let params = default_params();
+    let r = build_centralized(&g, params).unwrap();
+    let h = r.to_graph();
+    c.bench_function("fig678_stretch/audit_torus64", |b| {
+        b.iter(|| black_box(stretch_audit(&g, &h, params.eps).effective_beta))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig12_supercluster, bench_fig3_separation, bench_fig45_paths, bench_fig678_stretch
+}
+criterion_main!(benches);

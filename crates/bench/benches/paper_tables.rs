@@ -1,0 +1,66 @@
+//! Criterion benches regenerating the *table* experiments (E-T1, E-T2) at
+//! bench-friendly sizes. The full-size printable versions are the
+//! `table1`/`table2` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nas_bench::{default_params, run_baswana_sen, run_en17, run_ours};
+use nas_core::betas;
+use nas_graph::generators;
+use std::hint::black_box;
+
+/// E-T1: the New row of Table 1 — full deterministic construction + audit.
+fn bench_table1_new_row(c: &mut Criterion) {
+    let g = generators::connected_gnp(96, 0.1, 7);
+    let params = default_params();
+    c.bench_function("table1/new_row_build_and_audit", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |g| black_box(run_ours("gnp128", &g, params)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// E-T1: the analytic sweep (formula evaluation cost is trivial; included so
+/// the bench suite covers every experiment id).
+fn bench_table1_analytic(c: &mut Criterion) {
+    c.bench_function("table1/analytic_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for kappa in [4u32, 8, 16] {
+                for rho in [0.26f64, 0.3, 0.45] {
+                    for eps in [0.25f64, 0.5, 1.0] {
+                        acc += black_box(betas::this_paper(eps, kappa, rho));
+                        acc += black_box(betas::elkin05(eps, kappa, rho));
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// E-T2: the three measured rows of Table 2.
+fn bench_table2_measured_rows(c: &mut Criterion) {
+    let g = generators::connected_gnp(96, 0.1, 13);
+    let params = default_params();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("new", |b| {
+        b.iter(|| black_box(run_ours("gnp128", &g, params)))
+    });
+    group.bench_function("en17", |b| {
+        b.iter(|| black_box(run_en17(&g, params, 5)))
+    });
+    group.bench_function("baswana_sen", |b| {
+        b.iter(|| black_box(run_baswana_sen(&g, params.kappa, 5)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1_new_row, bench_table1_analytic, bench_table2_measured_rows
+}
+criterion_main!(benches);

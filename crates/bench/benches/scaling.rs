@@ -1,0 +1,55 @@
+//! Criterion benches for the scaling experiments (E-S1 size, E-S2 rounds,
+//! E-S3 stretch). Printable versions: `size_scaling`, `round_scaling`,
+//! `stretch_audit` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nas_bench::default_params;
+use nas_core::{build_centralized, build_distributed};
+use nas_graph::generators;
+use nas_metrics::stretch_audit;
+use std::hint::black_box;
+
+/// E-S1: centralized construction cost vs n (the size experiment's driver).
+fn bench_size_scaling(c: &mut Criterion) {
+    let params = default_params();
+    let mut group = c.benchmark_group("size_scaling");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let g = generators::complete(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(build_centralized(g, params).unwrap().num_edges()))
+        });
+    }
+    group.finish();
+}
+
+/// E-S2: the full distributed (simulated CONGEST) run vs n.
+fn bench_round_scaling(c: &mut Criterion) {
+    let params = default_params();
+    let mut group = c.benchmark_group("round_scaling");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let g = generators::random_regular(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(build_distributed(g, params).unwrap().stats.rounds))
+        });
+    }
+    group.finish();
+}
+
+/// E-S3: the exact stretch audit (all-pairs BFS, parallel).
+fn bench_stretch_audit(c: &mut Criterion) {
+    let params = default_params();
+    let g = generators::connected_gnp(128, 0.08, 11);
+    let h = build_centralized(&g, params).unwrap().to_graph();
+    c.bench_function("stretch_audit/gnp128", |b| {
+        b.iter(|| black_box(stretch_audit(&g, &h, params.eps).max_stretch))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_size_scaling, bench_round_scaling, bench_stretch_audit
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **E-S2 — round scaling** (Corollary 2.18, time): measured CONGEST rounds
+//! vs `n`, deterministic (ours) vs randomized (EN17).
+//!
+//! The paper claims `O(β·n^ρ·ρ⁻¹)` rounds. With the schedule constants fixed
+//! by `(ε, κ, ρ)`, the *growth* in `n` comes from `deg_i = n^ρ` (Algorithm 1
+//! rounds) and the ruling set's `n^{1/c}` factor — so the fitted exponent of
+//! rounds in `n` should be well below 1 (sublinear), nowhere near the
+//! `n^{1+1/2κ}` of the only previous deterministic algorithm (Elk05).
+
+use nas_bench::{default_params, fitted_exponent, run_en17_distributed, run_ours_distributed};
+use nas_graph::generators;
+use nas_metrics::TableBuilder;
+
+fn main() {
+    let params = default_params();
+    println!(
+        "parameters: ε = {}, κ = {}, ρ = {} (time target ~ n^{})\n",
+        params.eps, params.kappa, params.rho, params.rho
+    );
+    let mut t = TableBuilder::new(vec![
+        "n", "rounds ours (det.)", "schedule bound", "rounds EN17 (rand.)", "Elk05 shape n^(1+1/2κ)",
+    ]);
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for n in [64usize, 128, 256] {
+        let g = generators::random_regular(n, 8, 1);
+        let ours = run_ours_distributed("rr8", &g, params);
+        let (_, en_rounds) = run_en17_distributed(&g, params, 5);
+        points.push((n, ours.rounds as f64));
+        t.row(vec![
+            n.to_string(),
+            ours.rounds.to_string(),
+            ours.result.schedule.total_round_bound().to_string(),
+            en_rounds.to_string(),
+            format!("{:.0}", (n as f64).powf(1.0 + 1.0 / (2.0 * params.kappa as f64))),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let (n1, y1) = points[0];
+    let (n2, y2) = *points.last().unwrap();
+    let e = fitted_exponent(n1, y1, n2, y2);
+    println!(
+        "fitted round exponent: rounds ~ n^{e:.2} (paper: ~n^{} plus β-dependent \
+         constants; Elk05 would be n^{:.3} — superlinear)",
+        params.rho,
+        1.0 + 1.0 / (2.0 * params.kappa as f64)
+    );
+    assert!(e < 1.0, "rounds grew superlinearly (exponent {e})");
+}

@@ -1,0 +1,96 @@
+//! **E-S1 — size scaling** (Corollary 2.18, size): `|H|` vs `n` at fixed
+//! `(ε, κ, ρ)`, against Baswana–Sen and the greedy spanner.
+//!
+//! The paper claims `|H| = O(β·n^{1+1/κ})`. On dense inputs (complete
+//! graphs), the measured fitted exponent of `|H|` in `n` should be around
+//! `1 + 1/κ`, far below the input's `2`.
+
+use nas_baselines::greedy_spanner;
+use nas_bench::{default_params, fitted_exponent, run_baswana_sen, run_ours};
+use nas_graph::generators;
+use nas_metrics::{tables::fmt_f64, TableBuilder};
+
+fn main() {
+    let params = default_params();
+    println!(
+        "parameters: ε = {}, κ = {} (size target n^{:.2}), ρ = {}\n",
+        params.eps,
+        params.kappa,
+        1.0 + 1.0 / params.kappa as f64,
+        params.rho
+    );
+
+    let mut t = TableBuilder::new(vec![
+        "n", "m (input)", "|H| ours", "|H| BS", "|H| greedy", "ours/n^(1+1/κ)",
+    ]);
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for n in [64usize, 128, 256, 512] {
+        let g = generators::complete(n);
+        let ours = run_ours("complete", &g, params);
+        let (bs, _) = run_baswana_sen(&g, params.kappa, 1);
+        let gr = greedy_spanner(&g, params.kappa).len();
+        let norm = ours.spanner_edges as f64 / (n as f64).powf(1.0 + 1.0 / params.kappa as f64);
+        points.push((n, ours.spanner_edges as f64));
+        t.row(vec![
+            n.to_string(),
+            g.num_edges().to_string(),
+            ours.spanner_edges.to_string(),
+            bs.to_string(),
+            gr.to_string(),
+            fmt_f64(norm),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let (n1, y1) = points[0];
+    let (n2, y2) = *points.last().unwrap();
+    let e = fitted_exponent(n1, y1, n2, y2);
+    println!(
+        "fitted size exponent on complete graphs: |H| ~ n^{e:.2} \
+         (paper: n^{:.2}; input grows as n^2)",
+        1.0 + 1.0 / params.kappa as f64
+    );
+    assert!(
+        e < 1.7,
+        "size exponent {e} is not sublinear in m — size bound shape broken"
+    );
+
+    println!("\nsparse inputs (G(n,p) with average degree 12): the spanner keeps");
+    let mut t2 = TableBuilder::new(vec!["n", "m", "|H| ours", "kept fraction"]);
+    for n in [128usize, 256, 512, 1024] {
+        let g = generators::connected_gnp(n, 12.0 / n as f64, 3);
+        let ours = run_ours("gnp", &g, params);
+        t2.row(vec![
+            n.to_string(),
+            g.num_edges().to_string(),
+            ours.spanner_edges.to_string(),
+            format!("{:.2}", ours.spanner_edges as f64 / g.num_edges() as f64),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    println!("mid-density inputs (G(n, m = n^1.5)): spanner vs baselines");
+    let mut t3 = TableBuilder::new(vec!["n", "m", "|H| ours", "|H| BS", "ours/n^(1+1/κ)"]);
+    let mut pts: Vec<(usize, f64)> = Vec::new();
+    for n in [64usize, 128, 256, 512] {
+        let m = (n as f64).powf(1.5) as usize;
+        let g = generators::gnm(n, m, 9);
+        let ours = run_ours("gnm", &g, params);
+        let (bs, _) = run_baswana_sen(&g, params.kappa, 2);
+        pts.push((n, ours.spanner_edges as f64));
+        t3.row(vec![
+            n.to_string(),
+            m.to_string(),
+            ours.spanner_edges.to_string(),
+            bs.to_string(),
+            fmt_f64(ours.spanner_edges as f64 / (n as f64).powf(1.0 + 1.0 / params.kappa as f64)),
+        ]);
+    }
+    println!("{}", t3.render());
+    let e3 = fitted_exponent(pts[0].0, pts[0].1, pts[3].0, pts[3].1);
+    println!(
+        "fitted size exponent on G(n, n^1.5): |H| ~ n^{e3:.2} (input: n^1.5, budget n^{:.2}·β)",
+        1.0 + 1.0 / params.kappa as f64
+    );
+    assert!(e3 < 1.5, "spanner must beat the input's density growth");
+}

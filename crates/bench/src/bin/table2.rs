@@ -1,0 +1,98 @@
+//! **E-T2 — Table 2** (Appendix B): survey of near-additive spanner
+//! constructions — analytic β/size/time for every row of the paper's table,
+//! plus measured rows for the three constructions this repository
+//! implements (New, EN17, Baswana–Sen as the multiplicative reference).
+
+use nas_bench::{default_params, run_baswana_sen, run_en17, run_ours};
+use nas_core::betas;
+use nas_graph::generators;
+use nas_metrics::{tables::fmt_f64, TableBuilder};
+
+fn main() {
+    let (eps, kappa, rho) = (0.5f64, 8u32, 0.3f64);
+    println!(
+        "== Table 2: known near-additive spanner constructions \
+         (β evaluated at ε = {eps}, κ = {kappa}, ρ = {rho}) ==\n"
+    );
+    let lk = (kappa as f64).log2();
+    let rows: Vec<(&str, &str, &str, String, &str)> = vec![
+        (
+            "[EP01]", "centralized, det.", "(1+ε, β)",
+            fmt_f64(betas::elkin_peleg(eps, kappa)), "O~(mn)",
+        ),
+        (
+            "[Elk05]", "CONGEST, det.", "(1+ε, β)",
+            fmt_f64(betas::elkin05(eps, kappa, rho)), "O(n^{1+1/2κ})",
+        ),
+        (
+            "[EZ06]", "CONGEST, rand.", "(1+ε, β)",
+            fmt_f64(betas::elkin05(eps, kappa, rho)), "O(n^ρ)",
+        ),
+        (
+            "[TZ06]", "centralized, rand.", "(1+ε, (O(1)/ε)^κ)",
+            fmt_f64((2.0 / eps).powi(kappa as i32)), "O(mn^{1/κ})",
+        ),
+        (
+            "[DGPV09]", "LOCAL, det.", "(1+ε, β)",
+            fmt_f64((lk / eps).powf(lk)), "O(β·2^{O(√log n)})",
+        ),
+        (
+            "[Pet10]", "CONGEST, rand.", "(1+ε, β)",
+            fmt_f64(((lk + 1.0 / rho) / eps).powf(lk * 1.618 + 1.0 / rho)), "O~(n^ρ)",
+        ),
+        (
+            "[EN17]", "CONGEST, rand.", "(1+ε, β)",
+            fmt_f64(betas::elkin_neiman(eps, kappa, rho)), "O(n^ρ·ρ⁻¹·β·log n)",
+        ),
+        (
+            "New", "CONGEST, det.", "(1+ε, β)",
+            fmt_f64(betas::this_paper(eps, kappa, rho)), "O(β·n^ρ·ρ⁻¹)",
+        ),
+    ];
+    let mut t = TableBuilder::new(vec!["authors", "model", "stretch", "β (analytic)", "running time"]);
+    for (a, m, s, b, rt) in rows {
+        t.row(vec![a.into(), m.into(), s.into(), b, rt.into()]);
+    }
+    println!("{}", t.render());
+
+    println!("== Table 2 (measured): the implemented rows on one workload ==\n");
+    let g = generators::connected_gnp(300, 0.04, 13);
+    let params = default_params();
+    let ours = run_ours("gnp(300)", &g, params);
+    let (en_edges, en_audit) = run_en17(&g, params, 5);
+    let (bs_edges, bs_audit) = run_baswana_sen(&g, params.kappa, 5);
+
+    let mut m = TableBuilder::new(vec![
+        "construction", "edges", "edges/m", "max stretch", "effective β", "deterministic",
+    ]);
+    let frac = |e: usize| format!("{:.2}", e as f64 / g.num_edges() as f64);
+    m.row(vec![
+        "New (this paper)".into(),
+        ours.spanner_edges.to_string(),
+        frac(ours.spanner_edges),
+        fmt_f64(ours.audit.max_stretch),
+        fmt_f64(ours.audit.effective_beta),
+        "yes".into(),
+    ]);
+    m.row(vec![
+        "EN17 (randomized)".into(),
+        en_edges.to_string(),
+        frac(en_edges),
+        fmt_f64(en_audit.max_stretch),
+        fmt_f64(en_audit.effective_beta),
+        "no".into(),
+    ]);
+    m.row(vec![
+        format!("Baswana–Sen (mult. {}κ−1)", 2),
+        bs_edges.to_string(),
+        frac(bs_edges),
+        fmt_f64(bs_audit.max_stretch),
+        "n/a (multiplicative)".into(),
+        "no".into(),
+    ]);
+    println!("{}", m.render());
+    println!(
+        "shape check: the near-additive rows keep max stretch near 1 with a small \
+         additive error; the multiplicative baseline's worst stretch is larger."
+    );
+}

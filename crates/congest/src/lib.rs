@@ -1,0 +1,68 @@
+//! A deterministic synchronous **CONGEST**-model network simulator.
+//!
+//! The CONGEST model (Peleg, *Distributed Computing: A Locality-Sensitive
+//! Approach*) has a processor at every vertex of a graph; computation
+//! proceeds in synchronous rounds, and in each round every processor may send
+//! one message of `O(1)` machine words (i.e. `O(log n)` bits each) over each
+//! incident edge. The running time of an algorithm is the number of rounds.
+//!
+//! This crate simulates that model *faithfully and measurably*:
+//!
+//! * **Bandwidth enforcement.** A node may send at most one [`Msg`] (at most
+//!   [`MAX_WORDS`] words) per incident edge per round; violations panic, so a
+//!   protocol that would not be a CONGEST protocol cannot silently pass the
+//!   test suite.
+//! * **Determinism.** Inboxes are delivered in a fixed order (by sender id);
+//!   running the same protocol on the same graph twice yields identical
+//!   transcripts. The paper's algorithm is deterministic end-to-end, and so is
+//!   the simulation.
+//! * **Accounting.** The simulator counts rounds, messages and words, which is
+//!   exactly what the paper's `O(β · n^ρ · ρ⁻¹)` round bound is about.
+//!
+//! Protocols implement [`NodeProgram`]; one program instance runs at every
+//! vertex and sees only local information: its id, its neighbor ids, `n`, and
+//! its inbox. See the `nas-ruling` and `nas-core` crates for real protocols.
+//!
+//! # Example: distributed BFS flood
+//!
+//! ```
+//! use nas_congest::{Msg, NodeProgram, RoundCtx, Simulator};
+//! use nas_graph::generators;
+//!
+//! #[derive(Clone)]
+//! struct Flood { dist: Option<u64> }
+//!
+//! impl NodeProgram for Flood {
+//!     fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+//!         let start = ctx.round() == 0 && ctx.id() == 0;
+//!         if start { self.dist = Some(0); }
+//!         let heard = ctx.inbox().iter().map(|m| m.msg.word(0)).min();
+//!         let newly = match (self.dist, heard) {
+//!             (None, Some(d)) => { self.dist = Some(d + 1); true }
+//!             _ => start,
+//!         };
+//!         if newly {
+//!             let d = self.dist.unwrap();
+//!             for p in 0..ctx.degree() { ctx.send(p, Msg::one(d)); }
+//!         }
+//!     }
+//! }
+//!
+//! let g = generators::path(5);
+//! let mut sim = Simulator::new(&g, vec![Flood { dist: None }; 5]);
+//! sim.run_until_quiet(100);
+//! assert_eq!(sim.programs()[4].dist, Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod msg;
+mod sim;
+mod stats;
+pub mod trace;
+
+pub use msg::{Incoming, Msg, MAX_WORDS};
+pub use sim::{NodeProgram, RoundCtx, Simulator};
+pub use stats::RunStats;
+pub use trace::{RoundRecord, Transcript};

@@ -1,0 +1,101 @@
+//! CONGEST messages: `O(1)` machine words.
+
+/// Maximum number of words a single message may carry.
+///
+/// The CONGEST model allows `O(1)` words of `O(log n)` bits per edge per
+/// round; we fix the constant at 2, which is enough for every protocol in
+/// this repository (typically "a vertex id and a distance").
+pub const MAX_WORDS: usize = 2;
+
+/// A message of at most [`MAX_WORDS`] 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use nas_congest::Msg;
+///
+/// let m = Msg::two(7, 42);
+/// assert_eq!(m.word(0), 7);
+/// assert_eq!(m.word(1), 42);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Msg {
+    words: [u64; MAX_WORDS],
+    len: u8,
+}
+
+impl Msg {
+    /// A one-word message.
+    pub fn one(w0: u64) -> Self {
+        Msg { words: [w0, 0], len: 1 }
+    }
+
+    /// A two-word message.
+    pub fn two(w0: u64, w1: u64) -> Self {
+        Msg { words: [w0, w1], len: 2 }
+    }
+
+    /// Number of words carried (1..=[`MAX_WORDS`]).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always `false`: a message carries at least one word.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        assert!(i < self.len as usize, "word index {i} out of range");
+        self.words[i]
+    }
+}
+
+/// A received message together with the local port it arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incoming {
+    /// Index into the receiving node's neighbor list identifying the edge the
+    /// message arrived over.
+    pub from_port: u32,
+    /// The message payload.
+    pub msg: Msg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_word() {
+        let m = Msg::one(99);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.word(0), 99);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn two_words() {
+        let m = Msg::two(1, 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!((m.word(0), m.word(1)), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn word_out_of_range_panics() {
+        Msg::one(0).word(1);
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(Msg::two(1, 2), Msg::two(1, 2));
+        assert_ne!(Msg::one(1), Msg::two(1, 0));
+    }
+}

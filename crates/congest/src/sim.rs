@@ -1,0 +1,574 @@
+//! The synchronous round driver.
+
+use crate::msg::{Incoming, Msg};
+use crate::stats::RunStats;
+use crate::trace::{RoundDigest, Transcript};
+use nas_graph::Graph;
+
+/// A protocol running at one vertex.
+///
+/// The simulator calls [`round`](NodeProgram::round) once per synchronous
+/// round on every node. Inside, the node reads its inbox (messages sent to it
+/// in the *previous* round), updates state, and sends at most one message per
+/// incident edge via [`RoundCtx::send`].
+pub trait NodeProgram {
+    /// Executes one synchronous round at this node.
+    fn round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Whether this node considers the protocol finished. Used only by
+    /// [`Simulator::run_until_quiet`] as an *optional* additional stop
+    /// condition; the default is `true` so that quiescence (no messages in
+    /// flight) alone terminates the run.
+    fn is_idle(&self) -> bool {
+        true
+    }
+}
+
+/// Everything a node may legally observe and do during one round.
+///
+/// A node knows: its own id, `n` (the paper assumes vertices know `n`), its
+/// incident ports and the neighbor id behind each port, the current round
+/// number (global synchronous clock), and its inbox.
+#[derive(Debug)]
+pub struct RoundCtx<'a> {
+    id: usize,
+    n: usize,
+    round: u64,
+    neighbors: &'a [u32],
+    inbox: &'a [Incoming],
+    outbox: &'a mut Vec<(u32, Msg)>,
+    sent: &'a mut [bool],
+}
+
+impl RoundCtx<'_> {
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The number of vertices in the network.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round number (0-based, counted from simulator creation).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// This node's degree (number of ports).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor id behind `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= self.degree()`.
+    #[inline]
+    pub fn neighbor(&self, port: usize) -> usize {
+        self.neighbors[port] as usize
+    }
+
+    /// Messages delivered to this node this round (sent in the previous
+    /// round), ordered by sender id.
+    #[inline]
+    pub fn inbox(&self) -> &[Incoming] {
+        self.inbox
+    }
+
+    /// Sends `msg` over `port` this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range or a message was already sent over
+    /// this port this round — the CONGEST bandwidth constraint.
+    pub fn send(&mut self, port: usize, msg: Msg) {
+        assert!(port < self.neighbors.len(), "port {port} out of range");
+        assert!(
+            !self.sent[port],
+            "CONGEST violation: node {} sent two messages over port {port} in round {}",
+            self.id, self.round
+        );
+        self.sent[port] = true;
+        self.outbox.push((port as u32, msg));
+    }
+
+    /// Sends `msg` over every incident edge (a local broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any port was already used this round.
+    pub fn send_all(&mut self, msg: Msg) {
+        for port in 0..self.neighbors.len() {
+            self.send(port, msg);
+        }
+    }
+}
+
+/// The synchronous, deterministic CONGEST round driver.
+///
+/// Holds one [`NodeProgram`] per vertex and delivers messages with exactly
+/// one round of latency. See the crate-level docs for an example.
+pub struct Simulator<'g, P> {
+    graph: &'g Graph,
+    programs: Vec<P>,
+    /// Inboxes for the upcoming round, indexed by node.
+    inboxes: Vec<Vec<Incoming>>,
+    /// Reverse port map, parallel to the CSR arc array: `rev_port[arc]` is
+    /// the port of the arc's *source* in the *target*'s neighbor list.
+    rev_port: Vec<u32>,
+    /// `arc_offsets[v]` is the index of `v`'s first arc in `rev_port`.
+    arc_offsets: Vec<usize>,
+    round: u64,
+    stats: RunStats,
+    /// Scratch: per-port "sent" flags, reused across nodes and rounds.
+    sent_scratch: Vec<bool>,
+    outbox_scratch: Vec<(u32, Msg)>,
+    /// Optional round-by-round transcript (see [`crate::trace`]).
+    transcript: Option<Transcript>,
+}
+
+impl<'g, P: NodeProgram> Simulator<'g, P> {
+    /// Creates a simulator for `graph` with one program per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != graph.num_vertices()`.
+    pub fn new(graph: &'g Graph, programs: Vec<P>) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(programs.len(), n, "need exactly one program per vertex");
+        // Precompute reverse ports: for each arc (v -> u) at v's port p,
+        // the port of v in u's adjacency list.
+        let mut rev_port = Vec::with_capacity(graph.degree_sum());
+        for v in 0..n {
+            for &u in graph.neighbors(v) {
+                let p = graph
+                    .neighbors(u as usize)
+                    .binary_search(&(v as u32))
+                    .expect("graph adjacency must be symmetric");
+                rev_port.push(p as u32);
+            }
+        }
+        let mut arc_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for v in 0..n {
+            arc_offsets.push(acc);
+            acc += graph.degree(v);
+        }
+        arc_offsets.push(acc);
+        let max_deg = graph.max_degree();
+        Simulator {
+            graph,
+            programs,
+            inboxes: vec![Vec::new(); n],
+            rev_port,
+            arc_offsets,
+            round: 0,
+            stats: RunStats::new(),
+            sent_scratch: vec![false; max_deg],
+            outbox_scratch: Vec::new(),
+            transcript: None,
+        }
+    }
+
+    /// Enables transcript recording (see [`crate::trace`]). Call before the
+    /// first round; recording from mid-run yields a partial transcript.
+    pub fn enable_transcript(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
+    }
+
+    /// The recorded transcript, if recording was enabled.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Read access to all node programs (e.g. to harvest results).
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Mutable access to all node programs (e.g. to seed inputs mid-run).
+    pub fn programs_mut(&mut self) -> &mut [P] {
+        &mut self.programs
+    }
+
+    /// Consumes the simulator, returning the node programs.
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// Accumulated cost accounting.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Whether any message is currently in flight (to be delivered next
+    /// round).
+    pub fn has_pending_messages(&self) -> bool {
+        self.inboxes.iter().any(|i| !i.is_empty())
+    }
+
+    /// Executes exactly one synchronous round.
+    pub fn step(&mut self) {
+        let n = self.graph.num_vertices();
+        let mut delivered_this_round = 0u64;
+        let mut digest = self.transcript.is_some().then(RoundDigest::new);
+        // New inboxes being filled for the *next* round.
+        let mut next_inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
+
+        for v in 0..n {
+            let neighbors = self.graph.neighbors(v);
+            let deg = neighbors.len();
+            let sent = &mut self.sent_scratch[..deg];
+            sent.fill(false);
+            self.outbox_scratch.clear();
+
+            let inbox = std::mem::take(&mut self.inboxes[v]);
+            delivered_this_round += inbox.len() as u64;
+            if let Some(d) = digest.as_mut() {
+                for inc in &inbox {
+                    let words: Vec<u64> = (0..inc.msg.len()).map(|i| inc.msg.word(i)).collect();
+                    d.absorb(v as u64, inc.from_port as u64, &words);
+                }
+            }
+
+            let mut ctx = RoundCtx {
+                id: v,
+                n,
+                round: self.round,
+                neighbors,
+                inbox: &inbox,
+                outbox: &mut self.outbox_scratch,
+                sent,
+            };
+            self.programs[v].round(&mut ctx);
+
+            // Route outbox into the recipients' next-round inboxes.
+            let arc_base = self.arc_base(v);
+            for &(port, msg) in self.outbox_scratch.iter() {
+                let u = neighbors[port as usize] as usize;
+                let from_port = self.rev_port[arc_base + port as usize];
+                next_inboxes[u].push(Incoming { from_port, msg });
+                self.stats.messages += 1;
+                self.stats.words += msg.len() as u64;
+            }
+        }
+
+        // Senders were iterated in id order, so each inbox is already sorted
+        // by sender id — the deterministic delivery order we promise.
+        self.inboxes = next_inboxes;
+        if let (Some(t), Some(d)) = (self.transcript.as_mut(), digest) {
+            t.push(d.finish(self.round));
+        }
+        self.round += 1;
+        self.stats.rounds += 1;
+        self.stats.busiest_round_messages =
+            self.stats.busiest_round_messages.max(delivered_this_round);
+    }
+
+    #[inline]
+    fn arc_base(&self, v: usize) -> usize {
+        self.arc_offsets[v]
+    }
+
+    /// Runs `k` rounds unconditionally.
+    pub fn run_rounds(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Runs until no messages are in flight and every program reports idle,
+    /// or until `max_rounds` have been executed. Always executes at least one
+    /// round. Returns the number of rounds executed by this call.
+    pub fn run_until_quiet(&mut self, max_rounds: u64) -> u64 {
+        let start = self.round;
+        for _ in 0..max_rounds {
+            self.step();
+            let quiet =
+                !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle());
+            if quiet {
+                break;
+            }
+        }
+        self.round - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Msg;
+    use nas_graph::{bfs, generators};
+
+    /// Multi-source BFS flood: sources send distance 0 in round 0; everyone
+    /// forwards the first (smallest) distance heard.
+    #[derive(Clone)]
+    struct Flood {
+        is_source: bool,
+        dist: Option<u64>,
+    }
+
+    impl NodeProgram for Flood {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round() == 0 && self.is_source {
+                self.dist = Some(0);
+                ctx.send_all(Msg::one(0));
+                return;
+            }
+            if self.dist.is_none() {
+                if let Some(d) = ctx.inbox().iter().map(|m| m.msg.word(0)).min() {
+                    self.dist = Some(d + 1);
+                    ctx.send_all(Msg::one(d + 1));
+                }
+            }
+        }
+    }
+
+    fn flood(g: &nas_graph::Graph, sources: &[usize]) -> Vec<Option<u64>> {
+        let programs: Vec<Flood> = (0..g.num_vertices())
+            .map(|v| Flood {
+                is_source: sources.contains(&v),
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(g, programs);
+        sim.run_until_quiet(10 * g.num_vertices() as u64 + 10);
+        sim.programs().iter().map(|p| p.dist).collect()
+    }
+
+    #[test]
+    fn flood_matches_bfs_on_grid() {
+        let g = generators::grid2d(6, 7);
+        let got = flood(&g, &[0]);
+        let want = bfs::distances(&g, 0);
+        for v in 0..g.num_vertices() {
+            assert_eq!(got[v], want[v].map(|d| d as u64), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn flood_matches_multi_source_bfs() {
+        let g = generators::gnp(80, 0.06, 17);
+        let sources = [3, 41, 77];
+        let got = flood(&g, &sources);
+        let want = bfs::multi_source_distances(&g, sources.iter().copied());
+        for v in 0..g.num_vertices() {
+            assert_eq!(got[v], want[v].map(|d| d as u64), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rounds_equal_eccentricity_plus_slack() {
+        let g = generators::path(20);
+        let programs: Vec<Flood> = (0..20)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        let rounds = sim.run_until_quiet(1000);
+        // Distance 19 is set in round 19; its forward messages die in round 20;
+        // quiescence detected after round 21 at the latest.
+        assert!((19..=22).contains(&rounds), "rounds = {rounds}");
+    }
+
+    #[test]
+    fn stats_are_counted() {
+        let g = generators::complete(4);
+        let programs: Vec<Flood> = (0..4)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        sim.run_until_quiet(100);
+        let s = sim.stats();
+        // Round 0: node 0 sends 3 msgs. Round 1: nodes 1,2,3 each send 3.
+        assert_eq!(s.messages, 12);
+        assert_eq!(s.words, 12);
+        assert_eq!(s.busiest_round_messages, 9);
+    }
+
+    #[test]
+    fn determinism_same_transcript() {
+        let g = generators::gnp(50, 0.1, 3);
+        let run = || {
+            let programs: Vec<Flood> = (0..50)
+                .map(|v| Flood {
+                    is_source: v % 7 == 0,
+                    dist: None,
+                })
+                .collect();
+            let mut sim = Simulator::new(&g, programs);
+            sim.run_until_quiet(500);
+            (
+                *sim.stats(),
+                sim.programs().iter().map(|p| p.dist).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A deliberately broken protocol that double-sends on port 0.
+    struct DoubleSender;
+    impl NodeProgram for DoubleSender {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.degree() > 0 {
+                ctx.send(0, Msg::one(1));
+                ctx.send(0, Msg::one(2));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn bandwidth_violation_panics() {
+        let g = generators::path(2);
+        let mut sim = Simulator::new(&g, vec![DoubleSender, DoubleSender]);
+        sim.step();
+    }
+
+    /// Echo protocol used to check port mapping: node 0 sends its id, the
+    /// neighbor records which port the message arrived on.
+    struct PortCheck {
+        heard_from_port: Option<u32>,
+        heard_neighbor: Option<usize>,
+    }
+    impl NodeProgram for PortCheck {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round() == 0 && ctx.id() == 2 {
+                // Send only to the neighbor that is vertex 3.
+                for p in 0..ctx.degree() {
+                    if ctx.neighbor(p) == 3 {
+                        ctx.send(p, Msg::one(ctx.id() as u64));
+                    }
+                }
+            }
+            if let Some(inc) = ctx.inbox().first() {
+                self.heard_from_port = Some(inc.from_port);
+                self.heard_neighbor = Some(ctx.neighbor(inc.from_port as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_port_mapping_is_correct() {
+        // Star with center 3 — ports at 3 differ from ports at leaves.
+        let mut b = nas_graph::GraphBuilder::new(5);
+        b.add_edge(3, 0).add_edge(3, 1).add_edge(3, 2).add_edge(3, 4);
+        let g = b.build();
+        let programs: Vec<PortCheck> = (0..5)
+            .map(|_| PortCheck {
+                heard_from_port: None,
+                heard_neighbor: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        sim.run_rounds(2);
+        let p3 = &sim.programs()[3];
+        assert_eq!(p3.heard_neighbor, Some(2), "message must appear to come from vertex 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "one program per vertex")]
+    fn wrong_program_count_panics() {
+        let g = generators::path(3);
+        let _ = Simulator::new(&g, vec![DoubleSender]);
+    }
+
+    #[test]
+    fn run_rounds_exact_count() {
+        let g = generators::path(4);
+        let programs: Vec<Flood> = (0..4)
+            .map(|_| Flood { is_source: false, dist: None })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        sim.run_rounds(17);
+        assert_eq!(sim.round(), 17);
+        assert_eq!(sim.stats().rounds, 17);
+        assert_eq!(sim.stats().messages, 0);
+    }
+}
+
+#[cfg(test)]
+mod transcript_tests {
+    use super::*;
+    use crate::msg::Msg;
+    use nas_graph::generators;
+
+    #[derive(Clone)]
+    struct Pulse;
+    impl NodeProgram for Pulse {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round() < 3 {
+                ctx.send_all(Msg::one(ctx.round() * 17 + ctx.id() as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn transcripts_are_reproducible() {
+        let g = generators::gnp(30, 0.2, 7);
+        let run = || {
+            let mut sim = Simulator::new(&g, vec![Pulse; 30]);
+            sim.enable_transcript();
+            sim.run_rounds(6);
+            sim.transcript().unwrap().clone()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.first_divergence(&b), None);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn transcript_detects_different_protocols() {
+        let g = generators::cycle(10);
+        let mut s1 = Simulator::new(&g, vec![Pulse; 10]);
+        s1.enable_transcript();
+        s1.run_rounds(4);
+
+        #[derive(Clone)]
+        struct Quiet;
+        impl NodeProgram for Quiet {
+            fn round(&mut self, _ctx: &mut RoundCtx<'_>) {}
+        }
+        let mut s2 = Simulator::new(&g, vec![Quiet; 10]);
+        s2.enable_transcript();
+        s2.run_rounds(4);
+        // Pulse delivers messages in round 1; Quiet never does.
+        assert_eq!(
+            s1.transcript().unwrap().first_divergence(s2.transcript().unwrap()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let g = generators::path(3);
+        let mut sim = Simulator::new(&g, vec![Pulse; 3]);
+        sim.run_rounds(2);
+        assert!(sim.transcript().is_none());
+    }
+}

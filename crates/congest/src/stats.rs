@@ -1,0 +1,78 @@
+//! Round / message / word accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost accounting for a (sequence of) protocol run(s).
+///
+/// `rounds` is the quantity the paper's time bounds are about; `messages`
+/// and `words` measure communication volume. Stats from consecutive
+/// sub-protocols are combined with [`RunStats::merge`] (rounds add, because
+/// the paper's algorithm runs its sub-procedures back-to-back).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Synchronous rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words delivered (`messages ≤ words ≤ MAX_WORDS · messages`).
+    pub words: u64,
+    /// Largest number of messages delivered in any single round.
+    pub busiest_round_messages: u64,
+}
+
+impl RunStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another run executed *after* this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.busiest_round_messages = self.busiest_round_messages.max(other.busiest_round_messages);
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} msgs, {} words (busiest round: {} msgs)",
+            self.rounds, self.messages, self.words, self.busiest_round_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_rounds_and_maxes_congestion() {
+        let mut a = RunStats {
+            rounds: 10,
+            messages: 100,
+            words: 150,
+            busiest_round_messages: 30,
+        };
+        let b = RunStats {
+            rounds: 5,
+            messages: 7,
+            words: 7,
+            busiest_round_messages: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 15);
+        assert_eq!(a.messages, 107);
+        assert_eq!(a.words, 157);
+        assert_eq!(a.busiest_round_messages, 50);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats::new().to_string();
+        assert!(s.contains("rounds"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Round-by-round transcripts of a protocol run.
+//!
+//! A [`Transcript`] records, per round, how many messages were delivered and
+//! a digest of their contents. Transcripts serve two purposes:
+//!
+//! * **Determinism as a testable artifact** — the paper's algorithm is
+//!   deterministic; two runs must produce *identical transcripts*, not just
+//!   identical outputs. The integration tests assert this.
+//! * **Debugging** — a diverging protocol can be bisected to the first round
+//!   where its transcript differs from the reference.
+//!
+//! The digest is a 64-bit FNV-1a hash folded over `(receiver, from_port,
+//! words)` triples in delivery order, so full message logs need not be kept.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-round record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// The round number.
+    pub round: u64,
+    /// Messages delivered this round.
+    pub delivered: u64,
+    /// Order-sensitive digest of all deliveries this round.
+    pub digest: u64,
+}
+
+/// A full protocol transcript.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transcript {
+    rounds: Vec<RoundRecord>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental digest for one round's deliveries.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundDigest {
+    hash: u64,
+    delivered: u64,
+}
+
+impl RoundDigest {
+    /// Fresh digest.
+    pub fn new() -> Self {
+        RoundDigest { hash: FNV_OFFSET, delivered: 0 }
+    }
+
+    /// Folds one delivery into the digest.
+    pub fn absorb(&mut self, receiver: u64, from_port: u64, words: &[u64]) {
+        self.delivered += 1;
+        for &w in [receiver, from_port].iter().chain(words) {
+            for b in w.to_le_bytes() {
+                self.hash ^= b as u64;
+                self.hash = self.hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+
+    /// Finalizes into a [`RoundRecord`].
+    pub fn finish(self, round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            delivered: self.delivered,
+            digest: self.hash,
+        }
+    }
+}
+
+impl Default for RoundDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transcript {
+    /// Empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// The per-round records.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The first round at which `self` and `other` diverge, if any.
+    /// Differing lengths diverge at the shorter length.
+    pub fn first_divergence(&self, other: &Transcript) -> Option<u64> {
+        let shared = self.rounds.len().min(other.rounds.len());
+        for i in 0..shared {
+            if self.rounds[i] != other.rounds[i] {
+                return Some(self.rounds[i].round);
+            }
+        }
+        if self.rounds.len() != other.rounds.len() {
+            return Some(shared as u64);
+        }
+        None
+    }
+
+    /// A digest of the whole transcript.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for r in &self.rounds {
+            for w in [r.round, r.delivered, r.digest] {
+                for b in w.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = RoundDigest::new();
+        a.absorb(1, 0, &[5]);
+        a.absorb(2, 1, &[6]);
+        let mut b = RoundDigest::new();
+        b.absorb(2, 1, &[6]);
+        b.absorb(1, 0, &[5]);
+        assert_ne!(a.finish(0).digest, b.finish(0).digest);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let mut t1 = Transcript::new();
+        let mut t2 = Transcript::new();
+        let mut d = RoundDigest::new();
+        d.absorb(0, 0, &[1]);
+        t1.push(d.finish(0));
+        t2.push(d.finish(0));
+        assert_eq!(t1.first_divergence(&t2), None);
+        let mut d2 = RoundDigest::new();
+        d2.absorb(9, 9, &[9]);
+        t2.push(d2.finish(1));
+        assert_eq!(t1.first_divergence(&t2), Some(1));
+    }
+
+    #[test]
+    fn empty_transcripts_agree() {
+        assert_eq!(Transcript::new().first_divergence(&Transcript::new()), None);
+        assert_eq!(Transcript::new().digest(), Transcript::new().digest());
+    }
+}

@@ -1,0 +1,540 @@
+//! **Algorithm 1** of the paper (Appendix A): popular-cluster detection.
+//!
+//! Given the phase's cluster centers `S_i` and thresholds `(deg_i, δ_i)`,
+//! every vertex learns up to `deg_i` centers within distance `δ_i`, with
+//! exact distances and a parent pointer per learned center. A center that
+//! learns about `deg_i` *other* centers is **popular** (it joins `W_i`);
+//! Theorem 2.1 guarantees that an *unpopular* center learns **all** centers
+//! within `δ_i`, at exact distances, with parent chains tracing shortest
+//! paths — which is what the interconnection step later walks.
+//!
+//! # Round structure (both implementations, identical semantics)
+//!
+//! * **Send phase 0** (one round): every center broadcasts its own id.
+//! * **Send phase `p`**, `1 ≤ p ≤ δ−1` (`deg+1` rounds each): every vertex
+//!   forwards the centers it accepted *at distance exactly `p`*, smallest
+//!   ids first, one per round, to all neighbors.
+//! * A message sent in phase `p` is accepted at distance `p+1`.
+//! * **Acceptance** (the congestion cap): arrivals of one round are
+//!   processed in ascending `(center, sender)` order; a new center is
+//!   accepted only while the knowledge list has free capacity. Duplicates
+//!   (already-known centers) are ignored.
+//! * One final drain round delivers the last phase's messages.
+//!
+//! # The capacity is self-inclusive: `deg + 1`
+//!
+//! Every vertex effectively maintains up to `deg+1` centers *counting
+//! itself*: a center stores itself implicitly and accepts up to `deg`
+//! others; a non-center accepts up to `deg+1`. This one-slot headroom is
+//! load-bearing. With a flat cap of `deg` others, a relay can waste a list
+//! slot on a center's own id, and an *unpopular* center could then miss a
+//! center inside its `δ`-ball — violating Theorem 2.1(2) (found by the
+//! property tests). With self-inclusive capacity the paper's argument goes
+//! through exactly: if any message toward `u` is ever dropped, the dropping
+//! vertex was full, so it knew `deg+1` centers (counting itself) that all
+//! lie within `δ` of `u` — at least `deg` of them distinct from `u` — so
+//! `u` is popular; contrapositively, an unpopular center's knowledge is
+//! complete and exact, with parent chains along shortest paths.
+//!
+//! Total rounds: `(δ−1)·(deg+1) + 2 = O(deg·δ)`, matching Theorem 2.1. The
+//! arbitrary choices the paper allows ("choose `deg` arbitrary messages")
+//! are made deterministic (smallest ids first) so the centralized and
+//! distributed implementations agree bit-for-bit — asserted in tests.
+
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_graph::Graph;
+use std::collections::BTreeMap;
+
+/// What a vertex knows about one discovered center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownCenter {
+    /// Exact hop distance to the center (exact whenever the learning vertex
+    /// is unpopular; an upper bound otherwise).
+    pub dist: u32,
+    /// The neighbor (vertex id) the accepted message arrived from; walking
+    /// parents leads to the center along a shortest path.
+    pub parent: u32,
+}
+
+/// Knowledge state of one vertex after Algorithm 1: discovered centers,
+/// keyed by center id (its own id is never included).
+pub type Knowledge = BTreeMap<u32, KnownCenter>;
+
+/// The full output of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PopularityInfo {
+    /// Per-vertex knowledge tables.
+    pub knowledge: Vec<Knowledge>,
+    /// The popular centers `W_i`, sorted ascending.
+    pub popular: Vec<usize>,
+    /// The thresholds this was computed with.
+    pub deg: usize,
+    /// The distance threshold this was computed with.
+    pub delta: u64,
+}
+
+impl PopularityInfo {
+    /// Reconstructs the shortest path from `v` to the known center `c` by
+    /// walking parent pointers. Returns the path `v, …, c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is unknown at `v` or the parent chain is corrupt.
+    pub fn trace_path(&self, v: usize, c: usize) -> Vec<usize> {
+        let budget = self.knowledge[v]
+            .get(&(c as u32))
+            .map(|e| e.dist as usize)
+            .unwrap_or_else(|| panic!("vertex {v} does not know center {c}"));
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != c {
+            let e = self.knowledge[cur]
+                .get(&(c as u32))
+                .unwrap_or_else(|| panic!("vertex {cur} does not know center {c}"));
+            let next = e.parent as usize;
+            debug_assert_ne!(next, cur);
+            path.push(next);
+            cur = next;
+            assert!(path.len() <= budget + 1, "parent chain longer than recorded distance");
+        }
+        path
+    }
+
+    /// Whether center `v` is popular.
+    pub fn is_popular(&self, v: usize) -> bool {
+        self.popular.binary_search(&v).is_ok()
+    }
+}
+
+/// Total rounds the protocol occupies: `(δ−1)·(deg+1) + 2`.
+pub fn algo1_rounds(deg: usize, delta: u64) -> u64 {
+    delta.saturating_sub(1) * (deg as u64 + 1) + 2
+}
+
+/// Knowledge capacity of a vertex: self-inclusive `deg + 1` (see module
+/// docs) — `deg` others for a center, `deg + 1` for a non-center.
+fn capacity(deg: usize, is_center: bool) -> usize {
+    if is_center {
+        deg
+    } else {
+        deg.saturating_add(1)
+    }
+}
+
+/// Shared acceptance rule: process one round's candidate arrivals
+/// (already sorted ascending by `(center, sender)`).
+fn accept_round(
+    self_id: u32,
+    knowledge: &mut Knowledge,
+    cap: usize,
+    dist: u32,
+    candidates: &[(u32, u32)],
+) {
+    for &(c, sender) in candidates {
+        if c == self_id {
+            continue;
+        }
+        if knowledge.contains_key(&c) {
+            continue;
+        }
+        if knowledge.len() >= cap {
+            break; // list full; everything further this round is dropped
+        }
+        knowledge.insert(c, KnownCenter { dist, parent: sender });
+    }
+}
+
+/// Centralized reference implementation of Algorithm 1.
+///
+/// `is_center[v]` marks `S_i`. Returns knowledge identical to the
+/// distributed protocol's (asserted in tests).
+pub fn algo1_centralized(
+    g: &Graph,
+    is_center: &[bool],
+    deg: usize,
+    delta: u64,
+) -> PopularityInfo {
+    let n = g.num_vertices();
+    assert_eq!(is_center.len(), n);
+    let mut knowledge: Vec<Knowledge> = vec![Knowledge::new(); n];
+
+    // Send phase 0: centers broadcast their own id; arrivals have dist 1.
+    let mut cands: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for c in 0..n {
+        if is_center[c] {
+            for &u in g.neighbors(c) {
+                cands[u as usize].push((c as u32, c as u32));
+            }
+        }
+    }
+    for u in 0..n {
+        cands[u].sort_unstable();
+        let list = std::mem::take(&mut cands[u]);
+        accept_round(u as u32, &mut knowledge[u], capacity(deg, is_center[u]), 1, &list);
+    }
+
+    // Send phases 1..δ: forward distance-p knowledge, one center per round.
+    for p in 1..delta {
+        // Forward lists: centers known at distance exactly p, ascending.
+        let forwards: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                knowledge[v]
+                    .iter()
+                    .filter(|(_, e)| e.dist as u64 == p)
+                    .map(|(&c, _)| c)
+                    .take(deg + 1)
+                    .collect()
+            })
+            .collect();
+        let max_k = forwards.iter().map(|f| f.len()).max().unwrap_or(0);
+        for k in 0..max_k {
+            for v in 0..n {
+                if let Some(&c) = forwards[v].get(k) {
+                    for &u in g.neighbors(v) {
+                        cands[u as usize].push((c, v as u32));
+                    }
+                }
+            }
+            for u in 0..n {
+                if cands[u].is_empty() {
+                    continue;
+                }
+                cands[u].sort_unstable();
+                let list = std::mem::take(&mut cands[u]);
+                accept_round(
+                    u as u32,
+                    &mut knowledge[u],
+                    capacity(deg, is_center[u]),
+                    p as u32 + 1,
+                    &list,
+                );
+            }
+        }
+    }
+
+    let popular = collect_popular(&knowledge, is_center, deg);
+    PopularityInfo { knowledge, popular, deg, delta }
+}
+
+fn collect_popular(knowledge: &[Knowledge], is_center: &[bool], deg: usize) -> Vec<usize> {
+    knowledge
+        .iter()
+        .enumerate()
+        .filter(|(v, k)| is_center[*v] && k.len() >= deg)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Per-node state of the distributed Algorithm 1 protocol.
+#[derive(Debug, Clone)]
+pub struct Algo1Protocol {
+    is_center: bool,
+    deg: usize,
+    delta: u64,
+    knowledge: Knowledge,
+    /// Forward list of the current send phase.
+    forwards: Vec<u32>,
+    /// Global round at which this protocol's schedule starts.
+    start_round: u64,
+}
+
+impl Algo1Protocol {
+    /// Creates the program for one node (schedule starts at round 0).
+    pub fn new(is_center: bool, deg: usize, delta: u64) -> Self {
+        Self::new_at(is_center, deg, delta, 0)
+    }
+
+    /// Creates the program with its schedule offset to `start_round`.
+    pub fn new_at(is_center: bool, deg: usize, delta: u64, start_round: u64) -> Self {
+        Algo1Protocol {
+            is_center,
+            deg,
+            delta,
+            knowledge: Knowledge::new(),
+            forwards: Vec::new(),
+            start_round,
+        }
+    }
+
+    /// Whether this node is a center in this run.
+    pub fn is_center(&self) -> bool {
+        self.is_center
+    }
+
+    /// Whether this center is popular (`≥ deg` known others). Meaningful
+    /// after the schedule completes.
+    pub fn popular(&self) -> bool {
+        self.is_center && self.knowledge.len() >= self.deg
+    }
+
+    /// The knowledge accumulated (meaningful after the full schedule).
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    /// Consumes the program, returning its knowledge table.
+    pub fn into_knowledge(self) -> Knowledge {
+        self.knowledge
+    }
+
+    /// Send phase of send-round `r`: phase 0 is round 0; phase `p ≥ 1`
+    /// occupies rounds `[1+(p−1)·(deg+1), 1+p·(deg+1))`.
+    fn send_phase(&self, r: u64) -> (u64, u64) {
+        let width = self.deg as u64 + 1;
+        if r == 0 {
+            (0, 0)
+        } else {
+            let p = (r - 1) / width + 1;
+            let k = (r - 1) % width;
+            (p, k)
+        }
+    }
+}
+
+impl NodeProgram for Algo1Protocol {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let Some(r) = ctx.round().checked_sub(self.start_round) else {
+            return; // schedule not started yet
+        };
+        // 1. Accept this round's arrivals (sent in round r−1).
+        if r >= 1 && !ctx.inbox().is_empty() {
+            let (p, _) = self.send_phase(r - 1);
+            let mut cands: Vec<(u32, u32)> = ctx
+                .inbox()
+                .iter()
+                .map(|inc| {
+                    (
+                        inc.msg.word(0) as u32,
+                        ctx.neighbor(inc.from_port as usize) as u32,
+                    )
+                })
+                .collect();
+            cands.sort_unstable();
+            accept_round(
+                ctx.id() as u32,
+                &mut self.knowledge,
+                capacity(self.deg, self.is_center),
+                p as u32 + 1,
+                &cands,
+            );
+        }
+        // 2. Send according to the schedule.
+        if r == 0 {
+            if self.is_center {
+                ctx.send_all(Msg::one(ctx.id() as u64));
+            }
+            return;
+        }
+        let (p, k) = self.send_phase(r);
+        if p >= self.delta {
+            return; // drain round(s): accept only
+        }
+        if k == 0 {
+            // Phase start: all distance-p entries have arrived by now.
+            self.forwards = self
+                .knowledge
+                .iter()
+                .filter(|(_, e)| e.dist as u64 == p)
+                .map(|(&c, _)| c)
+                .take(self.deg + 1)
+                .collect();
+        }
+        if let Some(&c) = self.forwards.get(k as usize) {
+            ctx.send_all(Msg::one(c as u64));
+        }
+    }
+}
+
+/// Runs Algorithm 1 on the CONGEST simulator.
+///
+/// Returns the same [`PopularityInfo`] as [`algo1_centralized`] plus the
+/// exact round/message accounting.
+pub fn algo1_distributed(
+    g: &Graph,
+    is_center: &[bool],
+    deg: usize,
+    delta: u64,
+) -> (PopularityInfo, RunStats) {
+    let n = g.num_vertices();
+    assert_eq!(is_center.len(), n);
+    let programs: Vec<Algo1Protocol> = (0..n)
+        .map(|v| Algo1Protocol::new(is_center[v], deg, delta))
+        .collect();
+    let mut sim = Simulator::new(g, programs);
+    sim.run_rounds(algo1_rounds(deg, delta));
+    let stats = *sim.stats();
+    let knowledge: Vec<Knowledge> = sim
+        .into_programs()
+        .into_iter()
+        .map(|p| p.into_knowledge())
+        .collect();
+    let popular = collect_popular(&knowledge, is_center, deg);
+    (
+        PopularityInfo { knowledge, popular, deg, delta },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nas_graph::{bfs, generators};
+
+    fn all_centers(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    #[test]
+    fn phase0_learns_neighbors() {
+        let g = generators::star(6);
+        // δ = 1: only the initial broadcast.
+        let info = algo1_centralized(&g, &all_centers(6), 10, 1);
+        // Center 0 learns all 5 leaves; each leaf learns only the hub.
+        assert_eq!(info.knowledge[0].len(), 5);
+        for leaf in 1..6 {
+            assert_eq!(info.knowledge[leaf].len(), 1);
+            assert_eq!(info.knowledge[leaf][&0].dist, 1);
+        }
+    }
+
+    #[test]
+    fn popularity_threshold() {
+        let g = generators::star(6);
+        let info = algo1_centralized(&g, &all_centers(6), 5, 1);
+        // Hub has 5 ≥ 5 neighbors: popular. Leaves have 1 < 5.
+        assert_eq!(info.popular, vec![0]);
+        assert!(info.is_popular(0));
+        assert!(!info.is_popular(1));
+    }
+
+    #[test]
+    fn unpopular_vertices_have_exact_distances() {
+        let g = generators::grid2d(5, 5);
+        let deg = 1000; // effectively uncapped: nobody drops anything
+        let delta = 4;
+        let info = algo1_centralized(&g, &all_centers(25), deg, delta);
+        for v in 0..25 {
+            let d = bfs::distances(&g, v);
+            for (&c, e) in &info.knowledge[v] {
+                assert_eq!(e.dist, d[c as usize].unwrap(), "vertex {v} center {c}");
+            }
+            // And it knows *all* centers within δ.
+            let within = (0..25)
+                .filter(|&u| u != v && d[u].unwrap() <= delta as u32)
+                .count();
+            assert_eq!(info.knowledge[v].len(), within);
+        }
+    }
+
+    #[test]
+    fn traceback_is_shortest_path() {
+        let g = generators::grid2d(4, 6);
+        // Vertex 23 is at distance 8 from vertex 0 (grid corner to corner).
+        let info = algo1_centralized(&g, &all_centers(24), 1000, 8);
+        let d = bfs::distances(&g, 23);
+        let path = info.trace_path(0, 23);
+        assert_eq!(path[0], 0);
+        assert_eq!(*path.last().unwrap(), 23);
+        assert_eq!(path.len() as u32 - 1, d[0].unwrap());
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn cap_limits_knowledge() {
+        let g = generators::complete(10);
+        let info = algo1_centralized(&g, &all_centers(10), 3, 2);
+        for v in 0..10 {
+            assert_eq!(info.knowledge[v].len(), 3);
+        }
+        // Everyone popular (3 ≥ 3).
+        assert_eq!(info.popular.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_cap_prefers_small_ids() {
+        let g = generators::complete(8);
+        let info = algo1_centralized(&g, &all_centers(8), 3, 1);
+        // Vertex 7 hears 0..7 simultaneously and keeps the three smallest.
+        let known: Vec<u32> = info.knowledge[7].keys().copied().collect();
+        assert_eq!(known, vec![0, 1, 2]);
+        // Vertex 0 keeps 1, 2, 3.
+        let known: Vec<u32> = info.knowledge[0].keys().copied().collect();
+        assert_eq!(known, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subset_of_centers() {
+        let g = generators::path(10);
+        let mut is_center = vec![false; 10];
+        is_center[0] = true;
+        is_center[9] = true;
+        let info = algo1_centralized(&g, &is_center, 5, 9);
+        // Middle vertex 4 knows 0 (dist 4) and 9 (dist 5).
+        assert_eq!(info.knowledge[4][&0].dist, 4);
+        assert_eq!(info.knowledge[4][&9].dist, 5);
+        // The two centers know each other at distance 9.
+        assert_eq!(info.knowledge[0][&9].dist, 9);
+        assert_eq!(info.popular, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let cases: Vec<(Graph, usize, u64)> = vec![
+            (generators::grid2d(5, 5), 4, 3),
+            (generators::complete(9), 3, 2),
+            (generators::connected_gnp(60, 0.07, 11), 5, 4),
+            (generators::preferential_attachment(50, 3, 7), 6, 3),
+            (generators::path(20), 2, 6),
+        ];
+        for (g, deg, delta) in cases {
+            let n = g.num_vertices();
+            let centers = all_centers(n);
+            let a = algo1_centralized(&g, &centers, deg, delta);
+            let (b, stats) = algo1_distributed(&g, &centers, deg, delta);
+            assert_eq!(a, b, "mismatch on n={n}, deg={deg}, delta={delta}");
+            assert_eq!(stats.rounds, algo1_rounds(deg, delta));
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized_sparse_centers() {
+        let g = generators::connected_gnp(70, 0.05, 23);
+        let is_center: Vec<bool> = (0..70).map(|v| v % 3 == 0).collect();
+        let a = algo1_centralized(&g, &is_center, 4, 5);
+        let (b, _) = algo1_distributed(&g, &is_center, 4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rounds_formula() {
+        assert_eq!(algo1_rounds(5, 1), 2);
+        assert_eq!(algo1_rounds(5, 4), 3 * 6 + 2);
+    }
+
+    #[test]
+    fn self_slot_headroom_preserves_unpopular_completeness() {
+        // Regression for the off-by-one the module docs describe: a relay
+        // must not lose a center because the initiator's own id occupied a
+        // list slot. Star-of-stars: hub `m` (non-center) adjacent to center
+        // u=0 and centers 1..=4; with deg = 3 and δ = 2, vertex 0 is
+        // unpopular iff it knows < 3 others — it has 4 within distance 2, so
+        // it must be POPULAR, which requires m to relay ≥ 3 centers besides
+        // u's own id.
+        let mut b = nas_graph::GraphBuilder::new(6);
+        for v in 0..5 {
+            b.add_edge(5, v); // 5 = hub m
+        }
+        let g = b.build();
+        let mut is_center = vec![true; 6];
+        is_center[5] = false;
+        let info = algo1_centralized(&g, &is_center, 3, 2);
+        assert!(
+            info.is_popular(0),
+            "vertex 0 has 4 centers within δ=2 but was deemed unpopular \
+             (knowledge: {:?})",
+            info.knowledge[0]
+        );
+    }
+}

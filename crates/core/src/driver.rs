@@ -1,0 +1,394 @@
+//! The phase loop: the complete spanner construction of §2.1–§2.3.
+//!
+//! Both drivers execute the identical decision sequence; the distributed one
+//! runs every step as a CONGEST protocol on the simulator (with exact round
+//! accounting), the centralized one runs the reference implementations. They
+//! produce bit-identical spanners (asserted by the integration tests) — a
+//! direct demonstration of the paper's headline property: the construction
+//! is *deterministic*.
+
+use crate::algo1::{self, PopularityInfo};
+use crate::cluster::Clustering;
+use crate::interconnect;
+use crate::params::{ParamError, Params, Schedule};
+use crate::supercluster;
+use nas_congest::RunStats;
+use nas_graph::{EdgeSet, Graph};
+use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-phase observability record (the quantities Figures 1–5 and
+/// Lemmas 2.10–2.12 are about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// The phase index `i`.
+    pub phase: usize,
+    /// `|P_i|` — clusters entering the phase.
+    pub num_clusters: usize,
+    /// `|W_i|` — popular centers detected.
+    pub popular: usize,
+    /// `|RS_i|` — ruling-set members selected (0 in the concluding phase).
+    pub ruling_set: usize,
+    /// Centers superclustered into `P_{i+1}` (0 in the concluding phase).
+    pub superclustered: usize,
+    /// `|U_i|` — clusters settled this phase.
+    pub settled_clusters: usize,
+    /// Edges added to `H` by the superclustering step (forest paths).
+    pub supercluster_path_edges: usize,
+    /// Paths added by the interconnection step.
+    pub interconnect_paths: usize,
+    /// Edges added to `H` by the interconnection step.
+    pub interconnect_edges: usize,
+    /// `|H|` after this phase.
+    pub h_edges_cumulative: usize,
+    /// The phase's distance threshold `δ_i`.
+    pub delta: u64,
+    /// The phase's degree threshold `deg_i`.
+    pub deg: u64,
+    /// CONGEST rounds spent in this phase (0 in centralized runs).
+    pub rounds: u64,
+}
+
+/// The result of a spanner construction.
+#[derive(Debug, Clone)]
+pub struct SpannerResult {
+    /// The spanner edge set `H`.
+    pub spanner: EdgeSet,
+    /// The schedule the run used.
+    pub schedule: Schedule,
+    /// Aggregate CONGEST cost (zeros for centralized runs).
+    pub stats: RunStats,
+    /// Per-phase records.
+    pub phases: Vec<PhaseStats>,
+    /// For every vertex: `(phase, center)` of the settled cluster it ended
+    /// in — the `U_i` it belongs to (Corollary 2.5: always `Some`).
+    pub settled: Vec<Option<(usize, u32)>>,
+}
+
+impl SpannerResult {
+    /// Number of edges in the spanner.
+    pub fn num_edges(&self) -> usize {
+        self.spanner.len()
+    }
+
+    /// Materializes the spanner as a graph.
+    pub fn to_graph(&self) -> Graph {
+        self.spanner.to_graph()
+    }
+
+    /// The phase in which `v`'s cluster settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` never settled (would contradict Corollary 2.5).
+    pub fn settled_phase(&self, v: usize) -> usize {
+        self.settled[v].expect("every vertex settles (Corollary 2.5)").0
+    }
+}
+
+/// Which implementation runs each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Centralized,
+    Distributed,
+}
+
+/// Builds the spanner with the centralized reference implementation.
+///
+/// # Errors
+///
+/// Propagates parameter/schedule validation errors.
+pub fn build_centralized(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
+    build_with(g, params, Backend::Centralized)
+}
+
+/// Builds the spanner by running every step as a CONGEST protocol on the
+/// simulator; `result.stats.rounds` is the measured running time the paper's
+/// Corollary 2.9 bounds.
+///
+/// # Errors
+///
+/// Propagates parameter/schedule validation errors.
+pub fn build_distributed(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
+    build_with(g, params, Backend::Distributed)
+}
+
+fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResult, ParamError> {
+    let n = g.num_vertices();
+    let schedule = params.schedule(n)?;
+    let ell = schedule.ell;
+
+    let mut h = EdgeSet::new(n);
+    let mut clustering = Clustering::singletons(n);
+    let mut settled: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut stats = RunStats::new();
+    let mut phases = Vec::with_capacity(ell + 1);
+
+    for i in 0..=ell {
+        let delta = schedule.delta[i];
+        let deg = usize::try_from(schedule.deg[i]).unwrap_or(usize::MAX).min(n + 1);
+        let centers = clustering.centers().to_vec();
+
+        if centers.is_empty() {
+            // Everything settled in earlier phases; later phases are no-ops.
+            phases.push(PhaseStats {
+                phase: i,
+                num_clusters: 0,
+                popular: 0,
+                ruling_set: 0,
+                superclustered: 0,
+                settled_clusters: 0,
+                supercluster_path_edges: 0,
+                interconnect_paths: 0,
+                interconnect_edges: 0,
+                h_edges_cumulative: h.len(),
+                delta,
+                deg: schedule.deg[i],
+                rounds: 0,
+            });
+            continue;
+        }
+
+        let mut is_center = vec![false; n];
+        for &c in &centers {
+            is_center[c] = true;
+        }
+        let mut phase_rounds = 0u64;
+
+        // --- Step 1: Algorithm 1 (popular detection + neighborhood maps) ---
+        let info: PopularityInfo = match backend {
+            Backend::Centralized => algo1::algo1_centralized(g, &is_center, deg, delta),
+            Backend::Distributed => {
+                let (info, s) = algo1::algo1_distributed(g, &is_center, deg, delta);
+                phase_rounds += s.rounds;
+                stats.merge(&s);
+                info
+            }
+        };
+        let w_i = info.popular.clone();
+
+        // --- Step 2: superclustering (all phases but the concluding one) ---
+        let (u_centers, assignment, rs_len, sc_edges) = if i < ell {
+            let q = u32::try_from(2 * delta).expect("2δ fits u32 by MAX_DELTA");
+            let rp = RulingParams::new(q.max(1), schedule.ruling_c);
+            let rs = match backend {
+                Backend::Centralized => ruling_set_centralized(g, &w_i, rp),
+                Backend::Distributed => {
+                    let (rs, s) = ruling_set_distributed(g, &w_i, rp);
+                    phase_rounds += s.rounds;
+                    stats.merge(&s);
+                    rs
+                }
+            };
+            let depth = schedule.sc_depth(i);
+            let sc = match backend {
+                Backend::Centralized => {
+                    supercluster::supercluster_centralized(g, &rs.members, &centers, depth)
+                }
+                Backend::Distributed => {
+                    let (sc, s) =
+                        supercluster::supercluster_distributed(g, &rs.members, &centers, depth);
+                    phase_rounds += s.rounds;
+                    stats.merge(&s);
+                    sc
+                }
+            };
+            // Lemma 2.4: every popular center must be superclustered.
+            let spanned: HashMap<usize, usize> = sc.assignment.iter().copied().collect();
+            for &p in &w_i {
+                assert!(
+                    spanned.contains_key(&p),
+                    "Lemma 2.4 violated: popular center {p} not superclustered in phase {i}"
+                );
+            }
+            let sc_edges = sc.path_edges.len();
+            h.union_with(&sc.path_edges);
+            let u: Vec<usize> = centers
+                .iter()
+                .copied()
+                .filter(|c| !spanned.contains_key(c))
+                .collect();
+            (u, Some(sc.assignment), rs.members.len(), sc_edges)
+        } else {
+            // Concluding phase: no superclustering; U_ℓ = P_ℓ.
+            (centers.clone(), None, 0, 0)
+        };
+
+        // --- Step 3: interconnection from the settled clusters ---
+        let h_before = h.len();
+        let inter = match backend {
+            Backend::Centralized => interconnect::interconnect_centralized(g, &info, &u_centers),
+            Backend::Distributed => {
+                let max_rounds = deg as u64 * delta + delta + 4;
+                let (inter, s) =
+                    interconnect::interconnect_distributed(g, &info, &u_centers, max_rounds);
+                phase_rounds += s.rounds;
+                stats.merge(&s);
+                inter
+            }
+        };
+        h.union_with(&inter.edges);
+        let interconnect_edges = h.len() - h_before;
+
+        // --- Step 4: settle U_i and advance the clustering ---
+        let mut members_of: HashMap<u32, Vec<usize>> = HashMap::new();
+        for v in 0..n {
+            if let Some(c) = clustering.center_of(v) {
+                members_of.entry(c as u32).or_default().push(v);
+            }
+        }
+        for &rc in &u_centers {
+            for &v in members_of.get(&(rc as u32)).into_iter().flatten() {
+                debug_assert!(settled[v].is_none(), "vertex {v} settled twice");
+                settled[v] = Some((i, rc as u32));
+            }
+        }
+
+        phases.push(PhaseStats {
+            phase: i,
+            num_clusters: centers.len(),
+            popular: w_i.len(),
+            ruling_set: rs_len,
+            superclustered: assignment.as_ref().map_or(0, |a| a.len()),
+            settled_clusters: u_centers.len(),
+            supercluster_path_edges: sc_edges,
+            interconnect_paths: inter.paths,
+            interconnect_edges,
+            h_edges_cumulative: h.len(),
+            delta,
+            deg: schedule.deg[i],
+            rounds: phase_rounds,
+        });
+
+        if let Some(assignment) = assignment {
+            clustering = clustering.supercluster(&assignment);
+        }
+    }
+
+    Ok(SpannerResult {
+        spanner: h,
+        schedule,
+        stats,
+        phases,
+        settled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::verify_settled_partition;
+    use nas_graph::generators;
+
+    fn practical() -> Params {
+        Params::practical(0.5, 4, 0.45)
+    }
+
+    #[test]
+    fn builds_on_small_graphs() {
+        for g in [
+            generators::path(20),
+            generators::cycle(15),
+            generators::grid2d(5, 5),
+            generators::connected_gnp(40, 0.1, 3),
+        ] {
+            let r = build_centralized(&g, practical()).unwrap();
+            assert!(r.spanner.verify_subgraph_of(&g).is_ok());
+            verify_settled_partition(g.num_vertices(), &r.settled).unwrap();
+            assert_eq!(r.phases.len(), r.schedule.ell + 1);
+        }
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let g = generators::connected_gnp(60, 0.08, 17);
+        let r = build_centralized(&g, practical()).unwrap();
+        let h = r.to_graph();
+        assert!(nas_graph::connectivity::is_connected(&h));
+    }
+
+    #[test]
+    fn distributed_equals_centralized_small() {
+        let g = generators::connected_gnp(30, 0.12, 5);
+        let a = build_centralized(&g, practical()).unwrap();
+        let b = build_distributed(&g, practical()).unwrap();
+        let mut ae: Vec<_> = a.spanner.iter().collect();
+        let mut be: Vec<_> = b.spanner.iter().collect();
+        ae.sort_unstable();
+        be.sort_unstable();
+        assert_eq!(ae, be, "spanners differ");
+        assert_eq!(a.settled, b.settled);
+        assert!(b.stats.rounds > 0);
+        assert!(
+            b.stats.rounds <= b.schedule.total_round_bound(),
+            "measured rounds {} exceed the schedule bound {}",
+            b.stats.rounds,
+            b.schedule.total_round_bound()
+        );
+    }
+
+    #[test]
+    fn phase_zero_settles_unpopular_singletons() {
+        // A path: every vertex has ≤ 2 neighbors; with deg_0 = n^{1/κ} ≥ 3
+        // every cluster is unpopular, everything settles in phase 0 and the
+        // spanner is the whole path.
+        let g = generators::path(100); // deg_0 = ceil(100^{0.25}) = 4
+        let r = build_centralized(&g, practical()).unwrap();
+        assert_eq!(r.phases[0].settled_clusters, 100);
+        assert_eq!(r.num_edges(), 99);
+        assert!(r.settled.iter().all(|s| s.map(|(p, _)| p) == Some(0)));
+    }
+
+    #[test]
+    fn radius_invariant_lemma_2_3() {
+        // Rebuild the per-phase clusterings and check Rad(P_i) ≤ R_i in H.
+        let g = generators::connected_gnp(50, 0.15, 11);
+        let params = practical();
+        let r = build_centralized(&g, params).unwrap();
+        // The final spanner contains all phase trees, so radius measured in
+        // the final H underestimates nothing the lemma promises.
+        // Reconstruct P_i from settled info is not direct; instead verify via
+        // the cluster trail: every settled vertex reaches its settled center
+        // within R_{phase} in H.
+        let h = r.to_graph();
+        for v in 0..50 {
+            let (phase, center) = r.settled[v].unwrap();
+            let d = nas_graph::bfs::distances(&h, v)[center as usize]
+                .expect("vertex connected to its settled center in H");
+            assert!(
+                (d as u64) <= r.schedule.r_bound[phase],
+                "vertex {v} at distance {d} from center, R_{phase} = {}",
+                r.schedule.r_bound[phase]
+            );
+        }
+    }
+
+    #[test]
+    fn stats_zero_for_centralized() {
+        let g = generators::grid2d(4, 4);
+        let r = build_centralized(&g, practical()).unwrap();
+        assert_eq!(r.stats.rounds, 0);
+        assert!(r.phases.iter().all(|p| p.rounds == 0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let g = generators::path(10);
+        assert!(build_centralized(&g, Params::practical(0.5, 1, 0.4)).is_err());
+    }
+
+    #[test]
+    fn cluster_counts_decay() {
+        // Lemmas 2.10/2.11: the number of clusters must shrink phase over
+        // phase (strictly, once superclustering kicks in on a dense graph).
+        let g = generators::complete(64);
+        let r = build_centralized(&g, practical()).unwrap();
+        for w in r.phases.windows(2) {
+            assert!(
+                w[1].num_clusters <= w[0].num_clusters,
+                "cluster count must not grow"
+            );
+        }
+    }
+}

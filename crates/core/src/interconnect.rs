@@ -1,0 +1,340 @@
+//! The interconnection step (§2.3): connecting settled clusters to all
+//! nearby clusters.
+//!
+//! Every center `r_C` of a cluster `C ∈ U_i` (not superclustered this phase)
+//! adds to `H` a shortest path to *every* center within `δ_i` — which, by
+//! Theorem 2.1, it knows exactly, with parent chains along shortest paths,
+//! because it is unpopular (Lemma 2.4).
+//!
+//! Distributed realization: trace-back messages. Each initiating center
+//! enqueues one trace per known center; a vertex receiving a trace for
+//! center `c` forwards it to *its own* parent for `c` (the chains of
+//! different initiators merge — from any vertex the remaining path to `c` is
+//! unique), marking each traversed edge for `H`. Per-`(vertex, center)`
+//! deduplication plus one-message-per-port-per-round queueing keeps the
+//! protocol within the CONGEST bandwidth; every queue holds at most `deg_i`
+//! distinct centers, so the step completes in `O(deg_i · δ_i)` rounds
+//! (Lemma 2.8's interconnection term).
+
+use crate::algo1::PopularityInfo;
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_graph::{EdgeSet, Graph};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Output of one interconnection step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interconnection {
+    /// Edges added to `H`.
+    pub edges: EdgeSet,
+    /// Number of (initiator, target) paths added.
+    pub paths: usize,
+}
+
+/// Centralized interconnection: walk the parent chains recorded by
+/// Algorithm 1.
+///
+/// `initiators` are the centers of `U_i`.
+pub fn interconnect_centralized(
+    g: &Graph,
+    info: &PopularityInfo,
+    initiators: &[usize],
+) -> Interconnection {
+    let n = g.num_vertices();
+    let mut edges = EdgeSet::new(n);
+    let mut paths = 0usize;
+    for &rc in initiators {
+        for (&c, _) in info.knowledge[rc].iter() {
+            let path = info.trace_path(rc, c as usize);
+            edges.insert_path(&path);
+            paths += 1;
+        }
+    }
+    Interconnection { edges, paths }
+}
+
+/// Per-node state of the distributed trace-back protocol.
+#[derive(Debug, Clone)]
+pub struct TraceProtocol {
+    is_initiator: bool,
+    /// Parent (vertex id) per known center, from Algorithm 1.
+    parent_of: BTreeMap<u32, u32>,
+    /// Centers already forwarded (dedup).
+    forwarded: BTreeSet<u32>,
+    /// Per-port outgoing queues.
+    queues: Vec<VecDeque<u32>>,
+    /// Edges this node marked (as (self, neighbor)).
+    marked: Vec<(u32, u32)>,
+    /// Trace initiations performed (for the path count).
+    initiated: usize,
+    /// Global round at which this protocol's schedule starts.
+    start_round: u64,
+}
+
+impl TraceProtocol {
+    /// Creates the program for one node from its Algorithm 1 knowledge
+    /// (schedule starts at round 0).
+    pub fn new(is_initiator: bool, knowledge: &BTreeMap<u32, crate::algo1::KnownCenter>) -> Self {
+        Self::new_at(is_initiator, knowledge, 0)
+    }
+
+    /// Creates the program with its schedule offset to `start_round`.
+    pub fn new_at(
+        is_initiator: bool,
+        knowledge: &BTreeMap<u32, crate::algo1::KnownCenter>,
+        start_round: u64,
+    ) -> Self {
+        TraceProtocol {
+            is_initiator,
+            parent_of: knowledge.iter().map(|(&c, e)| (c, e.parent)).collect(),
+            forwarded: BTreeSet::new(),
+            queues: Vec::new(),
+            marked: Vec::new(),
+            initiated: 0,
+            start_round,
+        }
+    }
+
+    /// Edges this node marked for `H` (as `(self, neighbor)` pairs).
+    pub fn marked_edges(&self) -> &[(u32, u32)] {
+        &self.marked
+    }
+
+    /// Whether all outgoing queues have drained.
+    pub fn drained(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    fn port_of(ctx: &RoundCtx<'_>, id: u32) -> usize {
+        let mut lo = 0usize;
+        let mut hi = ctx.degree();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if (ctx.neighbor(mid) as u32) < id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        assert!(lo < ctx.degree() && ctx.neighbor(lo) as u32 == id, "no port for {id}");
+        lo
+    }
+
+    /// Enqueues a trace for `c` toward this node's parent for `c`.
+    fn enqueue(&mut self, ctx: &RoundCtx<'_>, c: u32) {
+        if !self.forwarded.insert(c) {
+            return;
+        }
+        let parent = *self
+            .parent_of
+            .get(&c)
+            .unwrap_or_else(|| panic!("node {} asked to trace unknown center {c}", ctx.id()));
+        let port = Self::port_of(ctx, parent);
+        self.marked.push((ctx.id() as u32, parent));
+        self.queues[port].push_back(c);
+    }
+}
+
+impl NodeProgram for TraceProtocol {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let Some(local) = ctx.round().checked_sub(self.start_round) else {
+            return; // schedule not started yet
+        };
+        if local == 0 {
+            self.queues = vec![VecDeque::new(); ctx.degree()];
+            if self.is_initiator {
+                let centers: Vec<u32> = self.parent_of.keys().copied().collect();
+                self.initiated = centers.len();
+                for c in centers {
+                    self.enqueue(ctx, c);
+                }
+            }
+        } else {
+            let arrivals: Vec<u64> = ctx.inbox().iter().map(|inc| inc.msg.word(0)).collect();
+            for c in arrivals {
+                let c = c as u32;
+                if c == ctx.id() as u32 {
+                    continue; // trace reached its target center
+                }
+                self.enqueue(ctx, c);
+            }
+        }
+        // Drain: one message per port per round.
+        for port in 0..self.queues.len() {
+            if let Some(c) = self.queues[port].pop_front() {
+                ctx.send(port, Msg::one(c as u64));
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+/// Runs the distributed interconnection step.
+///
+/// `max_rounds` caps the run (use `deg·δ + δ + 4`); the protocol must go
+/// quiet within it, which is asserted.
+pub fn interconnect_distributed(
+    g: &Graph,
+    info: &PopularityInfo,
+    initiators: &[usize],
+    max_rounds: u64,
+) -> (Interconnection, RunStats) {
+    let n = g.num_vertices();
+    let mut is_initiator = vec![false; n];
+    for &v in initiators {
+        is_initiator[v] = true;
+    }
+    let programs: Vec<TraceProtocol> = (0..n)
+        .map(|v| TraceProtocol::new(is_initiator[v], &info.knowledge[v]))
+        .collect();
+    let mut sim = Simulator::new(g, programs);
+    sim.run_until_quiet(max_rounds);
+    assert!(
+        !sim.has_pending_messages(),
+        "interconnection did not finish within {max_rounds} rounds"
+    );
+    let stats = *sim.stats();
+    let programs = sim.into_programs();
+    let mut edges = EdgeSet::new(n);
+    let mut paths = 0usize;
+    for p in &programs {
+        for &(a, b) in &p.marked {
+            edges.insert(a as usize, b as usize);
+        }
+        paths += p.initiated;
+    }
+    (Interconnection { edges, paths }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo1::algo1_centralized;
+    use nas_graph::{bfs, generators};
+
+    /// Shared check: both implementations add the same edge set, and every
+    /// initiator can reach each known center in the added edges at the exact
+    /// graph distance. Popular candidates are filtered out — the driver only
+    /// ever initiates from unpopular centers, and only those enjoy
+    /// Theorem 2.1's exactness guarantee.
+    fn check(g: &Graph, deg: usize, delta: u64, candidates: &[usize]) {
+        let n = g.num_vertices();
+        let is_center = vec![true; n];
+        let info = algo1_centralized(g, &is_center, deg, delta);
+        let initiators: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&v| !info.is_popular(v))
+            .collect();
+        let initiators = initiators.as_slice();
+        let a = interconnect_centralized(g, &info, initiators);
+        let max = deg as u64 * delta + delta + 4;
+        let (b, _) = interconnect_distributed(g, &info, initiators, max);
+
+        let mut ae: Vec<_> = a.edges.iter().collect();
+        let mut be: Vec<_> = b.edges.iter().collect();
+        ae.sort_unstable();
+        be.sort_unstable();
+        assert_eq!(ae, be, "edge sets differ");
+        assert_eq!(a.paths, b.paths);
+        assert!(a.edges.verify_subgraph_of(g).is_ok());
+
+        let h = a.edges.to_graph();
+        for &rc in initiators {
+            let dg = bfs::distances(g, rc);
+            let dh = bfs::distances(&h, rc);
+            for (&c, e) in &info.knowledge[rc] {
+                let c = c as usize;
+                assert_eq!(e.dist, dg[c].unwrap(), "algo1 distance must be exact");
+                assert_eq!(
+                    dh[c],
+                    Some(e.dist),
+                    "initiator {rc} must reach {c} in H at the graph distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_traces() {
+        let g = generators::path(12);
+        // deg larger than any δ-neighborhood: everyone unpopular, all checked.
+        check(&g, 10, 4, &[0, 5, 11]);
+    }
+
+    #[test]
+    fn grid_traces() {
+        let g = generators::grid2d(5, 6);
+        check(&g, 30, 3, &[0, 14, 29]);
+    }
+
+    #[test]
+    fn random_graph_traces_uncapped() {
+        let g = generators::connected_gnp(50, 0.08, 31);
+        let initiators: Vec<usize> = (0..50).filter(|v| v % 7 == 0).collect();
+        check(&g, 64, 3, &initiators);
+    }
+
+    #[test]
+    fn random_graph_traces_with_popularity_filter() {
+        // Small cap: some candidates are popular and get filtered; the
+        // remaining unpopular ones must still satisfy all guarantees.
+        let g = generators::connected_gnp(50, 0.08, 31);
+        let initiators: Vec<usize> = (0..50).filter(|v| v % 3 == 0).collect();
+        check(&g, 5, 3, &initiators);
+    }
+
+    #[test]
+    fn no_initiators_adds_nothing() {
+        let g = generators::grid2d(4, 4);
+        let info = algo1_centralized(&g, &[true; 16], 3, 2);
+        let a = interconnect_centralized(&g, &info, &[]);
+        assert!(a.edges.is_empty());
+        assert_eq!(a.paths, 0);
+        let (b, stats) = interconnect_distributed(&g, &info, &[], 50);
+        assert!(b.edges.is_empty());
+        // Quiet immediately after the first round.
+        assert!(stats.rounds <= 2);
+    }
+
+    #[test]
+    fn merging_traces_share_suffixes() {
+        // Star: leaves 1..6 all trace to leaf-center 1 through the hub 0;
+        // the hub forwards each center once.
+        let g = generators::star(6);
+        let info = algo1_centralized(&g, &[true; 6], 10, 2);
+        let initiators = vec![2, 3, 4, 5];
+        let a = interconnect_centralized(&g, &info, &initiators);
+        let (b, _) = interconnect_distributed(&g, &info, &initiators, 100);
+        let mut ae: Vec<_> = a.edges.iter().collect();
+        let mut be: Vec<_> = b.edges.iter().collect();
+        ae.sort_unstable();
+        be.sort_unstable();
+        assert_eq!(ae, be);
+        // Star has only 5 edges; all get added.
+        assert_eq!(a.edges.len(), 5);
+    }
+
+    #[test]
+    fn phase0_semantics_all_neighbor_edges() {
+        // With δ = 1 and all vertices as centers, initiators add exactly
+        // their incident edges — the paper's phase-0 interconnection.
+        let g = generators::connected_gnp(30, 0.1, 7);
+        let info = algo1_centralized(&g, &[true; 30], 1000, 1);
+        let initiators = vec![4, 9];
+        let a = interconnect_centralized(&g, &info, &initiators);
+        let expected: usize = {
+            let mut s = std::collections::HashSet::new();
+            for &v in &initiators {
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    s.insert((v.min(u), v.max(u)));
+                }
+            }
+            s.len()
+        };
+        assert_eq!(a.edges.len(), expected);
+    }
+}

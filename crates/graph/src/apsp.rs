@@ -1,0 +1,143 @@
+//! Exact all-pairs shortest paths, used as ground truth by the stretch audits.
+
+use crate::bfs;
+use crate::graph::Graph;
+
+/// Sentinel stored in [`DistanceMatrix`] for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A dense `n × n` matrix of exact hop distances.
+///
+/// Memory is `4 n²` bytes — fine for the experiment sizes (`n ≤ ~8192`);
+/// use [`crate::bfs::distances`] per-source for anything larger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Exact distance matrix of `g`, by `n` breadth-first searches.
+    pub fn exact(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut data = vec![UNREACHABLE; n * n];
+        for s in 0..n {
+            let d = bfs::distances(g, s);
+            for (v, dv) in d.into_iter().enumerate() {
+                if let Some(dv) = dv {
+                    data[s * n + v] = dv;
+                }
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `u` to `v`, or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> Option<u32> {
+        let d = self.data[u * self.n + v];
+        (d != UNREACHABLE).then_some(d)
+    }
+
+    /// Raw row of distances from `u` (with [`UNREACHABLE`] sentinels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u32] {
+        &self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Diameter of the graph (max finite distance); `None` for `n == 0`.
+    pub fn diameter(&self) -> Option<u32> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+    }
+
+    /// Iterator over all ordered reachable pairs `(u, v, d)` with `u < v`.
+    pub fn reachable_pairs(&self) -> impl Iterator<Item = (usize, usize, u32)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            ((u + 1)..self.n).filter_map(move |v| self.get(u, v).map(|d| (u, v, d)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_matrix() {
+        let g = generators::path(5);
+        let m = DistanceMatrix::exact(&g);
+        assert_eq!(m.get(0, 4), Some(4));
+        assert_eq!(m.get(2, 2), Some(0));
+        assert_eq!(m.diameter(), Some(4));
+    }
+
+    #[test]
+    fn symmetry() {
+        let g = generators::gnp(60, 0.1, 5);
+        let m = DistanceMatrix::exact(&g);
+        for u in 0..60 {
+            for v in 0..60 {
+                assert_eq!(m.get(u, v), m.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let g = generators::gnp(40, 0.15, 9);
+        let m = DistanceMatrix::exact(&g);
+        for u in 0..40 {
+            for v in 0..40 {
+                for w in 0..40 {
+                    if let (Some(a), Some(b), Some(c)) = (m.get(u, w), m.get(u, v), m.get(v, w)) {
+                        assert!(a <= b + c);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let m = DistanceMatrix::exact(&b.build());
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.get(1, 3), None);
+        assert_eq!(m.get(0, 1), Some(1));
+    }
+
+    #[test]
+    fn reachable_pairs_count() {
+        let g = generators::complete(5);
+        let m = DistanceMatrix::exact(&g);
+        assert_eq!(m.reachable_pairs().count(), 10);
+        assert!(m.reachable_pairs().all(|(_, _, d)| d == 1));
+    }
+
+    #[test]
+    fn torus_diameter() {
+        let g = generators::torus2d(4, 4);
+        let m = DistanceMatrix::exact(&g);
+        assert_eq!(m.diameter(), Some(4)); // 2 + 2 wraparound
+    }
+}

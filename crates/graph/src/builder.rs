@@ -1,0 +1,187 @@
+//! Incremental construction of [`Graph`]s from edge lists.
+
+use crate::graph::{Graph, GraphError};
+
+/// Builder accumulating an edge list and normalizing it into a [`Graph`].
+///
+/// Duplicate edges and self-loops are silently dropped during [`build`]
+/// (the paper's graphs are simple). Endpoints are validated eagerly by
+/// [`add_edge`], which panics, or [`try_add_edge`], which returns an error.
+///
+/// [`build`]: GraphBuilder::build
+/// [`add_edge`]: GraphBuilder::add_edge
+/// [`try_add_edge`]: GraphBuilder::try_add_edge
+///
+/// # Example
+///
+/// ```
+/// use nas_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, dropped
+/// b.add_edge(2, 2); // self-loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is `>= n`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.try_add_edge(u, v).expect("edge endpoint out of range");
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`, validating endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        for &x in &[u, v] {
+            if x >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: x, n: self.n });
+            }
+        }
+        self.edges.push((u as u32, v as u32));
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Normalizes the accumulated edges (drop self-loops, dedup) and builds
+    /// the immutable CSR [`Graph`].
+    pub fn build(&self) -> Graph {
+        let n = self.n;
+        // Symmetrize, drop loops.
+        let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            if u != v {
+                arcs.push((u, v));
+                arcs.push((v, u));
+            }
+        }
+        arcs.sort_unstable();
+        arcs.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<u32> = arcs.into_iter().map(|(_, v)| v).collect();
+        Graph::from_csr(offsets, targets)
+    }
+}
+
+impl FromIterator<(usize, usize)> for GraphBuilder {
+    /// Builds a `GraphBuilder` sized to fit the largest endpoint seen.
+    fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
+        let edges: Vec<(usize, usize)> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(edges);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1).add_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.try_add_edge(0, 2).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 2, n: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(5, 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_fit() {
+        let b: GraphBuilder = vec![(0, 4), (2, 3)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g1 = b.build();
+        b.add_edge(1, 2);
+        let g2 = b.build();
+        assert_eq!(g1.num_edges(), 1);
+        assert_eq!(g2.num_edges(), 2);
+    }
+}

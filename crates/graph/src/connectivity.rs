@@ -1,0 +1,135 @@
+//! Connected-component utilities.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// A labelling of the vertices by connected component.
+#[derive(Debug, Clone)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of connected components (0 for the empty graph).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of vertex `v` (labels are `0..count`, assigned in
+    /// order of the smallest vertex in each component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v] as usize
+    }
+
+    /// Whether `u` and `v` lie in the same component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn same(&self, u: usize, v: usize) -> bool {
+        self.labels[u] == self.labels[v]
+    }
+
+    /// The smallest vertex of each component, ordered by label.
+    pub fn representatives(&self) -> Vec<usize> {
+        let mut reps = vec![usize::MAX; self.count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            let slot = &mut reps[l as usize];
+            if *slot == usize::MAX {
+                *slot = v;
+            }
+        }
+        reps
+    }
+
+    /// Sizes of the components, ordered by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Computes the connected components of `g` by BFS sweep.
+pub fn components(g: &Graph) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        labels[s] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if labels[u] == u32::MAX {
+                    labels[u] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Whether `g` is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    components(g).count() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphBuilder};
+
+    #[test]
+    fn single_component() {
+        let g = generators::cycle(6);
+        let c = components(&g);
+        assert_eq!(c.count(), 1);
+        assert!(c.same(0, 5));
+    }
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        let c = components(&b.build());
+        assert_eq!(c.count(), 3); // {0,1,2}, {3,4}, {5}
+        assert!(c.same(0, 2));
+        assert!(!c.same(2, 3));
+        assert_eq!(c.representatives(), vec![0, 3, 5]);
+        assert_eq!(c.sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+        assert!(is_connected(&GraphBuilder::new(1).build()));
+        assert!(!is_connected(&GraphBuilder::new(2).build()));
+    }
+
+    #[test]
+    fn labels_ordered_by_smallest_vertex() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(3, 4).add_edge(0, 1);
+        let c = components(&b.build());
+        assert_eq!(c.label(0), 0);
+        assert_eq!(c.label(2), 1);
+        assert_eq!(c.label(3), 2);
+    }
+}

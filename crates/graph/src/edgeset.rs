@@ -1,0 +1,198 @@
+//! Accumulation of spanner edges.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::collections::HashSet;
+
+/// A growing set of undirected edges over a fixed vertex set — the natural
+/// output type of a spanner construction.
+///
+/// Edges are stored normalized (`u < v`), so insertion is direction-agnostic
+/// and each undirected edge counts once.
+///
+/// # Example
+///
+/// ```
+/// use nas_graph::EdgeSet;
+///
+/// let mut h = EdgeSet::new(4);
+/// assert!(h.insert(2, 1));
+/// assert!(!h.insert(1, 2)); // same undirected edge
+/// assert_eq!(h.len(), 1);
+/// let g = h.to_graph();
+/// assert!(g.has_edge(1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSet {
+    n: usize,
+    edges: HashSet<(u32, u32)>,
+}
+
+impl EdgeSet {
+    /// Creates an empty edge set over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        EdgeSet {
+            n,
+            edges: HashSet::new(),
+        }
+    }
+
+    /// Number of vertices of the underlying vertex set.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently in the set.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or an endpoint is out of range.
+    pub fn insert(&mut self, u: usize, v: usize) -> bool {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n && v < self.n, "endpoint out of range");
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        self.edges.insert(key)
+    }
+
+    /// Inserts every consecutive pair of a path (a sequence of vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or a repeated consecutive vertex.
+    pub fn insert_path(&mut self, path: &[usize]) {
+        for w in path.windows(2) {
+            self.insert(w[0], w[1]);
+        }
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        if u >= self.n || v >= self.n || u == v {
+            return false;
+        }
+        self.edges.contains(&(u.min(v) as u32, u.max(v) as u32))
+    }
+
+    /// Merges all edges of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex counts differ.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        assert_eq!(self.n, other.n, "vertex sets differ");
+        self.edges.extend(other.edges.iter().copied());
+    }
+
+    /// Iterator over the edges as `(u, v)` with `u < v` (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().map(|&(u, v)| (u as usize, v as usize))
+    }
+
+    /// Materializes the edge set as a [`Graph`] on the same `n` vertices.
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        for &(u, v) in &self.edges {
+            b.add_edge(u as usize, v as usize);
+        }
+        b.build()
+    }
+
+    /// Asserts that every edge of the set is also an edge of `g` — a spanner
+    /// must be a *subgraph*. Returns the offending edge if not.
+    pub fn verify_subgraph_of(&self, g: &Graph) -> Result<(), (usize, usize)> {
+        for (u, v) in self.iter() {
+            if !g.has_edge(u, v) {
+                return Err((u, v));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(usize, usize)> for EdgeSet {
+    fn extend<I: IntoIterator<Item = (usize, usize)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.insert(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn normalized_insertion() {
+        let mut s = EdgeSet::new(5);
+        assert!(s.insert(3, 1));
+        assert!(!s.insert(1, 3));
+        assert!(s.contains(1, 3));
+        assert!(s.contains(3, 1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn path_insertion() {
+        let mut s = EdgeSet::new(5);
+        s.insert_path(&[0, 1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        s.insert_path(&[3, 2]); // already present
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_path_is_noop() {
+        let mut s = EdgeSet::new(3);
+        s.insert_path(&[]);
+        s.insert_path(&[1]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn to_graph_round_trip() {
+        let g = generators::grid2d(3, 3);
+        let mut s = EdgeSet::new(9);
+        s.extend(g.edges());
+        let h = s.to_graph();
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = EdgeSet::new(4);
+        a.insert(0, 1);
+        let mut b = EdgeSet::new(4);
+        b.insert(1, 2);
+        b.insert(0, 1);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn subgraph_verification() {
+        let g = generators::path(4);
+        let mut s = EdgeSet::new(4);
+        s.insert(0, 1);
+        assert!(s.verify_subgraph_of(&g).is_ok());
+        s.insert(0, 3);
+        assert_eq!(s.verify_subgraph_of(&g), Err((0, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        EdgeSet::new(3).insert(1, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! The immutable CSR graph representation.
+
+use std::fmt;
+
+/// Error type for graph construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was at least the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The declared number of vertices.
+        n: usize,
+    },
+    /// The requested operation needs a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An unweighted, undirected, simple graph in CSR form.
+///
+/// Vertices are `0..n`. Adjacency lists are sorted, contain no duplicates and
+/// no self-loops. The structure is immutable after construction; build one
+/// with a [`crate::GraphBuilder`] or a generator from [`crate::generators`].
+///
+/// # Example
+///
+/// ```
+/// use nas_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.build();
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.num_vertices())
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates a graph directly from CSR arrays.
+    ///
+    /// Callers outside this crate should prefer [`crate::GraphBuilder`]. The
+    /// arrays must satisfy the CSR invariants (sorted, deduplicated, loop-free
+    /// adjacency, symmetric edges); this is checked with `debug_assert!`s.
+    pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        let g = Graph { offsets, targets };
+        #[cfg(debug_assertions)]
+        g.check_invariants();
+        g
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        for v in 0..self.num_vertices() {
+            let adj = self.neighbors(v);
+            for w in adj.windows(2) {
+                debug_assert!(w[0] < w[1], "adjacency of {v} not sorted/deduped");
+            }
+            for &u in adj {
+                debug_assert_ne!(u as usize, v, "self-loop at {v}");
+                debug_assert!(
+                    self.neighbors(u as usize).binary_search(&(v as u32)).is_ok(),
+                    "edge ({v},{u}) not symmetric"
+                );
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present.
+    ///
+    /// Runs in `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        assert!(v < self.num_vertices());
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            graph: self,
+            v: 0,
+            idx: 0,
+        }
+    }
+
+    /// Maximum degree over all vertices; 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees (= `2m`).
+    pub fn degree_sum(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Iterator over the undirected edges of a [`Graph`], yielding `(u, v)` with
+/// `u < v` in lexicographic order.
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    v: usize,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        let n = self.graph.num_vertices();
+        while self.v < n {
+            let adj = self.graph.neighbors(self.v);
+            while self.idx < adj.len() {
+                let u = adj[self.idx] as usize;
+                self.idx += 1;
+                if self.v < u {
+                    return Some((self.v, u));
+                }
+            }
+            self.v += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_plus_pendant() -> crate::Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree_sum(), 8);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn edge_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(1, 3);
+        let g = b.build();
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = triangle_plus_pendant();
+        let s = format!("{g:?}");
+        assert!(s.contains("Graph"));
+        assert!(s.contains('4'));
+    }
+}

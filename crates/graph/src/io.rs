@@ -1,0 +1,309 @@
+//! Reading and writing graphs in simple interchange formats.
+//!
+//! Two formats are supported:
+//!
+//! * **edge list** — one `u v` pair per line, `#`-comments allowed; the
+//!   vertex count is `max id + 1` unless a `p <n>` header line is present;
+//! * **DIMACS-like** — `p <n> <m>` header followed by `e u v` lines
+//!   (1-based ids, as customary for DIMACS).
+//!
+//! These cover the common ways real-world benchmark graphs are shipped, so
+//! the experiment binaries can run on external inputs too.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its (1-based) line number and content.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An edge endpoint exceeded the declared vertex count.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending vertex.
+        vertex: usize,
+        /// The declared vertex count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseGraphError::BadLine { line, content } => {
+                write!(f, "malformed line {line}: {content:?}")
+            }
+            ParseGraphError::VertexOutOfRange { line, vertex, n } => {
+                write!(f, "line {line}: vertex {vertex} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+/// Parses an edge-list graph (0-based ids).
+///
+/// Lines: `u v` pairs; blank lines and `#` comments ignored; an optional
+/// `p <n>` line pins the vertex count.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failures or malformed content.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, line)
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let n = parts
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| ParseGraphError::BadLine {
+                        line: lineno,
+                        content: t.to_string(),
+                    })?;
+                declared_n = Some(n);
+            }
+            Some(a) => {
+                let u = a.parse::<usize>().ok();
+                let v = parts.next().and_then(|s| s.parse::<usize>().ok());
+                match (u, v) {
+                    (Some(u), Some(v)) => edges.push((u, v, lineno)),
+                    _ => {
+                        return Err(ParseGraphError::BadLine {
+                            line: lineno,
+                            content: t.to_string(),
+                        })
+                    }
+                }
+            }
+            None => unreachable!("split of non-empty trimmed line"),
+        }
+    }
+    let n = declared_n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v, line) in edges {
+        for &x in &[u, v] {
+            if x >= n {
+                return Err(ParseGraphError::VertexOutOfRange { line, vertex: x, n });
+            }
+        }
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as an edge list with a `p <n>` header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p {}", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Parses a DIMACS-like graph: `p <n> <m>` then `e u v` lines (1-based).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failures or malformed content.
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                // Accept both "p edge n m" and "p n m".
+                let rest: Vec<&str> = parts.collect();
+                let nums: Vec<usize> = rest
+                    .iter()
+                    .filter_map(|s| s.parse::<usize>().ok())
+                    .collect();
+                let nn = *nums.first().ok_or_else(|| ParseGraphError::BadLine {
+                    line: lineno,
+                    content: t.to_string(),
+                })?;
+                n = Some(nn);
+                builder = Some(GraphBuilder::new(nn));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or_else(|| ParseGraphError::BadLine {
+                    line: lineno,
+                    content: "edge before p header".to_string(),
+                })?;
+                let u = parts.next().and_then(|s| s.parse::<usize>().ok());
+                let v = parts.next().and_then(|s| s.parse::<usize>().ok());
+                match (u, v) {
+                    (Some(u), Some(v)) if u >= 1 && v >= 1 => {
+                        let nn = n.expect("header parsed");
+                        for &x in &[u, v] {
+                            if x > nn {
+                                return Err(ParseGraphError::VertexOutOfRange {
+                                    line: lineno,
+                                    vertex: x,
+                                    n: nn,
+                                });
+                            }
+                        }
+                        b.add_edge(u - 1, v - 1);
+                    }
+                    _ => {
+                        return Err(ParseGraphError::BadLine {
+                            line: lineno,
+                            content: t.to_string(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseGraphError::BadLine {
+                    line: lineno,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    Ok(builder.map(|b| b.build()).unwrap_or_else(|| GraphBuilder::new(0).build()))
+}
+
+/// Writes a graph in DIMACS format (`p edge n m`, 1-based `e` lines).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p edge {} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "e {} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::gnp(40, 0.15, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = generators::grid2d(5, 7);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let h = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_header() {
+        let text = "# a comment\np 6\n0 1\n\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_infers_n() {
+        let g = read_edge_list("0 9\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn malformed_line_is_reported() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::BadLine { line, .. } => assert_eq!(line, 1),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let err = read_edge_list("p 3\n0 5\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::VertexOutOfRange { vertex, n, .. } => {
+                assert_eq!((vertex, n), (5, 3));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn dimacs_accepts_comments_and_edge_keyword() {
+        let text = "c hello\np edge 4 2\ne 1 2\ne 3 4\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn dimacs_rejects_edge_before_header() {
+        assert!(read_dimacs("e 1 2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(read_edge_list("".as_bytes()).unwrap().num_vertices(), 0);
+        assert_eq!(read_dimacs("".as_bytes()).unwrap().num_vertices(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for the near-additive spanner reproduction.
+//!
+//! This crate provides everything the distributed algorithms above it need
+//! from a graph library:
+//!
+//! * a compact, immutable CSR (compressed sparse row) [`Graph`] representation
+//!   of unweighted, undirected, simple graphs — the graph class the paper
+//!   (Elkin–Matar, PODC 2019) is stated for;
+//! * a [`GraphBuilder`] that normalizes arbitrary edge lists (dedup,
+//!   self-loop removal) into that representation;
+//! * deterministic [`generators`] for the workload families used in the
+//!   experiments (paths, grids, tori, hypercubes, random graphs, preferential
+//!   attachment, …) — all randomness is driven by an explicit seed through a
+//!   local [`rng::SplitMix64`] so results are reproducible across platforms;
+//! * breadth-first search in several flavors ([`bfs`]): single source,
+//!   multi-source, depth-limited, with parent tracking;
+//! * exact all-pairs shortest paths ([`apsp`]) used by the stretch audits;
+//! * connectivity utilities ([`connectivity`]);
+//! * an [`EdgeSet`] for accumulating spanner edges and turning them back into
+//!   a [`Graph`].
+//!
+//! # Example
+//!
+//! ```
+//! use nas_graph::{generators, bfs};
+//!
+//! let g = generators::grid2d(4, 5);
+//! assert_eq!(g.num_vertices(), 20);
+//! let dist = bfs::distances(&g, 0);
+//! assert_eq!(dist[19], Some(3 + 4)); // Manhattan distance across the grid
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apsp;
+pub mod bfs;
+pub mod builder;
+pub mod connectivity;
+pub mod edgeset;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod rng;
+
+pub use builder::GraphBuilder;
+pub use edgeset::EdgeSet;
+pub use graph::{Graph, GraphError};

@@ -1,0 +1,161 @@
+//! A tiny deterministic PRNG used by the graph generators.
+//!
+//! The generators deliberately avoid depending on any external RNG's stream
+//! stability: every random workload in the experiment suite is reproducible
+//! from a `u64` seed with this implementation, forever.
+
+/// SplitMix64 — the canonical 64-bit mixing generator (Steele et al., 2014).
+///
+/// Deterministic, `Copy`-cheap, passes BigCrush when used as a stream. Not
+/// cryptographic; used only for workload generation and the randomized
+/// baselines.
+///
+/// # Example
+///
+/// ```
+/// use nas_graph::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's rejection-free mapping
+    /// (bias is negligible for the bounds used here but we reject anyway to
+    /// make the distribution exactly uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling on the top bits: exact uniformity.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator (for splitting streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_first_output_for_seed_zero() {
+        // Reference value of splitmix64(0): fixed forever for reproducibility.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(g.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(4);
+        for _ in 0..1000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut g = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut g = SplitMix64::new(6);
+        assert!(!g.next_bool(0.0));
+        assert!(g.next_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

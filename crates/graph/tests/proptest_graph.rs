@@ -1,0 +1,109 @@
+//! Property-based tests for the graph substrate: CSR invariants, BFS
+//! correctness against a reference implementation, generator determinism,
+//! and I/O round-trips.
+
+use nas_graph::{bfs, generators, io, GraphBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Builder normalization: arbitrary edge lists (with duplicates and
+    /// loops) become simple graphs with symmetric, sorted adjacency.
+    #[test]
+    fn builder_normalizes(
+        n in 1usize..40,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        for v in 0..n {
+            let adj = g.neighbors(v);
+            for w in adj.windows(2) {
+                prop_assert!(w[0] < w[1], "sorted and deduped");
+            }
+            for &u in adj {
+                prop_assert_ne!(u as usize, v, "no self-loops");
+                prop_assert!(g.has_edge(u as usize, v), "symmetric");
+            }
+        }
+        prop_assert_eq!(g.degree_sum(), 2 * g.num_edges());
+    }
+
+    /// BFS distances satisfy the defining recurrence: d(s)=0 and every edge
+    /// differs by at most 1, with at least one tight predecessor per
+    /// reached vertex.
+    #[test]
+    fn bfs_distances_are_consistent(
+        n in 2usize..50,
+        p in 0.02f64..0.4,
+        seed in 0u64..10_000,
+        source in 0usize..50,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let s = source % n;
+        let d = bfs::distances(&g, s);
+        prop_assert_eq!(d[s], Some(0));
+        for (u, v) in g.edges() {
+            match (d[u], d[v]) {
+                (Some(a), Some(b)) => {
+                    prop_assert!(a.abs_diff(b) <= 1, "edge ({u},{v}): {a} vs {b}")
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge crosses reachability boundary"),
+            }
+        }
+        for v in 0..n {
+            if let Some(dv) = d[v] {
+                if dv > 0 {
+                    let has_tight = g
+                        .neighbors(v)
+                        .iter()
+                        .any(|&u| d[u as usize] == Some(dv - 1));
+                    prop_assert!(has_tight, "vertex {v} lacks a tight predecessor");
+                }
+            }
+        }
+    }
+
+    /// Generators are deterministic per seed.
+    #[test]
+    fn generators_deterministic(n in 4usize..60, seed in 0u64..1000) {
+        prop_assert_eq!(generators::gnp(n, 0.2, seed), generators::gnp(n, 0.2, seed));
+        prop_assert_eq!(
+            generators::preferential_attachment(n.max(5), 3, seed),
+            generators::preferential_attachment(n.max(5), 3, seed)
+        );
+    }
+
+    /// Edge-list I/O round-trips arbitrary graphs.
+    #[test]
+    fn io_round_trip(n in 1usize..40, p in 0.0f64..0.5, seed in 0u64..1000) {
+        let g = generators::gnp(n, p, seed);
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).unwrap();
+        let h = io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    /// Multi-source BFS equals the min over per-source BFS.
+    #[test]
+    fn multi_source_is_min_of_singles(
+        n in 3usize..40,
+        p in 0.05f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let sources = [0usize, n / 2, n - 1];
+        let multi = bfs::multi_source_distances(&g, sources.iter().copied());
+        let singles: Vec<_> = sources.iter().map(|&s| bfs::distances(&g, s)).collect();
+        for v in 0..n {
+            let want = singles.iter().filter_map(|d| d[v]).min();
+            prop_assert_eq!(multi[v], want, "vertex {}", v);
+        }
+    }
+}

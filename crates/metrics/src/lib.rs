@@ -1,0 +1,16 @@
+//! Measurement and reporting: stretch audits, size accounting, analytic
+//! formula rows, and the table formatting used to regenerate the paper's
+//! Tables 1–2 and the figure experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod report;
+pub mod stretch;
+pub mod tables;
+
+pub use oracle::{compare, QueryQuality, SpannerOracle};
+pub use report::{to_markdown_table, ExperimentRecord};
+pub use stretch::{stretch_audit, stretch_audit_sampled, DistanceBucket, StretchAudit};
+pub use tables::TableBuilder;

@@ -1,0 +1,166 @@
+//! Distance queries against a built spanner.
+//!
+//! A downstream user of a spanner usually wants approximate distances
+//! without storing the original graph. [`SpannerOracle`] wraps a spanner
+//! graph and answers queries by bounded BFS with an LRU-less single-row
+//! cache; [`compare`] measures the approximation quality pair-by-pair.
+
+use nas_graph::{bfs, Graph};
+
+/// Distance oracle over a spanner `H`.
+///
+/// Queries run BFS from the source on demand; rows are cached, so batched
+/// queries from few sources are cheap. For an all-pairs audit use
+/// [`crate::stretch_audit`] instead.
+#[derive(Debug, Clone)]
+pub struct SpannerOracle {
+    spanner: Graph,
+    cache_source: Option<usize>,
+    cache_row: Vec<Option<u32>>,
+}
+
+impl SpannerOracle {
+    /// Creates an oracle over a spanner graph.
+    pub fn new(spanner: Graph) -> Self {
+        SpannerOracle {
+            spanner,
+            cache_source: None,
+            cache_row: Vec::new(),
+        }
+    }
+
+    /// The underlying spanner.
+    pub fn graph(&self) -> &Graph {
+        &self.spanner
+    }
+
+    /// The spanner distance `d_H(u, v)`, or `None` if disconnected in `H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&mut self, u: usize, v: usize) -> Option<u32> {
+        let n = self.spanner.num_vertices();
+        assert!(u < n && v < n, "query out of range");
+        if self.cache_source != Some(u) {
+            // A fresh row; prefer caching the endpoint likelier to repeat.
+            self.cache_row = bfs::distances(&self.spanner, u);
+            self.cache_source = Some(u);
+        }
+        self.cache_row[v]
+    }
+
+    /// Batched distances from one source (one BFS).
+    pub fn distances_from(&mut self, u: usize) -> &[Option<u32>] {
+        if self.cache_source != Some(u) {
+            self.cache_row = bfs::distances(&self.spanner, u);
+            self.cache_source = Some(u);
+        }
+        &self.cache_row
+    }
+}
+
+/// Quality of one oracle answer against the base graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryQuality {
+    /// Exact distance in `G`.
+    pub exact: u32,
+    /// Spanner distance.
+    pub approx: u32,
+    /// `approx − exact`.
+    pub additive_error: u32,
+}
+
+/// Compares oracle answers against exact distances for the given pairs.
+///
+/// Returns `None` entries for pairs disconnected in `G`.
+///
+/// # Panics
+///
+/// Panics if the vertex sets differ or a spanner loses connectivity that `G`
+/// has (that would make it not a spanner).
+pub fn compare(
+    g: &Graph,
+    oracle: &mut SpannerOracle,
+    pairs: &[(usize, usize)],
+) -> Vec<Option<QueryQuality>> {
+    assert_eq!(g.num_vertices(), oracle.graph().num_vertices());
+    let mut out = Vec::with_capacity(pairs.len());
+    let mut g_cache_source = usize::MAX;
+    let mut g_row: Vec<Option<u32>> = Vec::new();
+    for &(u, v) in pairs {
+        if g_cache_source != u {
+            g_row = bfs::distances(g, u);
+            g_cache_source = u;
+        }
+        match g_row[v] {
+            None => out.push(None),
+            Some(exact) => {
+                let approx = oracle
+                    .distance(u, v)
+                    .expect("spanner must preserve connectivity");
+                assert!(approx >= exact, "spanner distance below graph distance");
+                out.push(Some(QueryQuality {
+                    exact,
+                    approx,
+                    additive_error: approx - exact,
+                }));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nas_graph::generators;
+
+    #[test]
+    fn oracle_matches_bfs() {
+        let g = generators::grid2d(6, 6);
+        let mut o = SpannerOracle::new(g.clone());
+        assert_eq!(o.distance(0, 35), Some(10));
+        assert_eq!(o.distance(0, 0), Some(0));
+        // Cached row reused.
+        assert_eq!(o.distance(0, 7), Some(2));
+    }
+
+    #[test]
+    fn compare_reports_errors() {
+        // Spanner = path, graph = cycle: pair (0, n-1) has error n-2.
+        let n = 8;
+        let g = generators::cycle(n);
+        let mut b = nas_graph::GraphBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(v - 1, v);
+        }
+        let mut o = SpannerOracle::new(b.build());
+        let q = compare(&g, &mut o, &[(0, n - 1), (0, 1)]);
+        assert_eq!(q[0].unwrap().additive_error as usize, n - 2);
+        assert_eq!(q[1].unwrap().additive_error, 0);
+    }
+
+    #[test]
+    fn disconnected_pairs_in_g_are_none() {
+        let mut b = nas_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut o = SpannerOracle::new(g.clone());
+        let q = compare(&g, &mut o, &[(0, 3)]);
+        assert_eq!(q[0], None);
+    }
+
+    #[test]
+    fn end_to_end_with_real_spanner() {
+        let g = generators::connected_gnp(70, 0.1, 4);
+        let r = nas_core::build_centralized(&g, nas_core::Params::practical(0.5, 4, 0.45))
+            .unwrap();
+        let mut o = SpannerOracle::new(r.to_graph());
+        let pairs: Vec<(usize, usize)> = (0..70).map(|v| (0, v)).collect();
+        let q = compare(&g, &mut o, &pairs);
+        for entry in q.into_iter().flatten() {
+            assert!(entry.approx >= entry.exact);
+        }
+    }
+}

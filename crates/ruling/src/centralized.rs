@@ -1,0 +1,232 @@
+//! Centralized reference implementation of the digit-elimination ruling set.
+//!
+//! Runs the exact same sub-phase schedule as the distributed protocol (see
+//! [`crate::distributed`]), but executes each kill wave as a plain
+//! multi-source BFS. Used as ground truth in tests and by the centralized
+//! spanner driver.
+
+use crate::digits::DigitPlan;
+use crate::result::{RulingParams, RulingSet};
+use nas_graph::Graph;
+use std::collections::VecDeque;
+
+/// Computes a `(q+1, cq)`-ruling set for `w` in `g` (centralized).
+///
+/// `w` may list vertices in any order; duplicates are ignored.
+///
+/// # Panics
+///
+/// Panics if a vertex of `w` is out of range.
+pub fn ruling_set_centralized(g: &Graph, w: &[usize], params: RulingParams) -> RulingSet {
+    let n = g.num_vertices();
+    let mut in_w = vec![false; n];
+    for &v in w {
+        assert!(v < n, "W vertex {v} out of range");
+        in_w[v] = true;
+    }
+    if n == 0 || w.is_empty() {
+        return RulingSet {
+            members: Vec::new(),
+            ruler: vec![None; n],
+        };
+    }
+
+    let plan = DigitPlan::new(n, params.c);
+    let q = params.q;
+
+    // active[v]: v ∈ W and not yet killed.
+    let mut active = in_w.clone();
+    // killer[v]: the wave origin that deactivated v.
+    let mut killer: Vec<Option<u32>> = vec![None; n];
+
+    // Scratch for the per-sub-phase BFS.
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    let mut origin: Vec<u32> = vec![u32::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for i in 0..params.c {
+        for b in 0..plan.base() {
+            // Sources: active vertices whose i-th digit is b.
+            // (Ascending id order ⇒ min-id origin wins ties, deterministic.)
+            let sources: Vec<usize> = (0..n)
+                .filter(|&v| active[v] && plan.digit(v as u64, i) == b)
+                .collect();
+            if sources.is_empty() {
+                continue; // schedule-equivalent: an empty wave kills nobody
+            }
+            // Depth-q multi-source BFS through the whole graph.
+            for &s in &sources {
+                dist[s] = 0;
+                origin[s] = s as u32;
+                touched.push(s);
+                queue.push_back(s);
+            }
+            while let Some(v) = queue.pop_front() {
+                let dv = dist[v];
+                if dv == q {
+                    continue;
+                }
+                for &u in g.neighbors(v) {
+                    let u = u as usize;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dv + 1;
+                        origin[u] = origin[v];
+                        touched.push(u);
+                        queue.push_back(u);
+                    }
+                }
+            }
+            // Kills: active vertices with a later digit in this iteration,
+            // reached within depth q.
+            for &v in &touched {
+                if active[v] && plan.digit(v as u64, i) > b {
+                    active[v] = false;
+                    killer[v] = Some(origin[v]);
+                }
+            }
+            // Reset scratch.
+            for &v in &touched {
+                dist[v] = u32::MAX;
+                origin[v] = u32::MAX;
+            }
+            touched.clear();
+            queue.clear();
+        }
+    }
+
+    assemble(n, &in_w, &active, &killer)
+}
+
+/// Resolves killer chains into final rulers and packages the result.
+///
+/// Shared with the distributed driver so both produce identical structures.
+pub(crate) fn assemble(
+    n: usize,
+    in_w: &[bool],
+    active: &[bool],
+    killer: &[Option<u32>],
+) -> RulingSet {
+    let members: Vec<usize> = (0..n).filter(|&v| active[v]).collect();
+    let mut ruler: Vec<Option<u32>> = vec![None; n];
+    for v in 0..n {
+        if !in_w[v] {
+            continue;
+        }
+        // Follow the killer chain; ≤ c hops by construction, but guard with
+        // n iterations to make corruption loud rather than infinite.
+        let mut cur = v;
+        let mut hops = 0usize;
+        while !active[cur] {
+            cur = killer[cur].expect("killed vertex must record a killer") as usize;
+            hops += 1;
+            assert!(hops <= n, "killer chain does not terminate");
+        }
+        ruler[v] = Some(cur as u32);
+    }
+    RulingSet { members, ruler }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nas_graph::{bfs, generators};
+
+    fn verify(g: &Graph, w: &[usize], params: RulingParams, rs: &RulingSet) {
+        // A ⊆ W.
+        for &a in &rs.members {
+            assert!(w.contains(&a), "member {a} not in W");
+        }
+        // Separation ≥ q+1.
+        for (idx, &a) in rs.members.iter().enumerate() {
+            let d = bfs::distances(g, a);
+            for &b in &rs.members[idx + 1..] {
+                let dab = d[b].expect("members must be connected in tests");
+                assert!(
+                    dab >= params.separation(),
+                    "members {a},{b} at distance {dab} < {}",
+                    params.separation()
+                );
+            }
+        }
+        // Domination ≤ cq via the recorded rulers.
+        for &v in w {
+            let r = rs.ruler[v].expect("W vertex must have a ruler") as usize;
+            assert!(rs.is_member(r));
+            let d = bfs::distances(g, v)[r].expect("ruler reachable");
+            assert!(
+                d <= params.domination_radius(),
+                "vertex {v} ruled by {r} at distance {d} > {}",
+                params.domination_radius()
+            );
+        }
+    }
+
+    #[test]
+    fn path_full_w() {
+        let g = generators::path(30);
+        let w: Vec<usize> = (0..30).collect();
+        let params = RulingParams::new(2, 2);
+        let rs = ruling_set_centralized(&g, &w, params);
+        verify(&g, &w, params, &rs);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn grid_partial_w() {
+        let g = generators::grid2d(8, 8);
+        let w: Vec<usize> = (0..64).filter(|v| v % 3 == 0).collect();
+        let params = RulingParams::new(3, 3);
+        let rs = ruling_set_centralized(&g, &w, params);
+        verify(&g, &w, params, &rs);
+    }
+
+    #[test]
+    fn clique_keeps_exactly_one() {
+        let g = generators::complete(12);
+        let w: Vec<usize> = (0..12).collect();
+        let params = RulingParams::new(1, 2);
+        let rs = ruling_set_centralized(&g, &w, params);
+        // Everything is at distance 1, so at most one survivor; domination
+        // requires at least one.
+        assert_eq!(rs.len(), 1);
+        verify(&g, &w, params, &rs);
+    }
+
+    #[test]
+    fn empty_w() {
+        let g = generators::path(5);
+        let rs = ruling_set_centralized(&g, &[], RulingParams::new(2, 2));
+        assert!(rs.is_empty());
+        assert!(rs.ruler.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn singleton_w_is_kept() {
+        let g = generators::cycle(9);
+        let rs = ruling_set_centralized(&g, &[4], RulingParams::new(3, 2));
+        assert_eq!(rs.members, vec![4]);
+        assert_eq!(rs.ruler[4], Some(4));
+    }
+
+    #[test]
+    fn members_rule_themselves() {
+        let g = generators::gnp(60, 0.08, 21);
+        let w: Vec<usize> = (0..60).filter(|v| v % 2 == 0).collect();
+        let rs = ruling_set_centralized(&g, &w, RulingParams::new(2, 3));
+        for &m in &rs.members {
+            assert_eq!(rs.ruler[m], Some(m as u32));
+        }
+    }
+
+    #[test]
+    fn random_graphs_hold_guarantees() {
+        for seed in 0..5 {
+            let g = generators::connected_gnp(80, 0.05, seed);
+            let w: Vec<usize> = (0..80).filter(|v| !(v + seed as usize).is_multiple_of(4)).collect();
+            let params = RulingParams::new(2, 3);
+            let rs = ruling_set_centralized(&g, &w, params);
+            verify(&g, &w, params, &rs);
+        }
+    }
+}

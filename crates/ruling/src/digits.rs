@@ -1,0 +1,155 @@
+//! Base-`m` digit decomposition of vertex ids.
+
+/// The digit layout used by one ruling-set computation: ids written in base
+/// `m = max(2, ⌈n^{1/c}⌉)` with exactly `c` digits, most significant first.
+///
+/// `m^c ≥ n` always holds, so distinct ids differ in at least one digit —
+/// the fact the separation proof rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigitPlan {
+    base: u64,
+    count: u32,
+}
+
+impl DigitPlan {
+    /// Builds the digit plan for ids `0..n` with `c` digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0` or `n == 0`.
+    pub fn new(n: usize, c: u32) -> Self {
+        assert!(c >= 1);
+        assert!(n >= 1);
+        let base = Self::integer_root_ceil(n as u64, c).max(2);
+        let plan = DigitPlan { base, count: c };
+        debug_assert!(plan.capacity() >= n as u64);
+        plan
+    }
+
+    /// Smallest integer `m` with `m^c ≥ x`.
+    fn integer_root_ceil(x: u64, c: u32) -> u64 {
+        if x <= 1 {
+            return 1;
+        }
+        let mut m = (x as f64).powf(1.0 / c as f64).ceil() as u64;
+        // Float guard: adjust in both directions until exact.
+        while m > 1 && Self::pow_at_least(m - 1, c, x) {
+            m -= 1;
+        }
+        while !Self::pow_at_least(m, c, x) {
+            m += 1;
+        }
+        m
+    }
+
+    /// Whether `m^c ≥ x`, without overflow.
+    fn pow_at_least(m: u64, c: u32, x: u64) -> bool {
+        let mut acc: u64 = 1;
+        for _ in 0..c {
+            acc = match acc.checked_mul(m) {
+                Some(v) => v,
+                None => return true,
+            };
+            if acc >= x {
+                return true;
+            }
+        }
+        acc >= x
+    }
+
+    /// The digit base `m`.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The number of digits `c`.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// `m^c` (saturating), the number of distinct representable ids.
+    pub fn capacity(&self) -> u64 {
+        let mut acc: u64 = 1;
+        for _ in 0..self.count {
+            acc = acc.saturating_mul(self.base);
+        }
+        acc
+    }
+
+    /// The `i`-th digit of `id` (digit 0 is the most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count()`.
+    pub fn digit(&self, id: u64, i: u32) -> u64 {
+        assert!(i < self.count, "digit index out of range");
+        let shift = self.count - 1 - i;
+        let mut div: u64 = 1;
+        for _ in 0..shift {
+            div = div.saturating_mul(self.base);
+        }
+        (id / div) % self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_covers_n() {
+        for n in [1usize, 2, 7, 16, 100, 1000, 4096] {
+            for c in 1..=4u32 {
+                let p = DigitPlan::new(n, c);
+                assert!(p.capacity() >= n as u64, "n={n} c={c} base={}", p.base());
+            }
+        }
+    }
+
+    #[test]
+    fn base_is_tight() {
+        // 100 ids with 2 digits need base 10 exactly.
+        let p = DigitPlan::new(100, 2);
+        assert_eq!(p.base(), 10);
+        // 101 ids need base 11.
+        let p = DigitPlan::new(101, 2);
+        assert_eq!(p.base(), 11);
+    }
+
+    #[test]
+    fn digits_reconstruct_id() {
+        let p = DigitPlan::new(1000, 3);
+        for id in [0u64, 1, 57, 999] {
+            let mut acc = 0u64;
+            for i in 0..3 {
+                acc = acc * p.base() + p.digit(id, i);
+            }
+            assert_eq!(acc, id);
+        }
+    }
+
+    #[test]
+    fn distinct_ids_differ_in_some_digit() {
+        let p = DigitPlan::new(256, 4);
+        for a in (0..256u64).step_by(17) {
+            for b in (0..256u64).step_by(13) {
+                if a != b {
+                    assert!((0..4).any(|i| p.digit(a, i) != p.digit(b, i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_base_is_two() {
+        let p = DigitPlan::new(1, 3);
+        assert_eq!(p.base(), 2);
+    }
+
+    #[test]
+    fn most_significant_first() {
+        let p = DigitPlan::new(100, 2); // base 10
+        assert_eq!(p.digit(73, 0), 7);
+        assert_eq!(p.digit(73, 1), 3);
+    }
+}

@@ -1,0 +1,263 @@
+//! The distributed digit-elimination protocol on the CONGEST simulator.
+//!
+//! Faithful round-by-round implementation of the algorithm described in the
+//! crate docs. The global synchronous clock is divided into
+//! `c · m` sub-phases of `q + 1` rounds each; every node derives the current
+//! (iteration, digit-value, offset) triple from the round number — the same
+//! "synchronization by round counting" the paper's vertices use (they know
+//! `n` and all parameters).
+//!
+//! Kill waves are floods with per-sub-phase deduplication: each vertex
+//! transmits at most one wave message per sub-phase, so the per-edge
+//! bandwidth is one word per round — a legal CONGEST protocol, enforced by
+//! the simulator.
+
+use crate::centralized::assemble;
+use crate::digits::DigitPlan;
+use crate::result::{RulingParams, RulingSet};
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_graph::Graph;
+
+/// Per-node state of the distributed ruling-set protocol.
+///
+/// Construct via [`ruling_set_distributed`]; exposed publicly so the spanner
+/// driver can embed it in composite schedules.
+#[derive(Debug, Clone)]
+pub struct RulingProtocol {
+    plan: DigitPlan,
+    q: u32,
+    in_w: bool,
+    active: bool,
+    killer: Option<u32>,
+    /// Wave origin seen in the current sub-phase (dedup flag).
+    wave_seen: Option<u64>,
+    /// Global round at which this protocol's schedule starts (for embedding
+    /// in composite protocols).
+    start_round: u64,
+}
+
+impl RulingProtocol {
+    /// Creates the program for one node (schedule starts at round 0).
+    pub fn new(n: usize, params: RulingParams, in_w: bool) -> Self {
+        Self::new_at(n, params, in_w, 0)
+    }
+
+    /// Creates the program with its schedule offset to start at
+    /// `start_round` of the global clock.
+    pub fn new_at(n: usize, params: RulingParams, in_w: bool, start_round: u64) -> Self {
+        RulingProtocol {
+            plan: DigitPlan::new(n, params.c),
+            q: params.q,
+            in_w,
+            active: in_w,
+            killer: None,
+            wave_seen: None,
+            start_round,
+        }
+    }
+
+    /// Total number of rounds the protocol runs: `c · m · (q + 1)`.
+    pub fn total_rounds(n: usize, params: RulingParams) -> u64 {
+        let plan = DigitPlan::new(n, params.c);
+        plan.count() as u64 * plan.base() * (params.q as u64 + 1)
+    }
+
+    /// Whether this node survived (is a ruling-set member). Meaningful only
+    /// after the full schedule has run.
+    pub fn is_member(&self) -> bool {
+        self.active
+    }
+
+    /// The killer recorded when this node was deactivated.
+    pub fn killer(&self) -> Option<u32> {
+        self.killer
+    }
+
+    /// Whether this node is in the input set `W`.
+    pub fn in_w(&self) -> bool {
+        self.in_w
+    }
+
+    /// Decomposes a global round number into
+    /// (digit iteration, digit value, offset within sub-phase).
+    fn position(&self, round: u64) -> (u32, u64, u64) {
+        let len = self.q as u64 + 1;
+        let subphase = round / len;
+        let offset = round % len;
+        let i = (subphase / self.plan.base()) as u32;
+        let b = subphase % self.plan.base();
+        (i, b, offset)
+    }
+}
+
+impl NodeProgram for RulingProtocol {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let Some(local) = ctx.round().checked_sub(self.start_round) else {
+            return; // schedule not started yet
+        };
+        let (i, b, offset) = self.position(local);
+        if i >= self.plan.count() {
+            return; // schedule exhausted
+        }
+        if offset == 0 {
+            // Sub-phase start: reset dedup, sources launch their wave.
+            self.wave_seen = None;
+            if self.active && self.plan.digit(ctx.id() as u64, i) == b {
+                self.wave_seen = Some(ctx.id() as u64);
+                ctx.send_all(Msg::one(ctx.id() as u64));
+            }
+            return;
+        }
+        // offset ∈ [1, q]: wave propagation and kills.
+        if self.wave_seen.is_none() && !ctx.inbox().is_empty() {
+            let origin = ctx
+                .inbox()
+                .iter()
+                .map(|m| m.msg.word(0))
+                .min()
+                .expect("inbox non-empty");
+            self.wave_seen = Some(origin);
+            if self.active && self.plan.digit(ctx.id() as u64, i) > b {
+                self.active = false;
+                self.killer = Some(origin as u32);
+            }
+            if offset < self.q as u64 {
+                ctx.send_all(Msg::one(origin));
+            }
+        }
+    }
+}
+
+/// Computes a `(q+1, cq)`-ruling set for `w` by running the distributed
+/// protocol on the CONGEST simulator. Returns the result together with the
+/// exact round/message accounting.
+///
+/// The returned membership is identical to
+/// [`ruling_set_centralized`](crate::ruling_set_centralized) (asserted by the
+/// test suite); killer pointers may differ between the two implementations
+/// but both satisfy the `cq` domination radius.
+///
+/// # Panics
+///
+/// Panics if a vertex of `w` is out of range.
+pub fn ruling_set_distributed(
+    g: &Graph,
+    w: &[usize],
+    params: RulingParams,
+) -> (RulingSet, RunStats) {
+    let n = g.num_vertices();
+    let mut in_w = vec![false; n];
+    for &v in w {
+        assert!(v < n, "W vertex {v} out of range");
+        in_w[v] = true;
+    }
+    if n == 0 || w.is_empty() {
+        return (
+            RulingSet {
+                members: Vec::new(),
+                ruler: vec![None; n],
+            },
+            RunStats::new(),
+        );
+    }
+    let programs: Vec<RulingProtocol> = (0..n)
+        .map(|v| RulingProtocol::new(n, params, in_w[v]))
+        .collect();
+    let mut sim = Simulator::new(g, programs);
+    sim.run_rounds(RulingProtocol::total_rounds(n, params));
+    let stats = *sim.stats();
+    let programs = sim.into_programs();
+    let active: Vec<bool> = programs.iter().map(|p| p.active).collect();
+    let killer: Vec<Option<u32>> = programs.iter().map(|p| p.killer).collect();
+    (assemble(n, &in_w, &active, &killer), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::ruling_set_centralized;
+    use nas_graph::{bfs, generators};
+
+    fn assert_valid(g: &Graph, w: &[usize], params: RulingParams, rs: &RulingSet) {
+        for (idx, &a) in rs.members.iter().enumerate() {
+            let d = bfs::distances(g, a);
+            for &b in &rs.members[idx + 1..] {
+                if let Some(dab) = d[b] {
+                    assert!(dab >= params.separation(), "sep violated: {a},{b} at {dab}");
+                }
+            }
+        }
+        for &v in w {
+            let r = rs.ruler[v].expect("ruler") as usize;
+            let d = bfs::distances(g, v)[r].expect("reachable ruler");
+            assert!(d <= params.domination_radius());
+        }
+    }
+
+    #[test]
+    fn matches_centralized_on_corpus() {
+        let graphs: Vec<(Graph, u64)> = vec![
+            (generators::path(40), 0),
+            (generators::cycle(33), 0),
+            (generators::grid2d(6, 6), 0),
+            (generators::connected_gnp(70, 0.06, 5), 0),
+            (generators::preferential_attachment(60, 2, 9), 0),
+        ];
+        for (g, _) in &graphs {
+            let n = g.num_vertices();
+            let w: Vec<usize> = (0..n).filter(|v| v % 3 != 1).collect();
+            for params in [RulingParams::new(1, 2), RulingParams::new(2, 3), RulingParams::new(4, 2)] {
+                let central = ruling_set_centralized(g, &w, params);
+                let (dist, stats) = ruling_set_distributed(g, &w, params);
+                assert_eq!(central.members, dist.members, "membership differs on n={n}");
+                assert_eq!(stats.rounds, RulingProtocol::total_rounds(n, params));
+                assert_valid(g, &w, params, &dist);
+                assert_valid(g, &w, params, &central);
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_formula() {
+        // n=64, c=2 → base 8; q=3 → sub-phase length 4; 2*8*4 = 64 rounds.
+        assert_eq!(
+            RulingProtocol::total_rounds(64, RulingParams::new(3, 2)),
+            64
+        );
+    }
+
+    #[test]
+    fn rounds_scale_with_root_of_n() {
+        // Doubling c should roughly take the base from n to sqrt(n).
+        let r1 = RulingProtocol::total_rounds(256, RulingParams::new(1, 1));
+        let r2 = RulingProtocol::total_rounds(256, RulingParams::new(1, 2));
+        assert_eq!(r1, 256 * 2);
+        assert_eq!(r2, 2 * 16 * 2);
+    }
+
+    #[test]
+    fn empty_w_short_circuits() {
+        let g = generators::path(5);
+        let (rs, stats) = ruling_set_distributed(&g, &[], RulingParams::new(2, 2));
+        assert!(rs.is_empty());
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn disconnected_components_rule_independently() {
+        let mut b = nas_graph::GraphBuilder::new(8);
+        for v in 1..4 {
+            b.add_edge(v - 1, v);
+        }
+        for v in 5..8 {
+            b.add_edge(v - 1, v);
+        }
+        let g = b.build();
+        let w: Vec<usize> = (0..8).collect();
+        let params = RulingParams::new(2, 2);
+        let (rs, _) = ruling_set_distributed(&g, &w, params);
+        // Each path component must contain at least one member.
+        assert!(rs.members.iter().any(|&m| m < 4));
+        assert!(rs.members.iter().any(|&m| m >= 4));
+    }
+}

@@ -1,0 +1,95 @@
+//! Parameter and result types shared by both implementations.
+
+/// Parameters of a `(q+1, cq)`-ruling set computation (Theorem 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RulingParams {
+    /// Wave depth; the output is `(q+1)`-separated.
+    pub q: u32,
+    /// Number of digit iterations; the domination radius is `c·q` and the
+    /// round count scales with `n^{1/c}`. The paper uses `c = ⌈ρ⁻¹⌉`.
+    pub c: u32,
+}
+
+impl RulingParams {
+    /// Creates parameters, validating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0` or `c == 0`.
+    pub fn new(q: u32, c: u32) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        assert!(c >= 1, "c must be at least 1");
+        RulingParams { q, c }
+    }
+
+    /// The guaranteed minimum pairwise distance between members (`q + 1`).
+    pub fn separation(&self) -> u32 {
+        self.q + 1
+    }
+
+    /// The guaranteed maximum distance from any `W`-vertex to its ruler
+    /// (`c · q`).
+    pub fn domination_radius(&self) -> u32 {
+        self.c * self.q
+    }
+}
+
+/// The result of a ruling-set computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulingSet {
+    /// The ruling set `A ⊆ W`, sorted ascending.
+    pub members: Vec<usize>,
+    /// For every vertex: `Some(a)` if the vertex is in `W`, where `a ∈ A` is
+    /// its ruler (itself, for members); `None` for vertices outside `W`.
+    ///
+    /// The ruler is obtained by resolving killer chains, so
+    /// `d_G(w, ruler(w)) ≤ c·q` — the domination guarantee.
+    pub ruler: Vec<Option<u32>>,
+}
+
+impl RulingSet {
+    /// Whether vertex `v` is a member of the ruling set.
+    pub fn is_member(&self, v: usize) -> bool {
+        self.members.binary_search(&v).is_ok()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty (true iff `W` was empty).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_accessors() {
+        let p = RulingParams::new(5, 3);
+        assert_eq!(p.separation(), 6);
+        assert_eq!(p.domination_radius(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_panics() {
+        RulingParams::new(0, 2);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let rs = RulingSet {
+            members: vec![2, 7, 11],
+            ruler: vec![],
+        };
+        assert!(rs.is_member(7));
+        assert!(!rs.is_member(3));
+        assert_eq!(rs.len(), 3);
+        assert!(!rs.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests: the ruling-set guarantees of Theorem 2.2 hold on
+//! random graphs with random parameters, and the distributed protocol agrees
+//! with the centralized reference.
+
+use nas_graph::{bfs, generators, Graph};
+use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams};
+use proptest::prelude::*;
+
+fn check_guarantees(g: &Graph, w: &[usize], params: RulingParams) {
+    let rs = ruling_set_centralized(g, w, params);
+    // A ⊆ W.
+    let wset: std::collections::HashSet<_> = w.iter().copied().collect();
+    for &m in &rs.members {
+        assert!(wset.contains(&m));
+    }
+    // Separation ≥ q+1 (only meaningful for pairs in the same component).
+    for (i, &a) in rs.members.iter().enumerate() {
+        let d = bfs::distances(g, a);
+        for &b in &rs.members[i + 1..] {
+            if let Some(dab) = d[b] {
+                assert!(
+                    dab >= params.separation(),
+                    "separation violated: {a} and {b} at distance {dab}"
+                );
+            }
+        }
+    }
+    // Domination ≤ cq.
+    for &v in w {
+        let r = rs.ruler[v].expect("every W vertex has a ruler") as usize;
+        assert!(rs.is_member(r));
+        let d = bfs::distances(g, v)[r].expect("ruler is reachable");
+        assert!(
+            d <= params.domination_radius(),
+            "domination violated: {v} -> {r} at distance {d}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn guarantees_on_random_graphs(
+        n in 2usize..60,
+        p in 0.02f64..0.3,
+        seed in 0u64..1000,
+        q in 1u32..5,
+        c in 1u32..4,
+        w_mod in 1usize..4,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let w: Vec<usize> = (0..n).filter(|v| v % w_mod == 0).collect();
+        check_guarantees(&g, &w, RulingParams::new(q, c));
+    }
+
+    #[test]
+    fn distributed_matches_centralized(
+        n in 2usize..40,
+        p in 0.05f64..0.3,
+        seed in 0u64..500,
+        q in 1u32..4,
+        c in 1u32..4,
+    ) {
+        let g = generators::gnp(n, p, seed);
+        let w: Vec<usize> = (0..n).filter(|v| v % 2 == 0).collect();
+        let params = RulingParams::new(q, c);
+        let a = ruling_set_centralized(&g, &w, params);
+        let (b, _) = ruling_set_distributed(&g, &w, params);
+        prop_assert_eq!(a.members, b.members);
+    }
+
+    #[test]
+    fn structured_graphs(
+        rows in 2usize..7,
+        cols in 2usize..7,
+        q in 1u32..4,
+        c in 1u32..4,
+    ) {
+        let g = generators::grid2d(rows, cols);
+        let n = g.num_vertices();
+        let w: Vec<usize> = (0..n).collect();
+        check_guarantees(&g, &w, RulingParams::new(q, c));
+    }
+
+    #[test]
+    fn determinism(
+        n in 2usize..30,
+        seed in 0u64..100,
+    ) {
+        let g = generators::gnp(n, 0.15, seed);
+        let w: Vec<usize> = (0..n).collect();
+        let params = RulingParams::new(2, 2);
+        let (a, sa) = ruling_set_distributed(&g, &w, params);
+        let (b, sb) = ruling_set_distributed(&g, &w, params);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+}

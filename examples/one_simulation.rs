@@ -1,0 +1,50 @@
+//! The whole construction as ONE message-passing protocol.
+//!
+//! Runs the complete algorithm — Algorithm 1, ruling sets, superclustering,
+//! interconnection, across all phases — inside a single CONGEST simulation
+//! where every stage transition is a local decision (nodes count rounds
+//! against the schedule derived from `(n, ε, κ, ρ)`, as in the paper).
+//! The result is compared with the centralized reference: identical.
+//!
+//! ```sh
+//! cargo run --release --example one_simulation
+//! ```
+
+use nas_core::{build_centralized, run_full_protocol, Params};
+use nas_graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::connected_gnp(128, 0.08, 77);
+    let params = Params::practical(0.5, 4, 0.45);
+    println!(
+        "graph: n = {}, m = {}; running the full pipeline as a single protocol…",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let full = run_full_protocol(&g, params)?;
+    println!(
+        "single-simulation run: {} rounds (= the fixed schedule length), \
+         {} messages, {} spanner edges",
+        full.stats.rounds,
+        full.stats.messages,
+        full.spanner.len()
+    );
+
+    let reference = build_centralized(&g, params)?;
+    let mut a: Vec<_> = full.spanner.iter().collect();
+    let mut b: Vec<_> = reference.spanner.iter().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    println!(
+        "spanner is bit-identical to the centralized reference ✓ \
+         (deterministic end to end, with purely local stage transitions)"
+    );
+    println!(
+        "schedule bound (Lemma 2.8 analogue): {} rounds ≥ measured {}",
+        full.schedule.total_round_bound(),
+        full.stats.rounds
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a near-additive spanner, inspect it, audit its stretch.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nas_core::{build_centralized, Params};
+use nas_graph::generators;
+use nas_metrics::stretch_audit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A random connected graph: 400 vertices, average degree ~ 12.
+    let g = generators::connected_gnp(400, 0.03, 42);
+    println!(
+        "input graph: n = {}, m = {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // (1+ε, β)-spanner parameters: ε = 0.5, κ = 4 (size ~ n^{1.25}),
+    // ρ = 0.45 (CONGEST time ~ n^{0.45}).
+    let params = Params::practical(0.5, 4, 0.45);
+    let result = build_centralized(&g, params)?;
+
+    println!(
+        "spanner: {} edges ({:.1}% of the graph), {} phases",
+        result.num_edges(),
+        100.0 * result.num_edges() as f64 / g.num_edges() as f64,
+        result.schedule.ell + 1
+    );
+    for p in &result.phases {
+        println!(
+            "  phase {}: |P_i| = {:4}  popular = {:4}  ruling set = {:3}  \
+             superclustered = {:4}  settled = {:4}  δ = {:3}  deg = {}",
+            p.phase, p.num_clusters, p.popular, p.ruling_set, p.superclustered,
+            p.settled_clusters, p.delta, p.deg
+        );
+    }
+
+    // Exact all-pairs stretch audit.
+    let audit = stretch_audit(&g, &result.to_graph(), params.eps);
+    println!(
+        "stretch audit over {} pairs: max multiplicative stretch = {:.3}, \
+         effective additive β (at ε = {}) = {:.1}",
+        audit.pairs, audit.max_stretch, params.eps, audit.effective_beta
+    );
+    println!(
+        "paper's worst-case β at these parameters: {:.1} (nominal) / {:.3e} (eq. (1))",
+        result.schedule.beta_nominal(),
+        result.schedule.beta_paper()
+    );
+    assert!(audit.disconnected_pairs == 0);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Social-network overlay: deterministic vs randomized construction.
+//!
+//! On a preferential-attachment graph (heavy-tailed degrees, the shape of
+//! social/P2P overlays), compare this paper's deterministic construction
+//! against its randomized predecessor EN17 — same skeleton, random sampling
+//! in place of ruling sets. The deterministic run is reproducible
+//! bit-for-bit; EN17's output varies with the seed.
+//!
+//! ```sh
+//! cargo run --release --example social_overlay
+//! ```
+
+use nas_baselines::{build_en17_centralized, En17Params};
+use nas_core::{build_centralized, Params};
+use nas_graph::generators;
+use nas_metrics::{stretch_audit, TableBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::preferential_attachment(500, 4, 2024);
+    println!(
+        "social graph: n = {}, m = {}, max degree = {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    let (eps, kappa, rho) = (0.5, 4, 0.45);
+    let ours = build_centralized(&g, Params::practical(eps, kappa, rho))?;
+    let ours_audit = stretch_audit(&g, &ours.to_graph(), eps);
+
+    let mut t = TableBuilder::new(vec![
+        "construction",
+        "edges",
+        "max stretch",
+        "effective β",
+        "deterministic?",
+    ]);
+    t.row(vec![
+        "this paper (det.)".into(),
+        ours.num_edges().to_string(),
+        format!("{:.3}", ours_audit.max_stretch),
+        format!("{:.1}", ours_audit.effective_beta),
+        "yes — identical every run".into(),
+    ]);
+
+    for seed in [1u64, 2, 3] {
+        let en = build_en17_centralized(
+            &g,
+            En17Params { eps, kappa, rho, seed },
+        );
+        let audit = stretch_audit(&g, &en.to_graph(), eps);
+        t.row(vec![
+            format!("EN17 (seed {seed})"),
+            en.num_edges().to_string(),
+            format!("{:.3}", audit.max_stretch),
+            format!("{:.1}", audit.effective_beta),
+            "no — varies with seed".into(),
+        ]);
+    }
+    println!("\n{}", t.render());
+
+    // Determinism demonstrated, not just claimed.
+    let again = build_centralized(&g, Params::practical(eps, kappa, rho))?;
+    assert_eq!(ours.spanner, again.spanner);
+    println!("re-ran the deterministic construction: spanner is identical ✓");
+    Ok(())
+}

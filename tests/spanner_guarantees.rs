@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the paper's end-to-end guarantees
+//! (Corollary 2.18 and the lemmas behind it) hold on a corpus of graphs.
+
+use nas_core::{build_centralized, Params};
+use nas_graph::{connectivity, generators, Graph};
+use nas_metrics::stretch_audit;
+
+fn corpus() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path(120)", generators::path(120)),
+        ("cycle(101)", generators::cycle(101)),
+        ("grid2d(10,12)", generators::grid2d(10, 12)),
+        ("torus2d(8,8)", generators::torus2d(8, 8)),
+        ("hypercube(7)", generators::hypercube(7)),
+        ("complete(60)", generators::complete(60)),
+        ("binary_tree(127)", generators::binary_tree(127)),
+        ("gnp(150,0.04)", generators::connected_gnp(150, 0.04, 7)),
+        ("gnp(100,0.15)", generators::connected_gnp(100, 0.15, 8)),
+        ("pref_attach(120,3)", generators::preferential_attachment(120, 3, 9)),
+        ("barbell(20,5)", generators::barbell(20, 5)),
+        ("caterpillar(30,3)", generators::caterpillar(30, 3)),
+        ("random_regular(90,4)", generators::random_regular(90, 4, 10)),
+        ("circulant(80)", generators::circulant(80, &[1, 9, 23])),
+    ]
+}
+
+fn params_grid() -> Vec<Params> {
+    vec![
+        Params::practical(0.5, 4, 0.45),
+        Params::practical(1.0, 4, 0.45),
+        Params::practical(0.5, 8, 0.45),
+        Params::practical(0.25, 4, 0.49),
+    ]
+}
+
+#[test]
+fn spanner_is_valid_and_stretch_bounded_across_corpus() {
+    for (name, g) in corpus() {
+        for params in params_grid() {
+            let r = build_centralized(&g, params)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Subgraph property.
+            assert!(
+                r.spanner.verify_subgraph_of(&g).is_ok(),
+                "{name}: spanner is not a subgraph"
+            );
+            // Connectivity is preserved (the graph corpus is connected).
+            let h = r.to_graph();
+            assert!(
+                connectivity::is_connected(&h),
+                "{name}: spanner disconnected"
+            );
+            // Stretch against the *provable* Lemma 2.15/2.16 envelope for
+            // this exact schedule (no constant-regime assumptions).
+            let audit = stretch_audit(&g, &h, params.eps);
+            let (alpha_env, beta_env) = r.schedule.stretch_envelope();
+            assert!(
+                audit.satisfies(alpha_env - 1.0, beta_env),
+                "{name} {params:?}: provable stretch envelope violated \
+                 (max stretch {}, effective beta {})",
+                audit.max_stretch,
+                audit.effective_beta
+            );
+            assert_eq!(audit.disconnected_pairs, 0, "{name}: lost pairs");
+            // Empirically the construction is far better than the envelope:
+            // the additive error at ε_user already stays below β_env, with
+            // no multiplicative slack at all. Keep this loud as a regression
+            // tripwire.
+            assert!(
+                audit.effective_beta <= beta_env,
+                "{name}: effective beta {} exceeds envelope {beta_env}",
+                audit.effective_beta
+            );
+        }
+    }
+}
+
+#[test]
+fn settled_sets_partition_v() {
+    // Corollary 2.5 on the corpus.
+    for (name, g) in corpus() {
+        let r = build_centralized(&g, Params::practical(0.5, 4, 0.45)).unwrap();
+        nas_core::cluster::verify_settled_partition(g.num_vertices(), &r.settled)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Settled phases are within [0, ℓ].
+        for v in 0..g.num_vertices() {
+            assert!(r.settled_phase(v) <= r.schedule.ell);
+        }
+    }
+}
+
+#[test]
+fn size_bound_holds_with_margin() {
+    // Lemma 2.12 / Corollary 2.13: |H| = O(n^{1+1/κ}·δ_ℓ)-ish; we assert the
+    // concrete per-phase accounting: each phase adds at most
+    // n + n^{1+1/κ}·deg-paths × length δ... and globally |H| ≤ m anyway.
+    // The sharp, implementation-exact bound:
+    //   interconnect paths per phase ≤ |U_i|·deg_i, each of length ≤ δ_i;
+    //   supercluster paths ≤ n−1 forest edges.
+    for (name, g) in corpus() {
+        let r = build_centralized(&g, Params::practical(0.5, 4, 0.45)).unwrap();
+        let n = g.num_vertices() as u64;
+        for p in &r.phases {
+            assert!(
+                (p.supercluster_path_edges as u64) < n,
+                "{name} phase {}: forest paths exceed n−1",
+                p.phase
+            );
+            let path_bound = p.settled_clusters as u64 * p.deg.min(n) * p.delta;
+            assert!(
+                p.interconnect_edges as u64 <= path_bound.max(1),
+                "{name} phase {}: interconnect edges {} exceed bound {path_bound}",
+                p.phase,
+                p.interconnect_edges
+            );
+            // The paper's per-phase path count: |U_i| · deg_i.
+            assert!(
+                p.interconnect_paths as u64 <= p.settled_clusters as u64 * p.deg.min(n + 1),
+                "{name} phase {}: too many interconnect paths",
+                p.phase
+            );
+        }
+    }
+}
+
+#[test]
+fn radius_invariant_holds_on_corpus() {
+    // Lemma 2.3 (via settled clusters): every vertex reaches its settled
+    // center within R_i in the final spanner.
+    for (name, g) in corpus().into_iter().take(6) {
+        let r = build_centralized(&g, Params::practical(0.5, 4, 0.45)).unwrap();
+        let h = r.to_graph();
+        for v in 0..g.num_vertices() {
+            let (phase, center) = r.settled[v].unwrap();
+            let d = nas_graph::bfs::distances(&h, v)[center as usize]
+                .unwrap_or_else(|| panic!("{name}: {v} cut off from its center"));
+            assert!(
+                d as u64 <= r.schedule.r_bound[phase],
+                "{name}: vertex {v} radius {d} > R_{phase} = {}",
+                r.schedule.r_bound[phase]
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let g = generators::connected_gnp(100, 0.08, 42);
+    let p = Params::practical(0.5, 4, 0.45);
+    let a = build_centralized(&g, p).unwrap();
+    let b = build_centralized(&g, p).unwrap();
+    assert_eq!(a.spanner, b.spanner);
+    assert_eq!(a.settled, b.settled);
+    assert_eq!(a.phases, b.phases);
+}
+
+#[test]
+fn disconnected_graphs_are_handled() {
+    // Two components: the spanner must preserve intra-component distances
+    // and produce no cross edges (there are none to add).
+    let mut b = nas_graph::GraphBuilder::new(60);
+    for v in 1..30 {
+        b.add_edge(v - 1, v);
+    }
+    for v in 31..60 {
+        b.add_edge(v - 1, v);
+    }
+    let g = b.build();
+    let r = build_centralized(&g, Params::practical(0.5, 4, 0.45)).unwrap();
+    let audit = stretch_audit(&g, &r.to_graph(), 0.5);
+    assert_eq!(audit.disconnected_pairs, 0);
+    assert_eq!(r.num_edges(), 58); // both paths kept whole
+}
