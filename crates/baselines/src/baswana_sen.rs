@@ -114,9 +114,9 @@ mod tests {
                 let dh = DistanceMatrix::exact(&h.to_graph());
                 let t = 2 * kappa - 1;
                 for (u, v, d) in dg.reachable_pairs() {
-                    let s = dh.get(u, v).unwrap_or_else(|| {
-                        panic!("pair ({u},{v}) disconnected in spanner")
-                    });
+                    let s = dh
+                        .get(u, v)
+                        .unwrap_or_else(|| panic!("pair ({u},{v}) disconnected in spanner"));
                     assert!(s <= t * d, "stretch violated: {s} > {t}·{d}");
                 }
             }

@@ -146,9 +146,7 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
     let mut center_of: Vec<Option<u32>> = (0..n).map(|v| Some(v as u32)).collect();
 
     for i in 0..=ell {
-        let centers: Vec<usize> = (0..n)
-            .filter(|&v| center_of[v] == Some(v as u32))
-            .collect();
+        let centers: Vec<usize> = (0..n).filter(|&v| center_of[v] == Some(v as u32)).collect();
         if centers.is_empty() {
             phases.push(En17PhaseStats {
                 phase: i,
@@ -240,12 +238,12 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
             ),
             None => (Default::default(), 0),
         };
-        for v in 0..n {
-            if let Some(c) = center_of[v] {
+        for slot in center_of.iter_mut() {
+            if let Some(c) = *slot {
                 if settled_set.contains(&c) {
-                    center_of[v] = None;
+                    *slot = None;
                 } else if let Some(&r) = assign_map.get(&c) {
-                    center_of[v] = Some(r);
+                    *slot = Some(r);
                 }
             }
         }
@@ -323,11 +321,11 @@ mod tests {
             .schedule(64)
             .unwrap();
         let (_, delta, _) = en17_schedule(&params(0), g.num_vertices());
-        for i in 0..delta.len() {
+        for (i, &d) in delta.iter().enumerate() {
             assert!(
-                delta[i] <= core.delta[i],
+                d <= core.delta[i],
                 "phase {i}: EN17 δ {} vs deterministic {}",
-                delta[i],
+                d,
                 core.delta[i]
             );
         }
@@ -372,10 +370,7 @@ mod tests {
         let beta = 30.0 / (0.45 * 0.5f64.powi(1));
         for (u, v, d) in dg.reachable_pairs() {
             let dh = dh.get(u, v).expect("spanner connected") as f64;
-            assert!(
-                dh <= 1.5 * d as f64 + beta,
-                "pair ({u},{v}): {dh} vs {d}"
-            );
+            assert!(dh <= 1.5 * d as f64 + beta, "pair ({u},{v}): {dh} vs {d}");
         }
     }
 }

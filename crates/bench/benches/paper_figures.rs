@@ -42,12 +42,7 @@ fn bench_fig45_paths(c: &mut Criterion) {
     c.bench_function("fig45_paths/build", |b| {
         b.iter(|| {
             let r = build_centralized(&g, params).unwrap();
-            black_box(
-                r.phases
-                    .iter()
-                    .map(|p| p.interconnect_paths)
-                    .sum::<usize>(),
-            )
+            black_box(r.phases.iter().map(|p| p.interconnect_paths).sum::<usize>())
         })
     });
 }

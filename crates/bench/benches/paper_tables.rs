@@ -49,9 +49,7 @@ fn bench_table2_measured_rows(c: &mut Criterion) {
     group.bench_function("new", |b| {
         b.iter(|| black_box(run_ours("gnp128", &g, params)))
     });
-    group.bench_function("en17", |b| {
-        b.iter(|| black_box(run_en17(&g, params, 5)))
-    });
+    group.bench_function("en17", |b| b.iter(|| black_box(run_en17(&g, params, 5))));
     group.bench_function("baswana_sen", |b| {
         b.iter(|| black_box(run_baswana_sen(&g, params.kappa, 5)))
     });

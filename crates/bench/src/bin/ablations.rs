@@ -24,7 +24,11 @@ fn ablation_ruling_c() {
     let w: Vec<usize> = (0..g.num_vertices()).filter(|v| v % 2 == 0).collect();
     let q = 4u32;
     let mut t = TableBuilder::new(vec![
-        "c", "guarantee cq", "measured max domination", "|A|", "rounds (measured)",
+        "c",
+        "guarantee cq",
+        "measured max domination",
+        "|A|",
+        "rounds (measured)",
     ]);
     for c in [1u32, 2, 3, 4] {
         let (rs, stats) = ruling_set_distributed(&g, &w, RulingParams::new(q, c));
@@ -50,7 +54,12 @@ fn ablation_rho() {
     // runnable in seconds.
     let g = generators::random_regular(64, 8, 3);
     let mut t = TableBuilder::new(vec![
-        "ρ", "ℓ (phases)", "δ_ℓ", "nominal β", "measured rounds", "spanner edges",
+        "ρ",
+        "ℓ (phases)",
+        "δ_ℓ",
+        "nominal β",
+        "measured rounds",
+        "spanner edges",
     ]);
     for rho in [0.35f64, 0.4, 0.45, 0.49] {
         let params = Params::practical(0.5, 4, rho);
@@ -77,7 +86,12 @@ fn ablation_constants() {
     println!("== ablation 3: paper vs practical constants ==\n");
     let n = 256;
     let mut t = TableBuilder::new(vec![
-        "mode", "ε_internal", "δ_0..δ_ℓ", "R_ℓ", "α nominal", "β nominal",
+        "mode",
+        "ε_internal",
+        "δ_0..δ_ℓ",
+        "R_ℓ",
+        "α nominal",
+        "β nominal",
     ]);
     for (label, params) in [
         ("practical", default_params()),

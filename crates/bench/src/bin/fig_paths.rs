@@ -23,9 +23,14 @@ fn main() {
         (g.num_vertices() as f64).powf(1.0 + 1.0 / params.kappa as f64)
     );
     let mut t = TableBuilder::new(vec![
-        "phase", "δ_i", "deg_i", "|U_i|",
-        "paths added (F5)", "paths bound |U_i|·deg_i",
-        "interconnect edges", "edge budget |U_i|·deg_i·δ_i",
+        "phase",
+        "δ_i",
+        "deg_i",
+        "|U_i|",
+        "paths added (F5)",
+        "paths bound |U_i|·deg_i",
+        "interconnect edges",
+        "edge budget |U_i|·deg_i·δ_i",
         "forest edges (F4)",
     ]);
     for p in &r.phases {

@@ -22,8 +22,15 @@ fn main() {
         g.num_edges()
     );
     let mut t = TableBuilder::new(vec![
-        "δ", "deg", "|W|", "|RS|", "min pairwise dist", "guarantee 2δ+1",
-        "balls disjoint?", "max domination dist", "bound 2cδ",
+        "δ",
+        "deg",
+        "|W|",
+        "|RS|",
+        "min pairwise dist",
+        "guarantee 2δ+1",
+        "balls disjoint?",
+        "max domination dist",
+        "bound 2cδ",
     ]);
     for (delta, deg) in [(1u64, 8usize), (2, 12), (3, 16), (4, 16)] {
         let is_center = vec![true; g.num_vertices()];
@@ -59,14 +66,22 @@ fn main() {
         }
         // Domination: every popular center within 2cδ of some member.
         let dom = bfs::multi_source_distances(&g, rs.members.iter().copied());
-        let max_dom = w.iter().map(|&v| dom[v].unwrap_or(u32::MAX)).max().unwrap_or(0);
+        let max_dom = w
+            .iter()
+            .map(|&v| dom[v].unwrap_or(u32::MAX))
+            .max()
+            .unwrap_or(0);
 
         t.row(vec![
             delta.to_string(),
             deg.to_string(),
             w.len().to_string(),
             rs.members.len().to_string(),
-            if min_pair == u32::MAX { "—".into() } else { min_pair.to_string() },
+            if min_pair == u32::MAX {
+                "—".into()
+            } else {
+                min_pair.to_string()
+            },
             (2 * delta + 1).to_string(),
             disjoint.to_string(),
             max_dom.to_string(),

@@ -8,8 +8,8 @@
 //! distance (that is what "near-additive" means), while a multiplicative
 //! baseline's error grows linearly.
 
-use nas_bench::default_params;
 use nas_baselines::baswana_sen;
+use nas_bench::default_params;
 use nas_core::build_centralized;
 use nas_graph::generators;
 use nas_metrics::{stretch_audit, TableBuilder};
@@ -30,8 +30,14 @@ fn main() {
     );
 
     let mut t = TableBuilder::new(vec![
-        "d_G", "pairs", "ours worst d_H", "ours additive err", "ours stretch",
-        "BS worst d_H", "BS additive err", "BS stretch",
+        "d_G",
+        "pairs",
+        "ours worst d_H",
+        "ours additive err",
+        "ours stretch",
+        "BS worst d_H",
+        "BS additive err",
+        "BS stretch",
     ]);
     for d in 1..ours.buckets.len() {
         let a = &ours.buckets[d];

@@ -17,16 +17,36 @@ fn main() {
     for (name, g) in [
         // Local structure keeps several phases populated: superclusters must
         // cascade instead of swallowing the graph in phase 0.
-        ("random_geometric(600, r=0.06)", generators::connected_random_geometric(600, 0.06, 3)),
-        ("circulant(500; 1..5)", generators::circulant(500, &[1, 2, 3, 4, 5])),
+        (
+            "random_geometric(600, r=0.06)",
+            generators::connected_random_geometric(600, 0.06, 3),
+        ),
+        (
+            "circulant(500; 1..5)",
+            generators::circulant(500, &[1, 2, 3, 4, 5]),
+        ),
         ("complete(256)", generators::complete(256)),
-        ("pref_attach(400, 6)", generators::preferential_attachment(400, 6, 3)),
+        (
+            "pref_attach(400, 6)",
+            generators::preferential_attachment(400, 6, 3),
+        ),
     ] {
         let r = build_centralized(&g, params).unwrap();
-        println!("== {} (n = {}, m = {}) ==\n", name, g.num_vertices(), g.num_edges());
+        println!(
+            "== {} (n = {}, m = {}) ==\n",
+            name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         let mut t = TableBuilder::new(vec![
-            "phase", "|P_i|", "popular |W_i|", "|RS_i|", "superclustered",
-            "settled |U_i|", "forest edges → H", "lemma bound |P_i|/deg_i",
+            "phase",
+            "|P_i|",
+            "popular |W_i|",
+            "|RS_i|",
+            "superclustered",
+            "settled |U_i|",
+            "forest edges → H",
+            "lemma bound |P_i|/deg_i",
         ]);
         for p in &r.phases {
             let bound = if p.phase < r.schedule.ell {

@@ -16,8 +16,13 @@ use nas_metrics::TableBuilder;
 fn main() {
     let params = default_params();
     let mut t = TableBuilder::new(vec![
-        "n", "LOCAL rounds", "CONGEST rounds (measured)", "overhead factor",
-        "n^ρ", "LOCAL edges", "CONGEST edges",
+        "n",
+        "LOCAL rounds",
+        "CONGEST rounds (measured)",
+        "overhead factor",
+        "n^ρ",
+        "LOCAL edges",
+        "CONGEST edges",
     ]);
     for n in [64usize, 128, 256] {
         let g = generators::connected_gnp(n, 16.0 / n as f64, 7);

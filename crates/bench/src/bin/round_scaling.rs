@@ -18,7 +18,11 @@ fn main() {
         params.eps, params.kappa, params.rho, params.rho
     );
     let mut t = TableBuilder::new(vec![
-        "n", "rounds ours (det.)", "schedule bound", "rounds EN17 (rand.)", "Elk05 shape n^(1+1/2κ)",
+        "n",
+        "rounds ours (det.)",
+        "schedule bound",
+        "rounds EN17 (rand.)",
+        "Elk05 shape n^(1+1/2κ)",
     ]);
     let mut points: Vec<(usize, f64)> = Vec::new();
     for n in [64usize, 128, 256] {
@@ -31,7 +35,10 @@ fn main() {
             ours.rounds.to_string(),
             ours.result.schedule.total_round_bound().to_string(),
             en_rounds.to_string(),
-            format!("{:.0}", (n as f64).powf(1.0 + 1.0 / (2.0 * params.kappa as f64))),
+            format!(
+                "{:.0}",
+                (n as f64).powf(1.0 + 1.0 / (2.0 * params.kappa as f64))
+            ),
         ]);
     }
     println!("{}", t.render());

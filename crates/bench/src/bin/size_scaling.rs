@@ -21,7 +21,12 @@ fn main() {
     );
 
     let mut t = TableBuilder::new(vec![
-        "n", "m (input)", "|H| ours", "|H| BS", "|H| greedy", "ours/n^(1+1/κ)",
+        "n",
+        "m (input)",
+        "|H| ours",
+        "|H| BS",
+        "|H| greedy",
+        "ours/n^(1+1/κ)",
     ]);
     let mut points: Vec<(usize, f64)> = Vec::new();
     for n in [64usize, 128, 256, 512] {

@@ -8,8 +8,13 @@ use nas_metrics::{tables::fmt_f64, TableBuilder};
 fn main() {
     let params = default_params();
     let mut t = TableBuilder::new(vec![
-        "workload", "n", "pairs audited", "max stretch", "effective β (measured)",
-        "β envelope (worst case)", "within bound",
+        "workload",
+        "n",
+        "pairs audited",
+        "max stretch",
+        "effective β (measured)",
+        "β envelope (worst case)",
+        "within bound",
     ]);
     for (name, g) in workloads(300, 11) {
         let r = run_ours(&name, &g, params);

@@ -14,7 +14,14 @@ use nas_metrics::{tables::fmt_f64, TableBuilder};
 fn main() {
     println!("== Table 1: deterministic CONGEST constructions (analytic) ==\n");
     let mut t = TableBuilder::new(vec![
-        "κ", "ρ", "ε", "β [Elk05]", "β [New]", "time [Elk05]", "time [New]", "size/n^(1+1/κ) [New]",
+        "κ",
+        "ρ",
+        "ε",
+        "β [Elk05]",
+        "β [New]",
+        "time [Elk05]",
+        "time [New]",
+        "size/n^(1+1/κ) [New]",
     ]);
     let mut crossover_seen = false;
     for &(kappa, rho) in &[
@@ -58,7 +65,15 @@ fn main() {
     println!("== Table 1 (measured): the New row, actually executed ==\n");
     let params = default_params();
     let mut m = TableBuilder::new(vec![
-        "workload", "n", "m", "|H|", "|H|/n^(1+1/κ)", "rounds", "rounds/n^ρ", "max stretch", "eff. β",
+        "workload",
+        "n",
+        "m",
+        "|H|",
+        "|H|/n^(1+1/κ)",
+        "rounds",
+        "rounds/n^ρ",
+        "max stretch",
+        "eff. β",
     ]);
     for n in [96usize, 192] {
         for (name, g) in nas_bench::workloads(n, 7).into_iter().take(2) {

@@ -17,39 +17,69 @@ fn main() {
     let lk = (kappa as f64).log2();
     let rows: Vec<(&str, &str, &str, String, &str)> = vec![
         (
-            "[EP01]", "centralized, det.", "(1+ε, β)",
-            fmt_f64(betas::elkin_peleg(eps, kappa)), "O~(mn)",
+            "[EP01]",
+            "centralized, det.",
+            "(1+ε, β)",
+            fmt_f64(betas::elkin_peleg(eps, kappa)),
+            "O~(mn)",
         ),
         (
-            "[Elk05]", "CONGEST, det.", "(1+ε, β)",
-            fmt_f64(betas::elkin05(eps, kappa, rho)), "O(n^{1+1/2κ})",
+            "[Elk05]",
+            "CONGEST, det.",
+            "(1+ε, β)",
+            fmt_f64(betas::elkin05(eps, kappa, rho)),
+            "O(n^{1+1/2κ})",
         ),
         (
-            "[EZ06]", "CONGEST, rand.", "(1+ε, β)",
-            fmt_f64(betas::elkin05(eps, kappa, rho)), "O(n^ρ)",
+            "[EZ06]",
+            "CONGEST, rand.",
+            "(1+ε, β)",
+            fmt_f64(betas::elkin05(eps, kappa, rho)),
+            "O(n^ρ)",
         ),
         (
-            "[TZ06]", "centralized, rand.", "(1+ε, (O(1)/ε)^κ)",
-            fmt_f64((2.0 / eps).powi(kappa as i32)), "O(mn^{1/κ})",
+            "[TZ06]",
+            "centralized, rand.",
+            "(1+ε, (O(1)/ε)^κ)",
+            fmt_f64((2.0 / eps).powi(kappa as i32)),
+            "O(mn^{1/κ})",
         ),
         (
-            "[DGPV09]", "LOCAL, det.", "(1+ε, β)",
-            fmt_f64((lk / eps).powf(lk)), "O(β·2^{O(√log n)})",
+            "[DGPV09]",
+            "LOCAL, det.",
+            "(1+ε, β)",
+            fmt_f64((lk / eps).powf(lk)),
+            "O(β·2^{O(√log n)})",
         ),
         (
-            "[Pet10]", "CONGEST, rand.", "(1+ε, β)",
-            fmt_f64(((lk + 1.0 / rho) / eps).powf(lk * 1.618 + 1.0 / rho)), "O~(n^ρ)",
+            "[Pet10]",
+            "CONGEST, rand.",
+            "(1+ε, β)",
+            fmt_f64(((lk + 1.0 / rho) / eps).powf(lk * 1.618 + 1.0 / rho)),
+            "O~(n^ρ)",
         ),
         (
-            "[EN17]", "CONGEST, rand.", "(1+ε, β)",
-            fmt_f64(betas::elkin_neiman(eps, kappa, rho)), "O(n^ρ·ρ⁻¹·β·log n)",
+            "[EN17]",
+            "CONGEST, rand.",
+            "(1+ε, β)",
+            fmt_f64(betas::elkin_neiman(eps, kappa, rho)),
+            "O(n^ρ·ρ⁻¹·β·log n)",
         ),
         (
-            "New", "CONGEST, det.", "(1+ε, β)",
-            fmt_f64(betas::this_paper(eps, kappa, rho)), "O(β·n^ρ·ρ⁻¹)",
+            "New",
+            "CONGEST, det.",
+            "(1+ε, β)",
+            fmt_f64(betas::this_paper(eps, kappa, rho)),
+            "O(β·n^ρ·ρ⁻¹)",
         ),
     ];
-    let mut t = TableBuilder::new(vec!["authors", "model", "stretch", "β (analytic)", "running time"]);
+    let mut t = TableBuilder::new(vec![
+        "authors",
+        "model",
+        "stretch",
+        "β (analytic)",
+        "running time",
+    ]);
     for (a, m, s, b, rt) in rows {
         t.row(vec![a.into(), m.into(), s.into(), b, rt.into()]);
     }
@@ -63,7 +93,12 @@ fn main() {
     let (bs_edges, bs_audit) = run_baswana_sen(&g, params.kappa, 5);
 
     let mut m = TableBuilder::new(vec![
-        "construction", "edges", "edges/m", "max stretch", "effective β", "deterministic",
+        "construction",
+        "edges",
+        "edges/m",
+        "max stretch",
+        "effective β",
+        "deterministic",
     ]);
     let frac = |e: usize| format!("{:.2}", e as f64 / g.num_edges() as f64);
     m.row(vec![

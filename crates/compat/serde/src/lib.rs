@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde` (see `crates/compat/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type namespace
+//! (blanket-implemented marker traits, so bounds like `T: Serialize` hold)
+//! and the macro namespace (no-op derives re-exported from the local
+//! `serde_derive`), matching how the real crate composes with its `derive`
+//! feature. No actual serialization is performed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Implemented for every type, mirroring the blanket coverage above.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

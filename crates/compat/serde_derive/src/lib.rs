@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive` (see `crates/compat/README.md`).
+//!
+//! The derives are no-ops: they accept the same syntax (including
+//! `#[serde(...)]` helper attributes) and emit no code. The workspace only
+//! uses the derives as markers today; real serialization would require the
+//! registry crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

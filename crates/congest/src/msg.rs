@@ -28,12 +28,18 @@ pub struct Msg {
 impl Msg {
     /// A one-word message.
     pub fn one(w0: u64) -> Self {
-        Msg { words: [w0, 0], len: 1 }
+        Msg {
+            words: [w0, 0],
+            len: 1,
+        }
     }
 
     /// A two-word message.
     pub fn two(w0: u64, w1: u64) -> Self {
-        Msg { words: [w0, w1], len: 2 }
+        Msg {
+            words: [w0, w1],
+            len: 2,
+        }
     }
 
     /// Number of words carried (1..=[`MAX_WORDS`]).

@@ -303,8 +303,7 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
         let start = self.round;
         for _ in 0..max_rounds {
             self.step();
-            let quiet =
-                !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle());
+            let quiet = !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle());
             if quiet {
                 break;
             }
@@ -476,7 +475,10 @@ mod tests {
     fn reverse_port_mapping_is_correct() {
         // Star with center 3 — ports at 3 differ from ports at leaves.
         let mut b = nas_graph::GraphBuilder::new(5);
-        b.add_edge(3, 0).add_edge(3, 1).add_edge(3, 2).add_edge(3, 4);
+        b.add_edge(3, 0)
+            .add_edge(3, 1)
+            .add_edge(3, 2)
+            .add_edge(3, 4);
         let g = b.build();
         let programs: Vec<PortCheck> = (0..5)
             .map(|_| PortCheck {
@@ -487,7 +489,11 @@ mod tests {
         let mut sim = Simulator::new(&g, programs);
         sim.run_rounds(2);
         let p3 = &sim.programs()[3];
-        assert_eq!(p3.heard_neighbor, Some(2), "message must appear to come from vertex 2");
+        assert_eq!(
+            p3.heard_neighbor,
+            Some(2),
+            "message must appear to come from vertex 2"
+        );
     }
 
     #[test]
@@ -501,7 +507,10 @@ mod tests {
     fn run_rounds_exact_count() {
         let g = generators::path(4);
         let programs: Vec<Flood> = (0..4)
-            .map(|_| Flood { is_source: false, dist: None })
+            .map(|_| Flood {
+                is_source: false,
+                dist: None,
+            })
             .collect();
         let mut sim = Simulator::new(&g, programs);
         sim.run_rounds(17);
@@ -559,7 +568,9 @@ mod transcript_tests {
         s2.run_rounds(4);
         // Pulse delivers messages in round 1; Quiet never does.
         assert_eq!(
-            s1.transcript().unwrap().first_divergence(s2.transcript().unwrap()),
+            s1.transcript()
+                .unwrap()
+                .first_divergence(s2.transcript().unwrap()),
             Some(1)
         );
     }

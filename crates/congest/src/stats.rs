@@ -31,7 +31,9 @@ impl RunStats {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.words += other.words;
-        self.busiest_round_messages = self.busiest_round_messages.max(other.busiest_round_messages);
+        self.busiest_round_messages = self
+            .busiest_round_messages
+            .max(other.busiest_round_messages);
     }
 }
 

@@ -44,7 +44,10 @@ pub struct RoundDigest {
 impl RoundDigest {
     /// Fresh digest.
     pub fn new() -> Self {
-        RoundDigest { hash: FNV_OFFSET, delivered: 0 }
+        RoundDigest {
+            hash: FNV_OFFSET,
+            delivered: 0,
+        }
     }
 
     /// Folds one delivery into the digest.

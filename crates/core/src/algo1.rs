@@ -95,7 +95,10 @@ impl PopularityInfo {
             debug_assert_ne!(next, cur);
             path.push(next);
             cur = next;
-            assert!(path.len() <= budget + 1, "parent chain longer than recorded distance");
+            assert!(
+                path.len() <= budget + 1,
+                "parent chain longer than recorded distance"
+            );
         }
         path
     }
@@ -140,7 +143,13 @@ fn accept_round(
         if knowledge.len() >= cap {
             break; // list full; everything further this round is dropped
         }
-        knowledge.insert(c, KnownCenter { dist, parent: sender });
+        knowledge.insert(
+            c,
+            KnownCenter {
+                dist,
+                parent: sender,
+            },
+        );
     }
 }
 
@@ -148,20 +157,15 @@ fn accept_round(
 ///
 /// `is_center[v]` marks `S_i`. Returns knowledge identical to the
 /// distributed protocol's (asserted in tests).
-pub fn algo1_centralized(
-    g: &Graph,
-    is_center: &[bool],
-    deg: usize,
-    delta: u64,
-) -> PopularityInfo {
+pub fn algo1_centralized(g: &Graph, is_center: &[bool], deg: usize, delta: u64) -> PopularityInfo {
     let n = g.num_vertices();
     assert_eq!(is_center.len(), n);
     let mut knowledge: Vec<Knowledge> = vec![Knowledge::new(); n];
 
     // Send phase 0: centers broadcast their own id; arrivals have dist 1.
     let mut cands: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-    for c in 0..n {
-        if is_center[c] {
+    for (c, &is_c) in is_center.iter().enumerate() {
+        if is_c {
             for &u in g.neighbors(c) {
                 cands[u as usize].push((c as u32, c as u32));
             }
@@ -170,7 +174,13 @@ pub fn algo1_centralized(
     for u in 0..n {
         cands[u].sort_unstable();
         let list = std::mem::take(&mut cands[u]);
-        accept_round(u as u32, &mut knowledge[u], capacity(deg, is_center[u]), 1, &list);
+        accept_round(
+            u as u32,
+            &mut knowledge[u],
+            capacity(deg, is_center[u]),
+            1,
+            &list,
+        );
     }
 
     // Send phases 1..δ: forward distance-p knowledge, one center per round.
@@ -188,8 +198,8 @@ pub fn algo1_centralized(
             .collect();
         let max_k = forwards.iter().map(|f| f.len()).max().unwrap_or(0);
         for k in 0..max_k {
-            for v in 0..n {
-                if let Some(&c) = forwards[v].get(k) {
+            for (v, fwd) in forwards.iter().enumerate() {
+                if let Some(&c) = fwd.get(k) {
                     for &u in g.neighbors(v) {
                         cands[u as usize].push((c, v as u32));
                     }
@@ -213,7 +223,12 @@ pub fn algo1_centralized(
     }
 
     let popular = collect_popular(&knowledge, is_center, deg);
-    PopularityInfo { knowledge, popular, deg, delta }
+    PopularityInfo {
+        knowledge,
+        popular,
+        deg,
+        delta,
+    }
 }
 
 fn collect_popular(knowledge: &[Knowledge], is_center: &[bool], deg: usize) -> Vec<usize> {
@@ -370,7 +385,12 @@ pub fn algo1_distributed(
         .collect();
     let popular = collect_popular(&knowledge, is_center, deg);
     (
-        PopularityInfo { knowledge, popular, deg, delta },
+        PopularityInfo {
+            knowledge,
+            popular,
+            deg,
+            delta,
+        },
         stats,
     )
 }

@@ -107,9 +107,8 @@ impl Clustering {
             let d = bfs::distances(&hg, r);
             for (v, &c) in self.center_of.iter().enumerate() {
                 if c == Some(r as u32) {
-                    let dv = d[v].unwrap_or_else(|| {
-                        panic!("vertex {v} cannot reach its center {r} in H")
-                    });
+                    let dv = d[v]
+                        .unwrap_or_else(|| panic!("vertex {v} cannot reach its center {r} in H"));
                     worst = worst.max(dv as u64);
                 }
             }
@@ -144,11 +143,16 @@ impl Clustering {
 /// `settled[v] = (phase, center)` as recorded by the driver.
 pub fn verify_settled_partition(n: usize, settled: &[Option<(usize, u32)>]) -> Result<(), String> {
     if settled.len() != n {
-        return Err(format!("settled table has {} entries, want {n}", settled.len()));
+        return Err(format!(
+            "settled table has {} entries, want {n}",
+            settled.len()
+        ));
     }
     for (v, s) in settled.iter().enumerate() {
         if s.is_none() {
-            return Err(format!("vertex {v} never settled — U^(ℓ) is not a partition"));
+            return Err(format!(
+                "vertex {v} never settled — U^(ℓ) is not a partition"
+            ));
         }
     }
     Ok(())

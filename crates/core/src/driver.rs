@@ -1,20 +1,51 @@
-//! The phase loop: the complete spanner construction of §2.1–§2.3.
+//! The phase loop: the complete spanner construction of §2.1–§2.3, written
+//! **once**, generic over a [`PhaseEngine`].
 //!
-//! Both drivers execute the identical decision sequence; the distributed one
-//! runs every step as a CONGEST protocol on the simulator (with exact round
-//! accounting), the centralized one runs the reference implementations. They
-//! produce bit-identical spanners (asserted by the integration tests) — a
-//! direct demonstration of the paper's headline property: the construction
-//! is *deterministic*.
+//! # The `PhaseEngine` contract
+//!
+//! [`build_with_engine`] is the *only* phase loop in the crate. It owns
+//! every decision the paper's pseudocode makes — which thresholds apply in
+//! phase `i`, when to supercluster versus conclude, which clusters settle,
+//! how the clustering advances — and delegates the five per-phase
+//! operations to the engine it is instantiated with:
+//!
+//! | engine operation                  | paper reference | role in the phase |
+//! |-----------------------------------|-----------------|-------------------|
+//! | [`PhaseEngine::detect_popular`]   | Theorem 2.1 / Appendix A (Algorithm 1) | each center discovers up to `deg_i` centers within `δ_i`; those with `≥ deg_i` near neighbors form `W_i` |
+//! | [`PhaseEngine::ruling_set`]       | Theorem 2.2     | deterministic `(2δ_i+1, 2cδ_i)`-ruling set over `W_i` — the derandomization replacing EN17's sampling |
+//! | [`PhaseEngine::supercluster`]     | Lemma 2.4       | depth-`2cδ_i` BFS forest around the ruling set; spanned centers merge into `P_{i+1}`, tree paths enter `H` |
+//! | [`PhaseEngine::interconnect`]     | Lemma 2.6       | every settled cluster connects to all clusters it knows along exact shortest paths |
+//! | [`PhaseEngine::take_phase_rounds`] / [`PhaseEngine::stats`] | Lemma 2.8 / Corollary 2.9 | per-phase and aggregate cost accounting under the engine's model |
+//!
+//! The loop also enforces, per phase, the invariants the analysis rests on:
+//! every popular center superclusters (Lemma 2.4), and every vertex settles
+//! exactly once across the run (Corollary 2.5, checked via
+//! [`crate::cluster::verify_settled_partition`] in tests).
+//!
+//! # Backends
+//!
+//! * [`build_centralized`] runs the loop over a
+//!   [`CentralizedEngine`](crate::engine::CentralizedEngine) (reference
+//!   implementations, zero cost);
+//! * [`build_distributed`] runs the *same* loop over a
+//!   [`CongestEngine`](crate::engine::CongestEngine) — every operation is a
+//!   real CONGEST protocol on the simulator, with exact round accounting;
+//! * [`crate::local::build_local`] adapts the loop to LOCAL-model cost
+//!   accounting via [`LocalEngine`](crate::local::LocalEngine);
+//! * [`crate::full::run_full_protocol`] is the engine-free cross-check: the
+//!   entire construction as one monolithic CONGEST protocol.
+//!
+//! Centralized and distributed runs produce bit-identical spanners
+//! (asserted at unit, integration and property level) — a direct
+//! demonstration of the paper's headline property: the construction is
+//! *deterministic*.
 
-use crate::algo1::{self, PopularityInfo};
 use crate::cluster::Clustering;
-use crate::interconnect;
+use crate::engine::{CentralizedEngine, CongestEngine, PhaseEngine};
 use crate::params::{ParamError, Params, Schedule};
-use crate::supercluster;
 use nas_congest::RunStats;
 use nas_graph::{EdgeSet, Graph};
-use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams};
+use nas_ruling::RulingParams;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -83,15 +114,10 @@ impl SpannerResult {
     ///
     /// Panics if `v` never settled (would contradict Corollary 2.5).
     pub fn settled_phase(&self, v: usize) -> usize {
-        self.settled[v].expect("every vertex settles (Corollary 2.5)").0
+        self.settled[v]
+            .expect("every vertex settles (Corollary 2.5)")
+            .0
     }
-}
-
-/// Which implementation runs each step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Backend {
-    Centralized,
-    Distributed,
 }
 
 /// Builds the spanner with the centralized reference implementation.
@@ -100,7 +126,7 @@ enum Backend {
 ///
 /// Propagates parameter/schedule validation errors.
 pub fn build_centralized(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
-    build_with(g, params, Backend::Centralized)
+    build_with_engine(g, params, &mut CentralizedEngine)
 }
 
 /// Builds the spanner by running every step as a CONGEST protocol on the
@@ -111,10 +137,23 @@ pub fn build_centralized(g: &Graph, params: Params) -> Result<SpannerResult, Par
 ///
 /// Propagates parameter/schedule validation errors.
 pub fn build_distributed(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
-    build_with(g, params, Backend::Distributed)
+    build_with_engine(g, params, &mut CongestEngine::new())
 }
 
-fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResult, ParamError> {
+/// The phase loop of §2.1–§2.3, generic over the execution backend.
+///
+/// See the module docs for the engine contract. All public entry points
+/// ([`build_centralized`], [`build_distributed`],
+/// [`crate::local::build_local`]) are thin wrappers around this function.
+///
+/// # Errors
+///
+/// Propagates parameter/schedule validation errors.
+pub fn build_with_engine<E: PhaseEngine>(
+    g: &Graph,
+    params: Params,
+    engine: &mut E,
+) -> Result<SpannerResult, ParamError> {
     let n = g.num_vertices();
     let schedule = params.schedule(n)?;
     let ell = schedule.ell;
@@ -122,12 +161,13 @@ fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResu
     let mut h = EdgeSet::new(n);
     let mut clustering = Clustering::singletons(n);
     let mut settled: Vec<Option<(usize, u32)>> = vec![None; n];
-    let mut stats = RunStats::new();
     let mut phases = Vec::with_capacity(ell + 1);
 
     for i in 0..=ell {
         let delta = schedule.delta[i];
-        let deg = usize::try_from(schedule.deg[i]).unwrap_or(usize::MAX).min(n + 1);
+        let deg = usize::try_from(schedule.deg[i])
+            .unwrap_or(usize::MAX)
+            .min(n + 1);
         let centers = clustering.centers().to_vec();
 
         if centers.is_empty() {
@@ -154,46 +194,18 @@ fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResu
         for &c in &centers {
             is_center[c] = true;
         }
-        let mut phase_rounds = 0u64;
 
         // --- Step 1: Algorithm 1 (popular detection + neighborhood maps) ---
-        let info: PopularityInfo = match backend {
-            Backend::Centralized => algo1::algo1_centralized(g, &is_center, deg, delta),
-            Backend::Distributed => {
-                let (info, s) = algo1::algo1_distributed(g, &is_center, deg, delta);
-                phase_rounds += s.rounds;
-                stats.merge(&s);
-                info
-            }
-        };
+        let info = engine.detect_popular(g, &centers, &is_center, deg, delta);
         let w_i = info.popular.clone();
 
         // --- Step 2: superclustering (all phases but the concluding one) ---
         let (u_centers, assignment, rs_len, sc_edges) = if i < ell {
             let q = u32::try_from(2 * delta).expect("2δ fits u32 by MAX_DELTA");
             let rp = RulingParams::new(q.max(1), schedule.ruling_c);
-            let rs = match backend {
-                Backend::Centralized => ruling_set_centralized(g, &w_i, rp),
-                Backend::Distributed => {
-                    let (rs, s) = ruling_set_distributed(g, &w_i, rp);
-                    phase_rounds += s.rounds;
-                    stats.merge(&s);
-                    rs
-                }
-            };
+            let rs = engine.ruling_set(g, &w_i, rp);
             let depth = schedule.sc_depth(i);
-            let sc = match backend {
-                Backend::Centralized => {
-                    supercluster::supercluster_centralized(g, &rs.members, &centers, depth)
-                }
-                Backend::Distributed => {
-                    let (sc, s) =
-                        supercluster::supercluster_distributed(g, &rs.members, &centers, depth);
-                    phase_rounds += s.rounds;
-                    stats.merge(&s);
-                    sc
-                }
-            };
+            let sc = engine.supercluster(g, &rs.members, &centers, depth);
             // Lemma 2.4: every popular center must be superclustered.
             let spanned: HashMap<usize, usize> = sc.assignment.iter().copied().collect();
             for &p in &w_i {
@@ -217,17 +229,7 @@ fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResu
 
         // --- Step 3: interconnection from the settled clusters ---
         let h_before = h.len();
-        let inter = match backend {
-            Backend::Centralized => interconnect::interconnect_centralized(g, &info, &u_centers),
-            Backend::Distributed => {
-                let max_rounds = deg as u64 * delta + delta + 4;
-                let (inter, s) =
-                    interconnect::interconnect_distributed(g, &info, &u_centers, max_rounds);
-                phase_rounds += s.rounds;
-                stats.merge(&s);
-                inter
-            }
-        };
+        let inter = engine.interconnect(g, &info, &u_centers, deg, delta);
         h.union_with(&inter.edges);
         let interconnect_edges = h.len() - h_before;
 
@@ -258,7 +260,7 @@ fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResu
             h_edges_cumulative: h.len(),
             delta,
             deg: schedule.deg[i],
-            rounds: phase_rounds,
+            rounds: engine.take_phase_rounds(),
         });
 
         if let Some(assignment) = assignment {
@@ -269,7 +271,7 @@ fn build_with(g: &Graph, params: Params, backend: Backend) -> Result<SpannerResu
     Ok(SpannerResult {
         spanner: h,
         schedule,
-        stats,
+        stats: engine.stats(),
         phases,
         settled,
     })

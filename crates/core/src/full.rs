@@ -1,9 +1,12 @@
-//! The **entire construction as one CONGEST protocol**.
+//! The **entire construction as one CONGEST protocol** — the engine-free
+//! cross-check of the [`crate::engine::PhaseEngine`] backends.
 //!
-//! [`crate::driver::build_distributed`] runs each step in its own simulator
-//! and stitches results together outside the network — faithful for round
-//! accounting, but the stitching uses global knowledge (e.g. it skips the
-//! ruling set when `W_i` is empty, something no real node could know).
+//! [`crate::driver::build_distributed`] runs the shared phase loop over a
+//! [`crate::engine::CongestEngine`], which executes each step in its own
+//! simulator and stitches results together outside the network — faithful
+//! for round accounting, but the stitching uses global knowledge (e.g. it
+//! skips the ruling set when `W_i` is empty, something no real node could
+//! know).
 //!
 //! This module removes even that: [`run_full_protocol`] runs **one**
 //! simulation in which every stage transition is made *locally* by each
@@ -25,9 +28,9 @@
 //! spanner is asserted (in tests) to be identical to both other backends.
 
 use crate::algo1::{algo1_rounds, Algo1Protocol};
+use crate::interconnect::TraceProtocol;
 use crate::params::{ParamError, Params, Schedule};
 use crate::supercluster::SuperclusterProtocol;
-use crate::interconnect::TraceProtocol;
 use nas_congest::{NodeProgram, RoundCtx, RunStats, Simulator};
 use nas_graph::{EdgeSet, Graph};
 use nas_ruling::{RulingParams, RulingProtocol};
@@ -47,7 +50,9 @@ fn windows(schedule: &Schedule, n: usize) -> Vec<Windows> {
     let mut out = Vec::with_capacity(schedule.ell + 1);
     let mut t = 0u64;
     for i in 0..=schedule.ell {
-        let deg = usize::try_from(schedule.deg[i]).unwrap_or(usize::MAX).min(n + 1);
+        let deg = usize::try_from(schedule.deg[i])
+            .unwrap_or(usize::MAX)
+            .min(n + 1);
         let delta = schedule.delta[i];
         let a1 = t;
         t += algo1_rounds(deg, delta);
@@ -62,7 +67,13 @@ fn windows(schedule: &Schedule, n: usize) -> Vec<Windows> {
         }
         let inter = t;
         t += delta * (deg as u64 + 1) + 2;
-        out.push(Windows { algo1: a1, ruling, sc, inter, end: t });
+        out.push(Windows {
+            algo1: a1,
+            ruling,
+            sc,
+            inter,
+            end: t,
+        });
     }
     out
 }
@@ -129,7 +140,9 @@ impl NodeProgram for FullProtocol {
         };
         let w = self.windows[i];
         let delta = self.schedule.delta[i];
-        let deg = usize::try_from(self.schedule.deg[i]).unwrap_or(usize::MAX).min(n + 1);
+        let deg = usize::try_from(self.schedule.deg[i])
+            .unwrap_or(usize::MAX)
+            .min(n + 1);
         let concluding = i == self.schedule.ell;
 
         // Stage entry actions (local decisions only).
@@ -217,7 +230,11 @@ pub fn run_full_protocol(g: &Graph, params: Params) -> Result<FullProtocolResult
             spanner.insert(a as usize, b as usize);
         }
     }
-    Ok(FullProtocolResult { spanner, stats, schedule })
+    Ok(FullProtocolResult {
+        spanner,
+        stats,
+        schedule,
+    })
 }
 
 #[cfg(test)]
@@ -244,8 +261,16 @@ mod tests {
             let central = build_centralized(&g, params).unwrap();
             let staged = build_distributed(&g, params).unwrap();
             let full = run_full_protocol(&g, params).unwrap();
-            assert_eq!(sorted(&central.spanner), sorted(&full.spanner), "{name} vs centralized");
-            assert_eq!(sorted(&staged.spanner), sorted(&full.spanner), "{name} vs staged");
+            assert_eq!(
+                sorted(&central.spanner),
+                sorted(&full.spanner),
+                "{name} vs centralized"
+            );
+            assert_eq!(
+                sorted(&staged.spanner),
+                sorted(&full.spanner),
+                "{name} vs staged"
+            );
             // The one-simulation run pays the full schedule; the staged run
             // may skip globally-detected empty stages — so staged ≤ full.
             assert!(staged.stats.rounds <= full.stats.rounds, "{name}");

@@ -115,7 +115,10 @@ impl TraceProtocol {
                 hi = mid;
             }
         }
-        assert!(lo < ctx.degree() && ctx.neighbor(lo) as u32 == id, "no port for {id}");
+        assert!(
+            lo < ctx.degree() && ctx.neighbor(lo) as u32 == id,
+            "no port for {id}"
+        );
         lo
     }
 

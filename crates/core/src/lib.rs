@@ -27,9 +27,13 @@
 //!    Algorithm 1's parent pointers.
 //!
 //! Every step exists twice: a centralized reference and a real CONGEST
-//! protocol on the `nas-congest` simulator. Both produce **identical**
-//! spanners — the algorithm is deterministic — and the distributed run
-//! reports true round counts for the time experiments.
+//! protocol on the `nas-congest` simulator. The two implementations are
+//! plugged into a **single** phase loop ([`driver::build_with_engine`])
+//! through the [`engine::PhaseEngine`] trait — [`engine::CentralizedEngine`]
+//! and [`engine::CongestEngine`] (plus [`local::LocalEngine`] for
+//! LOCAL-model cost accounting). Both produce **identical** spanners — the
+//! algorithm is deterministic — and the distributed run reports true round
+//! counts for the time experiments.
 //!
 //! # Example
 //!
@@ -51,13 +55,17 @@
 pub mod algo1;
 pub mod cluster;
 pub mod driver;
+pub mod engine;
 pub mod full;
 pub mod interconnect;
 pub mod local;
 pub mod params;
 pub mod supercluster;
 
-pub use driver::{build_centralized, build_distributed, PhaseStats, SpannerResult};
+pub use driver::{
+    build_centralized, build_distributed, build_with_engine, PhaseStats, SpannerResult,
+};
+pub use engine::{CentralizedEngine, CongestEngine, PhaseEngine};
 pub use full::{run_full_protocol, FullProtocol, FullProtocolResult};
-pub use local::{build_local, LocalRunResult};
+pub use local::{build_local, LocalEngine, LocalRunResult};
 pub use params::{betas, Mode, ParamError, Params, Schedule};

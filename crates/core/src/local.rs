@@ -7,24 +7,131 @@
 //! to plain neighborhood gathering: every vertex learns its entire
 //! `δ_i`-ball in `δ_i` rounds (no `deg_i` bandwidth factor), and trace-backs
 //! complete in `δ_i` rounds. The phase structure, ruling sets,
-//! superclustering and interconnection logic are unchanged.
+//! superclustering and interconnection logic are unchanged — which is why
+//! the whole mode is just another [`PhaseEngine`] plugged into the single
+//! phase loop of [`crate::driver::build_with_engine`]:
 //!
-//! The LOCAL run therefore produces a spanner with the *same* guarantees
-//! (popularity is the same predicate: `|Γ^{δ_i}(r_C) ∩ S_i| ≥ deg_i`), in
-//! `O(ρ⁻¹·δ_i·n^{1/c})` rounds per phase instead of CONGEST's
+//! * [`LocalEngine::detect_popular`] gathers the *uncapped* `δ_i`-ball
+//!   (centralized reference with capacity `n+1`) and applies the popularity
+//!   predicate `|Γ^{δ_i}(r_C) ∩ S_i| ≥ deg_i` to the full knowledge,
+//!   charging `δ_i` rounds;
+//! * the ruling set, superclustering and interconnection run the
+//!   centralized references, charged at their LOCAL costs
+//!   (`c·m·(q+1)` with `m = ⌈n^{1/c}⌉`, `2·depth + 2`, and `δ_i`
+//!   respectively — the ruling set is free when `W_i` is empty, matching
+//!   the distributed implementation's early exit).
+//!
+//! The LOCAL run therefore produces a spanner with the *same* guarantees,
+//! in `O(ρ⁻¹·δ_i·n^{1/c})` rounds per phase instead of CONGEST's
 //! `O(ρ⁻¹·δ_i·n^ρ)`. Rounds are *accounted* (information can only travel
 //! one hop per round, so the accounting is exact for LOCAL) rather than
 //! simulated — simulating unbounded messages would exercise nothing the
 //! centralized reference does not.
 
 use crate::algo1::{algo1_centralized, PopularityInfo};
-use crate::cluster::Clustering;
-use crate::interconnect::interconnect_centralized;
+use crate::driver::build_with_engine;
+use crate::engine::PhaseEngine;
+use crate::interconnect::{interconnect_centralized, Interconnection};
 use crate::params::{ParamError, Params};
-use crate::supercluster::supercluster_centralized;
+use crate::supercluster::{supercluster_centralized, Superclustering};
+use nas_congest::RunStats;
 use nas_graph::{EdgeSet, Graph};
-use nas_ruling::{ruling_set_centralized, RulingParams};
-use std::collections::HashMap;
+use nas_ruling::{ruling_set_centralized, RulingParams, RulingSet};
+
+/// LOCAL-model backend: centralized execution of every primitive, with
+/// exact LOCAL round accounting and the unbounded-bandwidth popularity rule
+/// (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalEngine {
+    rounds: u64,
+    phase_rounds: u64,
+}
+
+impl LocalEngine {
+    /// A fresh engine with zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn charge(&mut self, rounds: u64) {
+        self.phase_rounds += rounds;
+        self.rounds += rounds;
+    }
+}
+
+impl PhaseEngine for LocalEngine {
+    fn detect_popular(
+        &mut self,
+        g: &Graph,
+        centers: &[usize],
+        is_center: &[bool],
+        deg: usize,
+        delta: u64,
+    ) -> PopularityInfo {
+        let n = g.num_vertices();
+        // LOCAL Algorithm 1: full δ-ball gathering — δ_i rounds, no
+        // bandwidth cap.
+        let mut info = algo1_centralized(g, is_center, n + 1, delta);
+        self.charge(delta);
+        // Popularity with the *phase threshold* (knowledge was uncapped).
+        info.popular = centers
+            .iter()
+            .copied()
+            .filter(|&c| info.knowledge[c].len() >= deg)
+            .collect();
+        info.deg = deg;
+        info
+    }
+
+    fn ruling_set(&mut self, g: &Graph, w: &[usize], params: RulingParams) -> RulingSet {
+        // Ruling-set rounds are bandwidth-light already; same cost as
+        // CONGEST. Skipped when W_i is empty — matching the distributed
+        // implementation's early exit, so LOCAL and CONGEST accounting stay
+        // comparable.
+        if !w.is_empty() {
+            let n = g.num_vertices();
+            let m = (n as f64).powf(1.0 / params.c as f64).ceil() as u64;
+            self.charge(params.c as u64 * m * (params.q as u64 + 1));
+        }
+        ruling_set_centralized(g, w, params)
+    }
+
+    fn supercluster(
+        &mut self,
+        g: &Graph,
+        roots: &[usize],
+        centers: &[usize],
+        depth: u64,
+    ) -> Superclustering {
+        self.charge(2 * depth + 2);
+        supercluster_centralized(g, roots, centers, depth)
+    }
+
+    fn interconnect(
+        &mut self,
+        g: &Graph,
+        info: &PopularityInfo,
+        initiators: &[usize],
+        _deg: usize,
+        delta: u64,
+    ) -> Interconnection {
+        // LOCAL interconnection: all traces complete within δ_i rounds
+        // (unbounded bandwidth, paths of length ≤ δ_i).
+        self.charge(delta);
+        interconnect_centralized(g, info, initiators)
+    }
+
+    fn take_phase_rounds(&mut self) -> u64 {
+        std::mem::take(&mut self.phase_rounds)
+    }
+
+    fn stats(&self) -> RunStats {
+        RunStats {
+            rounds: self.rounds,
+            ..RunStats::new()
+        }
+    }
+}
 
 /// Result of a LOCAL-model run: the spanner plus the exact LOCAL round
 /// accounting.
@@ -53,90 +160,19 @@ impl LocalRunResult {
     }
 }
 
-/// Builds the spanner under LOCAL-model semantics (see module docs).
+/// Builds the spanner under LOCAL-model semantics (see module docs) — a
+/// thin adapter over the shared phase loop with a [`LocalEngine`].
 ///
 /// # Errors
 ///
 /// Propagates parameter/schedule validation errors.
 pub fn build_local(g: &Graph, params: Params) -> Result<LocalRunResult, ParamError> {
-    let n = g.num_vertices();
-    let schedule = params.schedule(n)?;
-    let ell = schedule.ell;
-    let mut h = EdgeSet::new(n);
-    let mut clustering = Clustering::singletons(n);
-    let mut rounds = 0u64;
-    let mut phase_rounds = Vec::with_capacity(ell + 1);
-
-    for i in 0..=ell {
-        let delta = schedule.delta[i];
-        let deg = usize::try_from(schedule.deg[i]).unwrap_or(usize::MAX).min(n + 1);
-        let centers = clustering.centers().to_vec();
-        if centers.is_empty() {
-            phase_rounds.push(0);
-            continue;
-        }
-        let mut is_center = vec![false; n];
-        for &c in &centers {
-            is_center[c] = true;
-        }
-        // LOCAL Algorithm 1: full δ-ball gathering — δ_i rounds.
-        let info: PopularityInfo = algo1_centralized(g, &is_center, n + 1, delta);
-        let mut pr = delta;
-        // Popularity with the *phase threshold* (knowledge was uncapped).
-        let popular: Vec<usize> = centers
-            .iter()
-            .copied()
-            .filter(|&c| info.knowledge[c].len() >= deg)
-            .collect();
-
-        let (u_centers, assignment) = if i < ell {
-            let q = u32::try_from(2 * delta).expect("2δ fits u32");
-            let rp = RulingParams::new(q.max(1), schedule.ruling_c);
-            let rs = ruling_set_centralized(g, &popular, rp);
-            // Ruling-set rounds are bandwidth-light already; same cost.
-            // Skipped when W_i is empty — matching the distributed
-            // implementation's early exit, so LOCAL and CONGEST accounting
-            // stay comparable.
-            if !popular.is_empty() {
-                let m = (n as f64).powf(1.0 / schedule.ruling_c as f64).ceil() as u64;
-                pr += schedule.ruling_c as u64 * m * (q as u64 + 1);
-            }
-            let depth = schedule.sc_depth(i);
-            let sc = supercluster_centralized(g, &rs.members, &centers, depth);
-            pr += 2 * depth + 2;
-            h.union_with(&sc.path_edges);
-            let spanned: HashMap<usize, usize> = sc.assignment.iter().copied().collect();
-            for &p in &popular {
-                assert!(spanned.contains_key(&p), "Lemma 2.4 violated in LOCAL run");
-            }
-            let u: Vec<usize> = centers
-                .iter()
-                .copied()
-                .filter(|c| !spanned.contains_key(c))
-                .collect();
-            (u, Some(sc.assignment))
-        } else {
-            (centers.clone(), None)
-        };
-
-        // LOCAL interconnection: all traces complete within δ_i rounds
-        // (unbounded bandwidth, paths of length ≤ δ_i).
-        let inter = interconnect_centralized(g, &info, &u_centers);
-        pr += delta;
-        h.union_with(&inter.edges);
-
-        rounds += pr;
-        phase_rounds.push(pr);
-        if let Some(assignment) = assignment {
-            clustering = clustering.supercluster(&assignment);
-        }
-    }
-
+    let r = build_with_engine(g, params, &mut LocalEngine::new())?;
     Ok(LocalRunResult {
-        spanner: h,
-        rounds,
-        phase_rounds,
-        schedule,
+        phase_rounds: r.phases.iter().map(|p| p.rounds).collect(),
+        rounds: r.stats.rounds,
+        spanner: r.spanner,
+        schedule: r.schedule,
     })
 }
 
@@ -180,8 +216,16 @@ mod tests {
         let params = Params::practical(0.5, 4, 0.45);
         let r = build_local(&g, params).unwrap();
         assert!(r.spanner.verify_subgraph_of(&g).is_ok());
-        let env = r.schedule.beta_nominal().max(4.0 * r.schedule.r_bound[r.schedule.ell] as f64 + 1.0);
-        assert!(stretch_ok(&g, &r.to_graph(), r.schedule.alpha_nominal(), env));
+        let env = r
+            .schedule
+            .beta_nominal()
+            .max(4.0 * r.schedule.r_bound[r.schedule.ell] as f64 + 1.0);
+        assert!(stretch_ok(
+            &g,
+            &r.to_graph(),
+            r.schedule.alpha_nominal(),
+            env
+        ));
     }
 
     #[test]

@@ -107,12 +107,22 @@ pub struct Params {
 impl Params {
     /// Convenience constructor for [`Mode::Practical`] parameters.
     pub fn practical(eps: f64, kappa: u32, rho: f64) -> Self {
-        Params { eps, kappa, rho, mode: Mode::Practical }
+        Params {
+            eps,
+            kappa,
+            rho,
+            mode: Mode::Practical,
+        }
     }
 
     /// Convenience constructor for [`Mode::Paper`] parameters.
     pub fn paper(eps: f64, kappa: u32, rho: f64) -> Self {
-        Params { eps, kappa, rho, mode: Mode::Paper }
+        Params {
+            eps,
+            kappa,
+            rho,
+            mode: Mode::Paper,
+        }
     }
 
     /// Validates the parameters (independent of `n`).
@@ -507,7 +517,10 @@ mod tests {
         // Paper mode: tiny internal ε ⟹ α close to 1.
         let sp = Params::paper(1.0, 4, 0.45).schedule(256).unwrap();
         let (alpha_p, _) = sp.stretch_envelope();
-        assert!(alpha_p < alpha, "paper-mode α {alpha_p} should be smaller than practical {alpha}");
+        assert!(
+            alpha_p < alpha,
+            "paper-mode α {alpha_p} should be smaller than practical {alpha}"
+        );
     }
 
     #[test]

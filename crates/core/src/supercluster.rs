@@ -140,7 +140,10 @@ impl SuperclusterProtocol {
                 hi = mid;
             }
         }
-        assert!(lo < ctx.degree() && ctx.neighbor(lo) as u32 == id, "no port for {id}");
+        assert!(
+            lo < ctx.degree() && ctx.neighbor(lo) as u32 == id,
+            "no port for {id}"
+        );
         lo
     }
 }
@@ -243,7 +246,12 @@ pub fn supercluster_distributed(
         }
     }
     (
-        Superclustering { root, parent, assignment, path_edges },
+        Superclustering {
+            root,
+            parent,
+            assignment,
+            path_edges,
+        },
         stats,
     )
 }
@@ -322,7 +330,10 @@ mod tests {
                 continue;
             }
             let d = bfs::distances(&h, c);
-            assert!(d[r].is_some(), "center {c} cannot reach root {r} in H-paths");
+            assert!(
+                d[r].is_some(),
+                "center {c} cannot reach root {r} in H-paths"
+            );
             assert!(d[r].unwrap() <= 3);
         }
     }

@@ -62,9 +62,9 @@ proptest! {
                 continue;
             }
             let d = bfs::distances(&g, u);
-            for c in 0..n {
+            for (c, &dc) in d.iter().enumerate() {
                 if c == u { continue; }
-                if let Some(dc) = d[c] {
+                if let Some(dc) = dc {
                     if dc as u64 <= delta {
                         let e = info.knowledge[u].get(&(c as u32));
                         prop_assert!(e.is_some(), "unpopular {u} misses center {c}");

@@ -155,7 +155,11 @@ pub fn bfs_forest<I: IntoIterator<Item = usize>>(
 ///
 /// Panics if `source` is out of range.
 pub fn eccentricity(g: &Graph, source: usize) -> u32 {
-    distances(g, source).into_iter().flatten().max().unwrap_or(0)
+    distances(g, source)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with pre-allocated capacity for `m` edges.
@@ -69,7 +72,10 @@ impl GraphBuilder {
     pub fn try_add_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
         for &x in &[u, v] {
             if x >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: x, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: x,
+                    n: self.n,
+                });
             }
         }
         self.edges.push((u as u32, v as u32));
@@ -119,11 +125,7 @@ impl FromIterator<(usize, usize)> for GraphBuilder {
     /// Builds a `GraphBuilder` sized to fit the largest endpoint seen.
     fn from_iter<I: IntoIterator<Item = (usize, usize)>>(iter: I) -> Self {
         let edges: Vec<(usize, usize)> = iter.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
         let mut b = GraphBuilder::new(n);
         b.extend_edges(edges);
         b
@@ -137,7 +139,10 @@ mod tests {
     #[test]
     fn dedup_and_loop_removal() {
         let mut b = GraphBuilder::new(3);
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1).add_edge(2, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(0, 1)
+            .add_edge(2, 2);
         let g = b.build();
         assert_eq!(g.num_edges(), 1);
         assert!(g.has_edge(0, 1));
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     fn adjacency_is_sorted() {
         let mut b = GraphBuilder::new(5);
-        b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+        b.add_edge(2, 4)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .add_edge(2, 1);
         let g = b.build();
         assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
     }

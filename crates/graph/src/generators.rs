@@ -210,7 +210,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     // this succeeds in O(1) attempts for d ≪ n.
     let mut rng = SplitMix64::new(seed);
     'restart: loop {
-        let mut stubs: Vec<u32> = (0..n).flat_map(|v| std::iter::repeat_n(v as u32, d)).collect();
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v as u32, d))
+            .collect();
         let mut seen = std::collections::HashSet::with_capacity(n * d);
         let mut b = GraphBuilder::with_capacity(n, n * d / 2);
         while !stubs.is_empty() {
@@ -521,9 +523,12 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     // Grid hashing for near-linear construction.
     let cell = radius.max(1e-9);
     let cells = (1.0 / cell).ceil() as i64 + 1;
-    let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> = std::collections::HashMap::new();
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::new();
     for (i, &(x, y)) in pts.iter().enumerate() {
-        grid.entry(((x / cell) as i64, (y / cell) as i64)).or_default().push(i);
+        grid.entry(((x / cell) as i64, (y / cell) as i64))
+            .or_default()
+            .push(i);
     }
     let mut b = GraphBuilder::new(n);
     for (i, &(x, y)) in pts.iter().enumerate() {

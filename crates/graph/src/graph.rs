@@ -20,7 +20,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }
@@ -88,7 +91,9 @@ impl Graph {
             for &u in adj {
                 debug_assert_ne!(u as usize, v, "self-loop at {v}");
                 debug_assert!(
-                    self.neighbors(u as usize).binary_search(&(v as u32)).is_ok(),
+                    self.neighbors(u as usize)
+                        .binary_search(&(v as u32))
+                        .is_ok(),
                     "edge ({v},{u}) not symmetric"
                 );
             }
@@ -150,7 +155,10 @@ impl Graph {
 
     /// Maximum degree over all vertices; 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of degrees (= `2m`).

@@ -213,7 +213,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
             }
         }
     }
-    Ok(builder.map(|b| b.build()).unwrap_or_else(|| GraphBuilder::new(0).build()))
+    Ok(builder
+        .map(|b| b.build())
+        .unwrap_or_else(|| GraphBuilder::new(0).build()))
 }
 
 /// Writes a graph in DIMACS format (`p edge n m`, 1-based `e` lines).

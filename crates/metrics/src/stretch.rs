@@ -8,7 +8,7 @@
 //! "near-additive spanners preserve large distances faithfully" message.
 
 use nas_graph::{bfs, Graph};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Aggregated stretch statistics for one distance value `d = d_G(u,v)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,9 +153,9 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
     let acc = Mutex::new((Vec::new(), Vec::new(), 0u64));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut local_buckets: Vec<DistanceBucket> = Vec::new();
                 let mut local_sums: Vec<f64> = Vec::new();
                 let mut local_disc = 0u64;
@@ -175,7 +175,7 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
                         s,
                     );
                 }
-                let mut guard = acc.lock();
+                let mut guard = acc.lock().expect("audit threads must not panic");
                 let (buckets, sums, disc) = &mut *guard;
                 if buckets.len() < local_buckets.len() {
                     buckets.resize(
@@ -202,10 +202,9 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
                 *disc += local_disc;
             });
         }
-    })
-    .expect("audit threads must not panic");
+    });
 
-    let (buckets, sums, disconnected) = acc.into_inner();
+    let (buckets, sums, disconnected) = acc.into_inner().expect("audit threads must not panic");
     finalize(buckets, sums, disconnected, eps)
 }
 

@@ -64,9 +64,9 @@ impl TableBuilder {
         }
         let fmt_row = |cells: &[String]| {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().copied().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                line.push_str(&format!("{cell:<width$}"));
                 if i + 1 < cols {
                     line.push_str("  ");
                 }

@@ -223,7 +223,9 @@ mod tests {
     fn random_graphs_hold_guarantees() {
         for seed in 0..5 {
             let g = generators::connected_gnp(80, 0.05, seed);
-            let w: Vec<usize> = (0..80).filter(|v| !(v + seed as usize).is_multiple_of(4)).collect();
+            let w: Vec<usize> = (0..80)
+                .filter(|v| !(v + seed as usize).is_multiple_of(4))
+                .collect();
             let params = RulingParams::new(2, 3);
             let rs = ruling_set_centralized(&g, &w, params);
             verify(&g, &w, params, &rs);

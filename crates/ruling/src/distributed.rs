@@ -206,7 +206,11 @@ mod tests {
         for (g, _) in &graphs {
             let n = g.num_vertices();
             let w: Vec<usize> = (0..n).filter(|v| v % 3 != 1).collect();
-            for params in [RulingParams::new(1, 2), RulingParams::new(2, 3), RulingParams::new(4, 2)] {
+            for params in [
+                RulingParams::new(1, 2),
+                RulingParams::new(2, 3),
+                RulingParams::new(4, 2),
+            ] {
                 let central = ruling_set_centralized(g, &w, params);
                 let (dist, stats) = ruling_set_distributed(g, &w, params);
                 assert_eq!(central.members, dist.members, "membership differs on n={n}");

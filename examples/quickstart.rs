@@ -32,8 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  phase {}: |P_i| = {:4}  popular = {:4}  ruling set = {:3}  \
              superclustered = {:4}  settled = {:4}  δ = {:3}  deg = {}",
-            p.phase, p.num_clusters, p.popular, p.ruling_set, p.superclustered,
-            p.settled_clusters, p.delta, p.deg
+            p.phase,
+            p.num_clusters,
+            p.popular,
+            p.ruling_set,
+            p.superclustered,
+            p.settled_clusters,
+            p.delta,
+            p.deg
         );
     }
 

@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in [1u64, 2, 3] {
         let en = build_en17_centralized(
             &g,
-            En17Params { eps, kappa, rho, seed },
+            En17Params {
+                eps,
+                kappa,
+                rho,
+                seed,
+            },
         );
         let audit = stretch_audit(&g, &en.to_graph(), eps);
         t.row(vec![

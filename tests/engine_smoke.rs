@@ -1,0 +1,92 @@
+//! Workspace-level smoke test for the `PhaseEngine` seam: the centralized
+//! and distributed backends, driven through the *same* generic phase loop,
+//! must produce bit-identical spanners on the standard small generators.
+//!
+//! This is the cheapest end-to-end witness of the paper's headline claim
+//! (the construction is deterministic, so derandomization costs no
+//! structure) and of the refactor's core invariant: `build_centralized`,
+//! `build_distributed`, and `build_with_engine` with the matching engine
+//! are the same computation.
+
+use nas_core::{
+    build_centralized, build_distributed, build_with_engine, CentralizedEngine, CongestEngine,
+    Params, SpannerResult,
+};
+use nas_graph::{generators, Graph};
+
+fn sorted_edges(r: &SpannerResult) -> Vec<(usize, usize)> {
+    let mut v: Vec<_> = r.spanner.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid2d(6,6)", generators::grid2d(6, 6)),
+        (
+            "connected_gnp(48, 0.1)",
+            generators::connected_gnp(48, 0.1, 42),
+        ),
+        ("path(64)", generators::path(64)),
+    ]
+}
+
+#[test]
+fn centralized_equals_distributed_via_engine_seam() {
+    let params = Params::practical(0.5, 4, 0.45);
+    for (name, g) in workloads() {
+        // Through the public wrappers...
+        let central = build_centralized(&g, params).unwrap();
+        let distributed = build_distributed(&g, params).unwrap();
+        // ...and explicitly through the PhaseEngine seam.
+        let via_central_engine = build_with_engine(&g, params, &mut CentralizedEngine).unwrap();
+        let via_congest_engine = build_with_engine(&g, params, &mut CongestEngine::new()).unwrap();
+
+        let reference = sorted_edges(&central);
+        assert_eq!(
+            reference,
+            sorted_edges(&distributed),
+            "{name}: distributed differs"
+        );
+        assert_eq!(
+            reference,
+            sorted_edges(&via_central_engine),
+            "{name}: explicit CentralizedEngine differs"
+        );
+        assert_eq!(
+            reference,
+            sorted_edges(&via_congest_engine),
+            "{name}: explicit CongestEngine differs"
+        );
+
+        // Settlement records (phase, center per vertex) must agree too —
+        // the engines share the whole decision sequence, not just the
+        // final edge set.
+        assert_eq!(
+            central.settled, distributed.settled,
+            "{name}: settlement differs"
+        );
+
+        // Cost models differ as specified: centralized is free, CONGEST
+        // pays real rounds within the schedule bound.
+        assert_eq!(central.stats.rounds, 0, "{name}");
+        assert!(distributed.stats.rounds > 0, "{name}");
+        assert!(
+            distributed.stats.rounds <= distributed.schedule.total_round_bound(),
+            "{name}: rounds exceed Corollary 2.9 schedule bound"
+        );
+    }
+}
+
+#[test]
+fn spanner_is_subgraph_and_connected_on_all_workloads() {
+    let params = Params::practical(0.5, 4, 0.45);
+    for (name, g) in workloads() {
+        let r = build_centralized(&g, params).unwrap();
+        assert!(r.spanner.verify_subgraph_of(&g).is_ok(), "{name}");
+        assert!(
+            nas_graph::connectivity::is_connected(&r.to_graph()),
+            "{name}: spanner must preserve connectivity"
+        );
+    }
+}

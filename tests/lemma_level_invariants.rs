@@ -21,7 +21,10 @@ fn lemma_2_15_neighboring_cluster_detour() {
     for (name, g) in [
         ("gnp(120, 0.06)", generators::connected_gnp(120, 0.06, 3)),
         ("torus(10,10)", generators::torus2d(10, 10)),
-        ("pref(100,3)", generators::preferential_attachment(100, 3, 5)),
+        (
+            "pref(100,3)",
+            generators::preferential_attachment(100, 3, 5),
+        ),
     ] {
         let r = build(&g);
         let h = r.to_graph();
@@ -41,9 +44,8 @@ fn lemma_2_15_neighboring_cluster_detour() {
                 let d = dist_cache
                     .entry(rc)
                     .or_insert_with(|| bfs::distances(&h, rc as usize));
-                let dw = d[w].unwrap_or_else(|| {
-                    panic!("{name}: vertex {w} cannot reach center {rc} in H")
-                });
+                let dw = d[w]
+                    .unwrap_or_else(|| panic!("{name}: vertex {w} cannot reach center {rc} in H"));
                 assert!(
                     dw as u64 <= 2 * rmax + 1,
                     "{name}: edge ({z},{zp}), settled phases ({pj},{pi}): \
@@ -104,7 +106,10 @@ fn corollary_2_5_every_vertex_settles_once() {
         let comps = nas_graph::connectivity::components(&g);
         for v in 0..n {
             let (_, c) = r.settled[v].expect("vertex must settle");
-            assert!(comps.same(v, c as usize), "settled center in another component");
+            assert!(
+                comps.same(v, c as usize),
+                "settled center in another component"
+            );
         }
     }
 }

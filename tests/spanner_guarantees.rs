@@ -16,10 +16,16 @@ fn corpus() -> Vec<(&'static str, Graph)> {
         ("binary_tree(127)", generators::binary_tree(127)),
         ("gnp(150,0.04)", generators::connected_gnp(150, 0.04, 7)),
         ("gnp(100,0.15)", generators::connected_gnp(100, 0.15, 8)),
-        ("pref_attach(120,3)", generators::preferential_attachment(120, 3, 9)),
+        (
+            "pref_attach(120,3)",
+            generators::preferential_attachment(120, 3, 9),
+        ),
         ("barbell(20,5)", generators::barbell(20, 5)),
         ("caterpillar(30,3)", generators::caterpillar(30, 3)),
-        ("random_regular(90,4)", generators::random_regular(90, 4, 10)),
+        (
+            "random_regular(90,4)",
+            generators::random_regular(90, 4, 10),
+        ),
         ("circulant(80)", generators::circulant(80, &[1, 9, 23])),
     ]
 }
@@ -37,8 +43,7 @@ fn params_grid() -> Vec<Params> {
 fn spanner_is_valid_and_stretch_bounded_across_corpus() {
     for (name, g) in corpus() {
         for params in params_grid() {
-            let r = build_centralized(&g, params)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let r = build_centralized(&g, params).unwrap_or_else(|e| panic!("{name}: {e}"));
             // Subgraph property.
             assert!(
                 r.spanner.verify_subgraph_of(&g).is_ok(),
