@@ -1,0 +1,117 @@
+//! Message-plane scaling bench: million-node CONGEST runs.
+//!
+//! Exercises the arena/active-set simulator on the [`nas_bench::large_scale`]
+//! workload suite (path, grid, G(n,p), preferential attachment) and records
+//! rounds, messages, wall-clock time, per-round throughput, and peak RSS.
+//! Two protocols are measured:
+//!
+//! * **flood** — multi-source BFS flood at the full size `n` (default
+//!   10^6). The four families cover the two extremes the active-set
+//!   scheduler must handle: ~n rounds with an O(1) frontier (path) and
+//!   O(log n) rounds with an Ω(n) frontier (G(n,p)).
+//! * **spanner** — the full distributed Elkin–Matar construction, at
+//!   `n / 10` by default (its round schedule is super-linear in wall time;
+//!   pass `--full-spanner` to run it at the full `n`).
+//!
+//! Usage: `sim_scaling [--n N] [--smoke] [--full-spanner] [--skip-spanner]`
+//!
+//! `--smoke` is the CI configuration: `n = 10^5`, spanner at `10^4`,
+//! asserting the same invariants at a size that finishes in seconds.
+
+use nas_congest::programs::Flood;
+use nas_congest::Simulator;
+use nas_graph::Graph;
+use std::time::Instant;
+
+/// Peak resident set size in MiB, from `/proc/self/status` (Linux).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+fn run_flood(name: &str, g: &Graph) {
+    let n = g.num_vertices();
+    let mut sim = Simulator::new(g, Flood::network(n, &[0]));
+    let t = Instant::now();
+    let outcome = sim.run_until_quiet(4 * n as u64 + 16);
+    let wall = t.elapsed();
+    assert!(outcome.quiescent, "{name}: flood did not go quiet");
+    let s = sim.stats();
+    let reached = sim.programs().iter().filter(|p| p.dist.is_some()).count();
+    println!(
+        "flood    | {name:<28} | n={n:>8} m={:>8} | rounds={:>7} msgs={:>9} busiest={:>8} | reached={reached:>8} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
+        g.num_edges(),
+        s.rounds,
+        s.messages,
+        s.busiest_round_messages,
+        wall,
+        s.messages as f64 / wall.as_secs_f64() / 1e6,
+        peak_rss_mib().unwrap_or(f64::NAN),
+    );
+}
+
+fn run_spanner(name: &str, g: &Graph) {
+    let n = g.num_vertices();
+    let params = nas_core::Params::practical(0.5, 4, 0.45);
+    let t = Instant::now();
+    let r = nas_core::build_distributed(g, params).expect("valid parameters");
+    let wall = t.elapsed();
+    println!(
+        "spanner  | {name:<28} | n={n:>8} m={:>8} | rounds={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
+        g.num_edges(),
+        r.stats.rounds,
+        r.stats.messages,
+        r.stats.busiest_round_messages,
+        r.num_edges(),
+        wall,
+        r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
+        peak_rss_mib().unwrap_or(f64::NAN),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |f: &str| args.iter().any(|a| a == f);
+    let opt = |f: &str| {
+        args.iter()
+            .position(|a| a == f)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<usize>().expect("numeric argument"))
+    };
+
+    let smoke = flag("--smoke");
+    let n = opt("--n").unwrap_or(if smoke { 100_000 } else { 1_000_000 });
+    let spanner_n = if flag("--full-spanner") { n } else { n / 10 };
+    let seed = 42;
+
+    println!("== sim_scaling: flood at n={n}, spanner at n={spanner_n} ==");
+    let t_total = Instant::now();
+
+    for (name, g) in nas_bench::large_scale(n, 8, seed) {
+        run_flood(&name, &g);
+    }
+
+    if flag("--skip-spanner") {
+        println!("spanner  | (skipped)");
+    } else {
+        for (name, g) in nas_bench::large_scale(spanner_n, 8, seed) {
+            // The spanner needs a connected input to be meaningful; the
+            // G(n,p) family at deg≈8 has a small disconnected remainder, so
+            // swap in the connected variant at the same density.
+            let g = if name.starts_with("gnp") {
+                nas_graph::generators::connected_gnp(spanner_n, 8.0 / spanner_n as f64, seed)
+            } else {
+                g
+            };
+            run_spanner(&name, &g);
+        }
+    }
+
+    println!(
+        "== total wall time {:?}, final peak_rss {:.0} MiB ==",
+        t_total.elapsed(),
+        peak_rss_mib().unwrap_or(f64::NAN)
+    );
+}

@@ -17,11 +17,58 @@
 //!   transcripts. The paper's algorithm is deterministic end-to-end, and so is
 //!   the simulation.
 //! * **Accounting.** The simulator counts rounds, messages and words, which is
-//!   exactly what the paper's `O(β · n^ρ · ρ⁻¹)` round bound is about.
+//!   exactly what the paper's `O(β · n^ρ · ρ⁻¹)` round bound is about. All
+//!   per-round quantities (including [`RunStats::busiest_round_messages`])
+//!   are attributed to the round a message is *sent* in.
 //!
 //! Protocols implement [`NodeProgram`]; one program instance runs at every
 //! vertex and sees only local information: its id, its neighbor ids, `n`, and
 //! its inbox. See the `nas-ruling` and `nas-core` crates for real protocols.
+//!
+//! # The arena message plane
+//!
+//! Million-node runs live or die on the per-round constant factor, so the
+//! simulator routes messages through a flat, double-buffered arena instead
+//! of `n` per-node `Vec`s:
+//!
+//! * During a round, every send is appended to one flat **staging buffer**
+//!   `(receiver, Incoming)` in send order, while a per-receiver counter
+//!   array tallies how many messages each receiver will get.
+//! * At the end of the round a **counting pass** over the (sorted) touched
+//!   receivers lays out CSR-style ranges — `inbox_start[v]`, `inbox_len[v]`
+//!   into one flat `Vec<Incoming>` — and a **stable scatter pass** moves
+//!   each staged message into its receiver's range. Stability plus
+//!   sender-ascending visit order keeps every inbox sorted by sender id,
+//!   the delivery order the determinism contract promises.
+//! * The flat delivery buffer and the scatter target **swap roles** every
+//!   round; all scratch vectors are reused, so a steady-state
+//!   [`Simulator::step`] performs **zero heap allocation** (pinned by the
+//!   `zero_alloc` integration test).
+//!
+//! # The active-set scheduler
+//!
+//! A round visits only the nodes that can possibly do anything:
+//!
+//! * nodes whose inbox is non-empty this round, and
+//! * nodes that reported `!is_idle()` after their previous visit,
+//! * plus every node on the very first round (and after
+//!   [`Simulator::programs_mut`], which may change state behind the
+//!   scheduler's back).
+//!
+//! The soundness invariant: **a node's state changes only inside
+//! [`NodeProgram::round`]**, so a node that was idle after its last visit
+//! and has received nothing since is still idle, and skipping its `round`
+//! call is unobservable — provided the program honors the activity contract
+//! documented on [`NodeProgram`]: `is_idle` is a pure function of state, and
+//! any program that acts *spontaneously* (sends based on the round number
+//! alone) reports non-idle until its schedule completes. Purely
+//! message-driven programs need no override. Quiescence detection
+//! ([`Simulator::run_until_quiet`]) reads the same bookkeeping and is
+//! O(active set) instead of O(n) per round.
+//!
+//! The [`reference`] module keeps the naive visit-everyone,
+//! `Vec<Vec<_>>`-based simulator alive for differential testing: both
+//! planes must agree message-for-message on any contract-honoring protocol.
 //!
 //! # Example: distributed BFS flood
 //!
@@ -58,11 +105,14 @@
 #![warn(missing_docs)]
 
 mod msg;
+pub mod programs;
+pub mod reference;
 mod sim;
 mod stats;
 pub mod trace;
 
 pub use msg::{Incoming, Msg, MAX_WORDS};
-pub use sim::{NodeProgram, RoundCtx, Simulator};
+pub use reference::ReferenceSimulator;
+pub use sim::{NodeProgram, QuietOutcome, RoundCtx, Simulator};
 pub use stats::RunStats;
 pub use trace::{RoundRecord, Transcript};

@@ -62,6 +62,13 @@ impl Msg {
         assert!(i < self.len as usize, "word index {i} out of range");
         self.words[i]
     }
+
+    /// All carried words as a slice (no allocation — used by the transcript
+    /// digest on the zero-allocation hot path).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words[..self.len as usize]
+    }
 }
 
 /// A received message together with the local port it arrived on.
@@ -103,5 +110,11 @@ mod tests {
     fn equality() {
         assert_eq!(Msg::two(1, 2), Msg::two(1, 2));
         assert_ne!(Msg::one(1), Msg::two(1, 0));
+    }
+
+    #[test]
+    fn words_slice_matches_len() {
+        assert_eq!(Msg::one(9).words(), &[9]);
+        assert_eq!(Msg::two(3, 4).words(), &[3, 4]);
     }
 }

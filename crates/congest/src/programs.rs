@@ -1,0 +1,98 @@
+//! Small exemplar protocols shipped with the simulator.
+//!
+//! These are real, contract-honoring [`NodeProgram`]s used across the
+//! workspace's tests, benches, and examples (rather than each copy-pasting
+//! its own). They double as worked examples of the activity contract: see
+//! how [`Flood`] gets away with the default `is_idle` by being purely
+//! message-driven after its round-0 burst.
+
+use crate::msg::Msg;
+use crate::sim::{NodeProgram, RoundCtx};
+
+/// Multi-source BFS flood — the canonical message-plane stress test.
+///
+/// Sources broadcast distance 0 in round 0; every node adopts the smallest
+/// distance it hears (+1) and broadcasts it once. On an unweighted graph
+/// the fixed point is exactly multi-source BFS distance.
+///
+/// Activity contract: after round 0 the protocol is purely message-driven —
+/// a node acts only when its inbox is non-empty — so the default
+/// `is_idle() == true` is correct and the active-set scheduler can skip
+/// settled regions (on a path graph the active set is the O(1)-wide
+/// frontier).
+#[derive(Debug, Clone)]
+pub struct Flood {
+    /// Whether this node is a BFS source.
+    pub is_source: bool,
+    /// The adopted distance, once heard (sources adopt 0 in round 0).
+    pub dist: Option<u64>,
+}
+
+impl Flood {
+    /// A node that starts the flood (distance 0).
+    pub fn source() -> Self {
+        Flood {
+            is_source: true,
+            dist: None,
+        }
+    }
+
+    /// A node that only relays.
+    pub fn relay() -> Self {
+        Flood {
+            is_source: false,
+            dist: None,
+        }
+    }
+
+    /// One program per vertex of an `n`-vertex graph, with the given
+    /// source set.
+    pub fn network(n: usize, sources: &[usize]) -> Vec<Flood> {
+        let mut programs = vec![Flood::relay(); n];
+        for &s in sources {
+            programs[s].is_source = true;
+        }
+        programs
+    }
+}
+
+impl NodeProgram for Flood {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        if ctx.round() == 0 && self.is_source {
+            self.dist = Some(0);
+            ctx.send_all(Msg::one(0));
+            return;
+        }
+        if self.dist.is_none() {
+            if let Some(d) = ctx.inbox().iter().map(|m| m.msg.word(0)).min() {
+                self.dist = Some(d + 1);
+                ctx.send_all(Msg::one(d + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use nas_graph::{bfs, generators};
+
+    #[test]
+    fn network_constructor_marks_sources() {
+        let ps = Flood::network(5, &[1, 3]);
+        assert!(!ps[0].is_source && ps[1].is_source && ps[3].is_source);
+    }
+
+    #[test]
+    fn flood_computes_multi_source_bfs() {
+        let g = generators::grid2d(8, 5);
+        let sources = [0usize, 37];
+        let mut sim = Simulator::new(&g, Flood::network(40, &sources));
+        assert!(sim.run_until_quiet(1000).quiescent);
+        let want = bfs::multi_source_distances(&g, sources.iter().copied());
+        for (v, want_d) in want.iter().enumerate() {
+            assert_eq!(sim.programs()[v].dist, want_d.map(|d| d as u64));
+        }
+    }
+}

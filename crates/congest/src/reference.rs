@@ -1,0 +1,166 @@
+//! A deliberately naive reference simulator for differential testing.
+//!
+//! [`ReferenceSimulator`] implements the CONGEST round semantics the way the
+//! production [`Simulator`](crate::Simulator) originally did: per-node
+//! `Vec<Vec<Incoming>>` inboxes reallocated every round, and **every** node
+//! visited every round regardless of activity. It is O(n) per round and
+//! allocation-heavy by design — its only job is to be obviously correct so
+//! the arena/active-set plane can be tested *message-for-message* against it
+//! (see `tests/proptest_message_plane.rs`).
+//!
+//! For programs that honor the [`NodeProgram`] activity contract, a run on
+//! this simulator and a run on the production simulator must produce
+//! identical message sequences, identical transcripts, and identical final
+//! program states.
+
+use crate::msg::{Incoming, Msg};
+use crate::sim::{NodeProgram, RoundCtx};
+use crate::stats::RunStats;
+use crate::trace::{RoundDigest, Transcript};
+use nas_graph::Graph;
+
+/// The naive, always-visit-everyone round driver. Same observable semantics
+/// as [`Simulator`](crate::Simulator), none of the optimizations.
+pub struct ReferenceSimulator<'g, P> {
+    graph: &'g Graph,
+    programs: Vec<P>,
+    inboxes: Vec<Vec<Incoming>>,
+    rev_port: Vec<u32>,
+    arc_offsets: Vec<usize>,
+    round: u64,
+    stats: RunStats,
+    transcript: Option<Transcript>,
+}
+
+impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
+    /// Creates a reference simulator for `graph` with one program per
+    /// vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != graph.num_vertices()`.
+    pub fn new(graph: &'g Graph, programs: Vec<P>) -> Self {
+        let n = graph.num_vertices();
+        assert_eq!(programs.len(), n, "need exactly one program per vertex");
+        let (rev_port, arc_offsets) = crate::sim::build_port_maps(graph);
+        ReferenceSimulator {
+            graph,
+            programs,
+            inboxes: vec![Vec::new(); n],
+            rev_port,
+            arc_offsets,
+            round: 0,
+            stats: RunStats::new(),
+            transcript: None,
+        }
+    }
+
+    /// Enables transcript recording.
+    pub fn enable_transcript(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
+    }
+
+    /// The recorded transcript, if recording was enabled.
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// Read access to all node programs.
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Consumes the simulator, returning the node programs.
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// Accumulated cost accounting.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Whether any message is in flight.
+    pub fn has_pending_messages(&self) -> bool {
+        self.inboxes.iter().any(|i| !i.is_empty())
+    }
+
+    /// Whether the network is quiet (full scan).
+    pub fn is_quiescent(&self) -> bool {
+        !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle())
+    }
+
+    /// Executes exactly one synchronous round, visiting every node.
+    pub fn step(&mut self) {
+        let n = self.graph.num_vertices();
+        let mut digest = self.transcript.is_some().then(RoundDigest::new);
+        let mut next_inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
+        let mut sent_scratch = vec![false; self.graph.max_degree()];
+        let mut outbox: Vec<(u32, Msg)> = Vec::new();
+        let mut sent_this_round = 0u64;
+
+        for v in 0..n {
+            let neighbors = self.graph.neighbors(v);
+            let deg = neighbors.len();
+            let sent = &mut sent_scratch[..deg];
+            sent.fill(false);
+            outbox.clear();
+
+            let inbox = std::mem::take(&mut self.inboxes[v]);
+            if let Some(d) = digest.as_mut() {
+                for inc in &inbox {
+                    d.absorb(v as u64, inc.from_port as u64, inc.msg.words());
+                }
+            }
+
+            let mut ctx = RoundCtx::new(v, n, self.round, neighbors, &inbox, &mut outbox, sent);
+            self.programs[v].round(&mut ctx);
+
+            let arc_base = self.arc_offsets[v];
+            for &(port, msg) in outbox.iter() {
+                let u = neighbors[port as usize] as usize;
+                let from_port = self.rev_port[arc_base + port as usize];
+                next_inboxes[u].push(Incoming { from_port, msg });
+                sent_this_round += 1;
+                self.stats.words += msg.len() as u64;
+            }
+        }
+
+        self.inboxes = next_inboxes;
+        if let (Some(t), Some(d)) = (self.transcript.as_mut(), digest) {
+            t.push(d.finish(self.round));
+        }
+        self.round += 1;
+        self.stats.rounds += 1;
+        self.stats.messages += sent_this_round;
+        self.stats.busiest_round_messages = self.stats.busiest_round_messages.max(sent_this_round);
+    }
+
+    /// Runs `k` rounds unconditionally.
+    pub fn run_rounds(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Runs until quiet or `max_rounds`, returning rounds executed and
+    /// whether quiescence was reached (same contract as
+    /// [`Simulator::run_until_quiet`](crate::Simulator::run_until_quiet)).
+    pub fn run_until_quiet(&mut self, max_rounds: u64) -> crate::sim::QuietOutcome {
+        let start = self.round;
+        let mut quiescent = self.is_quiescent();
+        for _ in 0..max_rounds {
+            self.step();
+            quiescent = self.is_quiescent();
+            if quiescent {
+                break;
+            }
+        }
+        crate::sim::QuietOutcome {
+            rounds: self.round - start,
+            quiescent,
+        }
+    }
+}

@@ -1,4 +1,30 @@
 //! The synchronous round driver.
+//!
+//! # Message plane
+//!
+//! Messages are routed through a flat, double-buffered **arena** instead of
+//! per-node `Vec`s. During a round every send is appended to one staging
+//! buffer; at the end of the round a counting pass over the staged sends
+//! lays out a CSR-style index (`inbox_start[v] .. inbox_start[v] +
+//! inbox_len[v]` into one flat `Vec<Incoming>`) and a stable scatter pass
+//! places each message into its receiver's range. The two flat buffers swap
+//! roles every round, so after warm-up [`Simulator::step`] performs **zero
+//! heap allocation** (pinned by `tests/zero_alloc.rs`).
+//!
+//! # Active-set scheduler
+//!
+//! A round does not walk all `n` nodes. It visits exactly:
+//!
+//! * every node whose inbox is non-empty this round, and
+//! * every node that reported `!is_idle()` after its previous visit
+//!   (plus all nodes on the very first round, and after
+//!   [`Simulator::programs_mut`]).
+//!
+//! This is sound because a node's state can only change inside
+//! [`NodeProgram::round`]: a node that was idle after its last visit and has
+//! received nothing since is still idle, and calling `round` on it would be
+//! a no-op by the [`NodeProgram`] contract. See the crate-level docs for the
+//! full invariant list.
 
 use crate::msg::{Incoming, Msg};
 use crate::stats::RunStats;
@@ -8,17 +34,36 @@ use nas_graph::Graph;
 /// A protocol running at one vertex.
 ///
 /// The simulator calls [`round`](NodeProgram::round) once per synchronous
-/// round on every node. Inside, the node reads its inbox (messages sent to it
-/// in the *previous* round), updates state, and sends at most one message per
-/// incident edge via [`RoundCtx::send`].
+/// round on every **active** node. Inside, the node reads its inbox
+/// (messages sent to it in the *previous* round), updates state, and sends
+/// at most one message per incident edge via [`RoundCtx::send`].
+///
+/// # The activity contract
+///
+/// To let the simulator skip idle regions of a large network, `round` is
+/// only guaranteed to be invoked when at least one of these holds:
+///
+/// * it is the node's first round (simulator creation or
+///   [`Simulator::programs_mut`] re-arm a full wake-up);
+/// * the node's inbox is non-empty;
+/// * the node returned `false` from [`is_idle`](NodeProgram::is_idle) after
+///   its previous `round` invocation.
+///
+/// Consequently a program that wants to act *spontaneously* — send based on
+/// the global round number without having received anything — must report
+/// `is_idle() == false` until its schedule is complete. A program whose
+/// `round` is a no-op on an empty inbox needs no override. `is_idle` must be
+/// a pure function of the program's state (it is consulted at scheduling
+/// points, never mid-round).
 pub trait NodeProgram {
     /// Executes one synchronous round at this node.
     fn round(&mut self, ctx: &mut RoundCtx<'_>);
 
-    /// Whether this node considers the protocol finished. Used only by
-    /// [`Simulator::run_until_quiet`] as an *optional* additional stop
-    /// condition; the default is `true` so that quiescence (no messages in
-    /// flight) alone terminates the run.
+    /// Whether this node considers the protocol finished *and* has no
+    /// spontaneous sends pending. Used by the active-set scheduler (see the
+    /// trait docs) and by [`Simulator::run_until_quiet`] as a stop
+    /// condition; the default is `true`, which is correct for purely
+    /// message-driven programs.
     fn is_idle(&self) -> bool {
         true
     }
@@ -40,7 +85,30 @@ pub struct RoundCtx<'a> {
     sent: &'a mut [bool],
 }
 
-impl RoundCtx<'_> {
+impl<'a> RoundCtx<'a> {
+    /// Crate-internal constructor shared by [`Simulator`] and the
+    /// [`reference`](crate::reference) differential simulator.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        n: usize,
+        round: u64,
+        neighbors: &'a [u32],
+        inbox: &'a [Incoming],
+        outbox: &'a mut Vec<(u32, Msg)>,
+        sent: &'a mut [bool],
+    ) -> Self {
+        RoundCtx {
+            id,
+            n,
+            round,
+            neighbors,
+            inbox,
+            outbox,
+            sent,
+        }
+    }
+
     /// This node's id.
     #[inline]
     pub fn id(&self) -> usize {
@@ -111,15 +179,86 @@ impl RoundCtx<'_> {
     }
 }
 
+/// Precomputes the routing maps both simulators share: the reverse port map
+/// (`rev_port[arc]` is the port of the arc's *source* in the *target*'s
+/// neighbor list, parallel to the CSR arc array) and the per-vertex arc
+/// offsets into it.
+///
+/// # Panics
+///
+/// Panics if the adjacency is not symmetric.
+pub(crate) fn build_port_maps(graph: &Graph) -> (Vec<u32>, Vec<usize>) {
+    let n = graph.num_vertices();
+    let mut rev_port = Vec::with_capacity(graph.degree_sum());
+    for v in 0..n {
+        for &u in graph.neighbors(v) {
+            let p = graph
+                .neighbors(u as usize)
+                .binary_search(&(v as u32))
+                .expect("graph adjacency must be symmetric");
+            rev_port.push(p as u32);
+        }
+    }
+    let mut arc_offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    for v in 0..n {
+        arc_offsets.push(acc);
+        acc += graph.degree(v);
+    }
+    arc_offsets.push(acc);
+    (rev_port, arc_offsets)
+}
+
+/// The result of [`Simulator::run_until_quiet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuietOutcome {
+    /// Rounds executed by this call.
+    pub rounds: u64,
+    /// Whether the run ended because the network went quiet (no messages in
+    /// flight and every program idle). `false` means `max_rounds` was
+    /// exhausted first — previously indistinguishable from quiescence.
+    pub quiescent: bool,
+}
+
 /// The synchronous, deterministic CONGEST round driver.
 ///
 /// Holds one [`NodeProgram`] per vertex and delivers messages with exactly
-/// one round of latency. See the crate-level docs for an example.
+/// one round of latency. See the crate-level docs for an example and for the
+/// arena / active-set design notes.
 pub struct Simulator<'g, P> {
     graph: &'g Graph,
     programs: Vec<P>,
-    /// Inboxes for the upcoming round, indexed by node.
-    inboxes: Vec<Vec<Incoming>>,
+    /// Flat arena of messages to deliver in the *upcoming* round, grouped by
+    /// receiver via `inbox_start`/`inbox_len`.
+    inbox_data: Vec<Incoming>,
+    /// Scratch arena the next round's deliveries are scattered into; swapped
+    /// with `inbox_data` at the end of every step.
+    next_data: Vec<Incoming>,
+    /// `inbox_start[v]`: offset of `v`'s range in `inbox_data`. Only
+    /// meaningful for `v` in `msg_active`.
+    inbox_start: Vec<usize>,
+    /// `inbox_len[v]`: length of `v`'s range. Invariant: zero for every `v`
+    /// not in `msg_active`.
+    inbox_len: Vec<u32>,
+    /// Receivers with a non-empty inbox this upcoming round, ascending.
+    msg_active: Vec<u32>,
+    /// Nodes that reported `!is_idle()` at their last visit, ascending.
+    nonidle: Vec<u32>,
+    /// Scratch: per-receiver staged-message counts; all-zero between steps.
+    count: Vec<u32>,
+    /// Scratch: receivers staged this round (unsorted until the end of the
+    /// round, then swapped into `msg_active`).
+    touched: Vec<u32>,
+    /// Scratch: this round's sends in send order (sender ascending, port
+    /// order within a sender).
+    staged: Vec<(u32, Incoming)>,
+    /// Scratch: next round's non-idle set, collected in visit order.
+    nonidle_next: Vec<u32>,
+    /// Scratch: this round's visit list.
+    visit: Vec<u32>,
+    /// Visit all nodes next step (fresh simulator, or programs mutated from
+    /// outside via [`Simulator::programs_mut`]).
+    wake_all: bool,
     /// Reverse port map, parallel to the CSR arc array: `rev_port[arc]` is
     /// the port of the arc's *source* in the *target*'s neighbor list.
     rev_port: Vec<u32>,
@@ -143,30 +282,23 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
     pub fn new(graph: &'g Graph, programs: Vec<P>) -> Self {
         let n = graph.num_vertices();
         assert_eq!(programs.len(), n, "need exactly one program per vertex");
-        // Precompute reverse ports: for each arc (v -> u) at v's port p,
-        // the port of v in u's adjacency list.
-        let mut rev_port = Vec::with_capacity(graph.degree_sum());
-        for v in 0..n {
-            for &u in graph.neighbors(v) {
-                let p = graph
-                    .neighbors(u as usize)
-                    .binary_search(&(v as u32))
-                    .expect("graph adjacency must be symmetric");
-                rev_port.push(p as u32);
-            }
-        }
-        let mut arc_offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0usize;
-        for v in 0..n {
-            arc_offsets.push(acc);
-            acc += graph.degree(v);
-        }
-        arc_offsets.push(acc);
+        let (rev_port, arc_offsets) = build_port_maps(graph);
         let max_deg = graph.max_degree();
         Simulator {
             graph,
             programs,
-            inboxes: vec![Vec::new(); n],
+            inbox_data: Vec::new(),
+            next_data: Vec::new(),
+            inbox_start: vec![0; n],
+            inbox_len: vec![0; n],
+            msg_active: Vec::new(),
+            nonidle: Vec::new(),
+            count: vec![0; n],
+            touched: Vec::new(),
+            staged: Vec::new(),
+            nonidle_next: Vec::new(),
+            visit: Vec::new(),
+            wake_all: true,
             rev_port,
             arc_offsets,
             round: 0,
@@ -201,7 +333,12 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
     }
 
     /// Mutable access to all node programs (e.g. to seed inputs mid-run).
+    ///
+    /// Mutating a program can make an idle node non-idle behind the
+    /// scheduler's back, so this re-arms a full wake-up: the next
+    /// [`step`](Simulator::step) visits every node.
     pub fn programs_mut(&mut self) -> &mut [P] {
+        self.wake_all = true;
         &mut self.programs
     }
 
@@ -223,70 +360,193 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
     /// Whether any message is currently in flight (to be delivered next
     /// round).
     pub fn has_pending_messages(&self) -> bool {
-        self.inboxes.iter().any(|i| !i.is_empty())
+        !self.inbox_data.is_empty()
+    }
+
+    /// Number of nodes the next [`step`](Simulator::step) will visit.
+    pub fn active_nodes(&self) -> usize {
+        if self.wake_all {
+            return self.graph.num_vertices();
+        }
+        // Count the union of the two sorted lists without materializing it.
+        let (a, b) = (&self.msg_active, &self.nonidle);
+        let (mut i, mut j, mut out) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            out += 1;
+        }
+        out + (a.len() - i) + (b.len() - j)
+    }
+
+    /// Whether the network is quiet: no messages in flight and every program
+    /// idle. O(active set), except after [`Simulator::programs_mut`] (full
+    /// scan, since arbitrary state may have changed).
+    pub fn is_quiescent(&self) -> bool {
+        self.inbox_data.is_empty()
+            && if self.wake_all {
+                self.programs.iter().all(|p| p.is_idle())
+            } else {
+                self.nonidle.is_empty()
+            }
     }
 
     /// Executes exactly one synchronous round.
+    ///
+    /// Performs no heap allocation once all scratch buffers have reached
+    /// their steady-state capacities (pinned by `tests/zero_alloc.rs`).
     pub fn step(&mut self) {
         let n = self.graph.num_vertices();
-        let mut delivered_this_round = 0u64;
         let mut digest = self.transcript.is_some().then(RoundDigest::new);
-        // New inboxes being filled for the *next* round.
-        let mut next_inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
 
-        for v in 0..n {
+        // 1. Build the visit list: everyone on wake-up, otherwise the union
+        //    of message receivers and self-reported non-idle nodes, both
+        //    sorted ascending — receiver-ascending digest order is part of
+        //    the determinism contract.
+        self.visit.clear();
+        if self.wake_all {
+            self.wake_all = false;
+            self.visit.extend(0..n as u32);
+        } else {
+            let (a, b) = (&self.msg_active, &self.nonidle);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        self.visit.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        self.visit.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        self.visit.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            self.visit.extend_from_slice(&a[i..]);
+            self.visit.extend_from_slice(&b[j..]);
+        }
+
+        // 2. Visit: deliver, digest, run the program, stage its sends.
+        for idx in 0..self.visit.len() {
+            let v = self.visit[idx] as usize;
             let neighbors = self.graph.neighbors(v);
             let deg = neighbors.len();
             let sent = &mut self.sent_scratch[..deg];
             sent.fill(false);
             self.outbox_scratch.clear();
 
-            let inbox = std::mem::take(&mut self.inboxes[v]);
-            delivered_this_round += inbox.len() as u64;
+            // `inbox_start[v]` is stale for nodes outside `msg_active`, so
+            // gate on the length (zero for every such node by invariant).
+            let len = self.inbox_len[v] as usize;
+            let inbox: &[Incoming] = if len == 0 {
+                &[]
+            } else {
+                let start = self.inbox_start[v];
+                &self.inbox_data[start..start + len]
+            };
             if let Some(d) = digest.as_mut() {
-                for inc in &inbox {
-                    let words: Vec<u64> = (0..inc.msg.len()).map(|i| inc.msg.word(i)).collect();
-                    d.absorb(v as u64, inc.from_port as u64, &words);
+                for inc in inbox {
+                    d.absorb(v as u64, inc.from_port as u64, inc.msg.words());
                 }
             }
 
-            let mut ctx = RoundCtx {
-                id: v,
+            let mut ctx = RoundCtx::new(
+                v,
                 n,
-                round: self.round,
+                self.round,
                 neighbors,
-                inbox: &inbox,
-                outbox: &mut self.outbox_scratch,
+                inbox,
+                &mut self.outbox_scratch,
                 sent,
-            };
+            );
             self.programs[v].round(&mut ctx);
 
-            // Route outbox into the recipients' next-round inboxes.
-            let arc_base = self.arc_base(v);
+            // Stage the outbox; actual routing happens in the counting +
+            // scatter passes below.
+            let arc_base = self.arc_offsets[v];
             for &(port, msg) in self.outbox_scratch.iter() {
-                let u = neighbors[port as usize] as usize;
+                let u = neighbors[port as usize];
                 let from_port = self.rev_port[arc_base + port as usize];
-                next_inboxes[u].push(Incoming { from_port, msg });
-                self.stats.messages += 1;
+                if self.count[u as usize] == 0 {
+                    self.touched.push(u);
+                }
+                self.count[u as usize] += 1;
+                self.staged.push((u, Incoming { from_port, msg }));
                 self.stats.words += msg.len() as u64;
+            }
+            if !self.programs[v].is_idle() {
+                self.nonidle_next.push(v as u32);
             }
         }
 
-        // Senders were iterated in id order, so each inbox is already sorted
-        // by sender id — the deterministic delivery order we promise.
-        self.inboxes = next_inboxes;
+        // 3. Retire the consumed inboxes (restores the inbox_len-is-zero
+        //    invariant before the scatter pass reuses it as a fill cursor).
+        for &r in &self.msg_active {
+            self.inbox_len[r as usize] = 0;
+        }
+
+        // 4. Counting pass: CSR ranges for next round's receivers. Senders
+        //    were visited in id order, so a stable scatter keeps each inbox
+        //    sorted by sender id — the deterministic delivery order we
+        //    promise.
+        self.touched.sort_unstable();
+        let mut acc = 0usize;
+        for &r in &self.touched {
+            self.inbox_start[r as usize] = acc;
+            acc += self.count[r as usize] as usize;
+        }
+        debug_assert_eq!(acc, self.staged.len());
+
+        // 5. Scatter pass (stable): inbox_len doubles as the fill cursor and
+        //    ends up at its final value.
+        self.next_data.clear();
+        self.next_data.resize(
+            acc,
+            Incoming {
+                from_port: 0,
+                msg: Msg::one(0),
+            },
+        );
+        for &(u, inc) in &self.staged {
+            let u = u as usize;
+            let pos = self.inbox_start[u] + self.inbox_len[u] as usize;
+            self.next_data[pos] = inc;
+            self.inbox_len[u] += 1;
+        }
+        for &r in &self.touched {
+            self.count[r as usize] = 0;
+        }
+
+        // 6. Account and swap the double buffers / schedule sets.
+        let sent_this_round = self.staged.len() as u64;
+        self.stats.messages += sent_this_round;
+        self.staged.clear();
+        std::mem::swap(&mut self.inbox_data, &mut self.next_data);
+        std::mem::swap(&mut self.msg_active, &mut self.touched);
+        self.touched.clear();
+        std::mem::swap(&mut self.nonidle, &mut self.nonidle_next);
+        self.nonidle_next.clear();
+
         if let (Some(t), Some(d)) = (self.transcript.as_mut(), digest) {
             t.push(d.finish(self.round));
         }
         self.round += 1;
         self.stats.rounds += 1;
-        self.stats.busiest_round_messages =
-            self.stats.busiest_round_messages.max(delivered_this_round);
-    }
-
-    #[inline]
-    fn arc_base(&self, v: usize) -> usize {
-        self.arc_offsets[v]
+        // Per-round accounting is send-round attributed, matching
+        // `stats.messages` / `stats.words` (which are charged when a message
+        // is sent, not when it is delivered one round later).
+        self.stats.busiest_round_messages = self.stats.busiest_round_messages.max(sent_this_round);
     }
 
     /// Runs `k` rounds unconditionally.
@@ -296,19 +556,28 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
         }
     }
 
-    /// Runs until no messages are in flight and every program reports idle,
-    /// or until `max_rounds` have been executed. Always executes at least one
-    /// round. Returns the number of rounds executed by this call.
-    pub fn run_until_quiet(&mut self, max_rounds: u64) -> u64 {
+    /// Runs until the network is quiet — no messages in flight and every
+    /// program reports idle — or until `max_rounds` rounds have been
+    /// executed, whichever comes first.
+    ///
+    /// If `max_rounds > 0`, at least one round executes even if the network
+    /// is already quiet (round 0 is where spontaneous initiators act). If
+    /// `max_rounds == 0`, no rounds execute and the returned
+    /// [`QuietOutcome::quiescent`] reports the *current* state.
+    pub fn run_until_quiet(&mut self, max_rounds: u64) -> QuietOutcome {
         let start = self.round;
+        let mut quiescent = self.is_quiescent();
         for _ in 0..max_rounds {
             self.step();
-            let quiet = !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle());
-            if quiet {
+            quiescent = self.is_quiescent();
+            if quiescent {
                 break;
             }
         }
-        self.round - start
+        QuietOutcome {
+            rounds: self.round - start,
+            quiescent,
+        }
     }
 }
 
@@ -316,31 +585,8 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
 mod tests {
     use super::*;
     use crate::msg::Msg;
+    use crate::programs::Flood;
     use nas_graph::{bfs, generators};
-
-    /// Multi-source BFS flood: sources send distance 0 in round 0; everyone
-    /// forwards the first (smallest) distance heard.
-    #[derive(Clone)]
-    struct Flood {
-        is_source: bool,
-        dist: Option<u64>,
-    }
-
-    impl NodeProgram for Flood {
-        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
-            if ctx.round() == 0 && self.is_source {
-                self.dist = Some(0);
-                ctx.send_all(Msg::one(0));
-                return;
-            }
-            if self.dist.is_none() {
-                if let Some(d) = ctx.inbox().iter().map(|m| m.msg.word(0)).min() {
-                    self.dist = Some(d + 1);
-                    ctx.send_all(Msg::one(d + 1));
-                }
-            }
-        }
-    }
 
     fn flood(g: &nas_graph::Graph, sources: &[usize]) -> Vec<Option<u64>> {
         let programs: Vec<Flood> = (0..g.num_vertices())
@@ -385,10 +631,15 @@ mod tests {
             })
             .collect();
         let mut sim = Simulator::new(&g, programs);
-        let rounds = sim.run_until_quiet(1000);
+        let outcome = sim.run_until_quiet(1000);
+        assert!(outcome.quiescent);
         // Distance 19 is set in round 19; its forward messages die in round 20;
         // quiescence detected after round 21 at the latest.
-        assert!((19..=22).contains(&rounds), "rounds = {rounds}");
+        assert!(
+            (19..=22).contains(&outcome.rounds),
+            "rounds = {}",
+            outcome.rounds
+        );
     }
 
     #[test]
@@ -409,6 +660,26 @@ mod tests {
         assert_eq!(s.busiest_round_messages, 9);
     }
 
+    /// Per-round accounting is attributed to the round a message is *sent*
+    /// in, consistent with `stats.messages`/`stats.words`. Under the old
+    /// delivery-round attribution this run would report 0 (node 0's three
+    /// round-0 sends are only delivered in round 1).
+    #[test]
+    fn busiest_round_uses_send_attribution() {
+        let g = generators::complete(4);
+        let programs: Vec<Flood> = (0..4)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        sim.step();
+        let s = sim.stats();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.busiest_round_messages, 3);
+    }
+
     #[test]
     fn determinism_same_transcript() {
         let g = generators::gnp(50, 0.1, 3);
@@ -427,6 +698,45 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_quiet_zero_budget_is_honest() {
+        let g = generators::path(4);
+        let programs: Vec<Flood> = (0..4)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        // Zero budget: no rounds execute; the (never-stepped) network has no
+        // messages in flight and all programs idle, so it reports quiescent.
+        let outcome = sim.run_until_quiet(0);
+        assert_eq!(outcome.rounds, 0);
+        assert_eq!(sim.round(), 0);
+        assert!(outcome.quiescent);
+    }
+
+    #[test]
+    fn run_until_quiet_reports_budget_exhaustion() {
+        let g = generators::path(20);
+        let programs: Vec<Flood> = (0..20)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        // The flood needs ~20 rounds; a budget of 5 must be reported as
+        // exhausted, not as quiescence.
+        let outcome = sim.run_until_quiet(5);
+        assert_eq!(outcome.rounds, 5);
+        assert!(!outcome.quiescent);
+        // Resuming with enough budget finishes the job.
+        let outcome = sim.run_until_quiet(1000);
+        assert!(outcome.quiescent);
+        assert_eq!(sim.programs()[19].dist, Some(19));
     }
 
     /// A deliberately broken protocol that double-sends on port 0.
@@ -517,6 +827,116 @@ mod tests {
         assert_eq!(sim.round(), 17);
         assert_eq!(sim.stats().rounds, 17);
         assert_eq!(sim.stats().messages, 0);
+    }
+
+    #[test]
+    fn active_set_shrinks_to_frontier() {
+        // On a long path, a flood's active set is the O(1)-wide frontier,
+        // not all n nodes.
+        let n = 1000usize;
+        let g = generators::path(n);
+        let programs: Vec<Flood> = (0..n)
+            .map(|v| Flood {
+                is_source: v == 0,
+                dist: None,
+            })
+            .collect();
+        let mut sim = Simulator::new(&g, programs);
+        assert_eq!(sim.active_nodes(), n); // initial wake-up
+        sim.run_rounds(10);
+        // Mid-flood: only the frontier (and its just-informed neighbors)
+        // are scheduled.
+        assert!(
+            sim.active_nodes() <= 4,
+            "active = {} nodes",
+            sim.active_nodes()
+        );
+        let outcome = sim.run_until_quiet(10 * n as u64);
+        assert!(outcome.quiescent);
+        assert_eq!(sim.active_nodes(), 0);
+        assert_eq!(sim.programs()[n - 1].dist, Some((n - 1) as u64));
+    }
+
+    /// A program that acts spontaneously on a round-number schedule and
+    /// declares it via `is_idle` — the activity contract's escape hatch.
+    struct TimedBomb {
+        fire_at: u64,
+        fired: bool,
+        heard: u64,
+    }
+    impl NodeProgram for TimedBomb {
+        fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+            self.heard += ctx.inbox().len() as u64;
+            if !self.fired && ctx.round() == self.fire_at {
+                self.fired = true;
+                ctx.send_all(Msg::one(ctx.round()));
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn non_idle_nodes_are_visited_without_messages() {
+        // Node 0 fires at round 7 with no prompting; the scheduler must keep
+        // visiting it because it reports non-idle.
+        let g = generators::path(3);
+        let programs = vec![
+            TimedBomb {
+                fire_at: 7,
+                fired: false,
+                heard: 0,
+            },
+            TimedBomb {
+                fire_at: u64::MAX,
+                fired: true, // starts idle, purely reactive
+                heard: 0,
+            },
+            TimedBomb {
+                fire_at: u64::MAX,
+                fired: true,
+                heard: 0,
+            },
+        ];
+        let mut sim = Simulator::new(&g, programs);
+        sim.run_rounds(9);
+        assert!(sim.programs()[0].fired);
+        assert_eq!(sim.programs()[1].heard, 1); // delivered in round 8
+        assert_eq!(sim.programs()[2].heard, 0);
+    }
+
+    #[test]
+    fn programs_mut_rearms_full_wakeup() {
+        let g = generators::path(3);
+        let programs = vec![
+            TimedBomb {
+                fire_at: u64::MAX,
+                fired: true,
+                heard: 0,
+            },
+            TimedBomb {
+                fire_at: u64::MAX,
+                fired: true,
+                heard: 0,
+            },
+            TimedBomb {
+                fire_at: u64::MAX,
+                fired: true,
+                heard: 0,
+            },
+        ];
+        let mut sim = Simulator::new(&g, programs);
+        sim.run_rounds(3);
+        assert!(sim.is_quiescent());
+        // Re-seed node 2 from outside: it must be visited again even though
+        // the scheduler believed it idle.
+        sim.programs_mut()[2].fired = false;
+        sim.programs_mut()[2].fire_at = sim.round();
+        assert!(!sim.is_quiescent()); // full-scan fallback sees the change
+        sim.run_rounds(2);
+        assert!(sim.programs()[2].fired);
+        assert_eq!(sim.programs()[1].heard, 1);
     }
 }
 

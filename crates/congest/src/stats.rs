@@ -8,15 +8,20 @@ use serde::{Deserialize, Serialize};
 /// and `words` measure communication volume. Stats from consecutive
 /// sub-protocols are combined with [`RunStats::merge`] (rounds add, because
 /// the paper's algorithm runs its sub-procedures back-to-back).
+///
+/// All per-round quantities are attributed to the round a message is
+/// **sent** in. In particular `busiest_round_messages` and
+/// `messages`/`words` describe the same rounds — a message sent in round
+/// `r` (and delivered in round `r + 1`) counts toward round `r` everywhere.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Synchronous rounds executed.
     pub rounds: u64,
-    /// Total messages delivered.
+    /// Total messages sent.
     pub messages: u64,
-    /// Total words delivered (`messages ≤ words ≤ MAX_WORDS · messages`).
+    /// Total words sent (`messages ≤ words ≤ MAX_WORDS · messages`).
     pub words: u64,
-    /// Largest number of messages delivered in any single round.
+    /// Largest number of messages sent in any single round.
     pub busiest_round_messages: u64,
 }
 

@@ -11,6 +11,13 @@
 //!
 //! The digest is a 64-bit FNV-1a hash folded over `(receiver, from_port,
 //! words)` triples in delivery order, so full message logs need not be kept.
+//!
+//! Note on attribution: a transcript is a *delivery* log — `delivered`
+//! counts the messages a round's inboxes contained, i.e. messages sent one
+//! round earlier. This is intentionally different from
+//! [`RunStats`](crate::RunStats), whose per-round quantities are all
+//! attributed to the *send* round. The two views describe the same stream
+//! with a one-round offset; tests pin both.
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,77 @@
+//! Golden-transcript regression tests for the message plane.
+//!
+//! The digests below were captured from the pre-arena simulator (per-node
+//! `Vec<Vec<Incoming>>` inboxes, every node visited every round). The
+//! rebuilt plane must stay **bit-identical**: same per-round delivery
+//! digests, same round counts under quiescence detection, same message and
+//! word totals. If any of these change, the simulator's observable
+//! semantics changed — that is a bug, not a test to update.
+
+use nas_congest::programs::Flood;
+use nas_congest::Simulator;
+use nas_graph::generators;
+
+fn run_flood(g: &nas_graph::Graph, sources: &[usize]) -> (u64, usize, u64, u64, u64) {
+    let mut sim = Simulator::new(g, Flood::network(g.num_vertices(), sources));
+    sim.enable_transcript();
+    let outcome = sim.run_until_quiet(10_000);
+    assert!(outcome.quiescent, "flood must go quiet");
+    let t = sim.transcript().unwrap();
+    let s = sim.stats();
+    (t.digest(), t.len(), s.rounds, s.messages, s.words)
+}
+
+struct Golden {
+    name: &'static str,
+    graph: nas_graph::Graph,
+    sources: Vec<usize>,
+    digest: u64,
+    rounds: usize,
+    messages: u64,
+}
+
+#[test]
+fn flood_transcripts_match_pre_refactor_goldens() {
+    let cases = vec![
+        Golden {
+            name: "grid2d(9,11)",
+            graph: generators::grid2d(9, 11),
+            sources: vec![0, 57],
+            digest: 0x55dd68f46f6010c8,
+            rounds: 13,
+            messages: 356,
+        },
+        Golden {
+            name: "gnp(120,0.05,11)",
+            graph: generators::gnp(120, 0.05, 11),
+            sources: vec![3, 77, 101],
+            digest: 0x55a6d70894b17809,
+            rounds: 6,
+            messages: 676,
+        },
+        Golden {
+            name: "pref(90,3,2)",
+            graph: generators::preferential_attachment(90, 3, 2),
+            sources: vec![0, 89],
+            digest: 0x7fab1745cde95bc6,
+            rounds: 5,
+            messages: 528,
+        },
+        Golden {
+            name: "cycle(64)",
+            graph: generators::cycle(64),
+            sources: vec![5],
+            digest: 0x0de969bfe18362ea,
+            rounds: 34,
+            messages: 128,
+        },
+    ];
+    for c in cases {
+        let (digest, len, rounds, messages, words) = run_flood(&c.graph, &c.sources);
+        assert_eq!(digest, c.digest, "{}: transcript digest drifted", c.name);
+        assert_eq!(len, c.rounds, "{}: transcript length drifted", c.name);
+        assert_eq!(rounds, c.rounds as u64, "{}: round count drifted", c.name);
+        assert_eq!(messages, c.messages, "{}: message count drifted", c.name);
+        assert_eq!(words, c.messages, "{}: word count drifted", c.name);
+    }
+}

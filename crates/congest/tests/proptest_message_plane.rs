@@ -1,0 +1,184 @@
+//! Differential property test: the arena/active-set plane vs the naive
+//! reference simulator.
+//!
+//! For random graphs and randomly-parameterized programs that honor the
+//! [`NodeProgram`] activity contract, a run on [`Simulator`] and a run on
+//! [`ReferenceSimulator`] must be **message-for-message identical**: every
+//! node logs the `(round, from_port, words)` sequence it received, and the
+//! logs, final states, transcripts, and stats are compared wholesale. The
+//! reference visits all `n` nodes every round and reallocates inboxes per
+//! round — obviously correct, deliberately slow — so any divergence
+//! implicates the arena routing or the active-set scheduling.
+
+use nas_congest::{Msg, NodeProgram, ReferenceSimulator, RoundCtx, Simulator};
+use nas_graph::generators;
+use proptest::prelude::*;
+
+/// SplitMix64 — deterministic per-(seed, inputs) decision stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized protocol node exercising every scheduler path:
+///
+/// * some nodes start broadcasts at round 0 (initial wake-up);
+/// * some nodes carry a countdown timer and fire spontaneously later,
+///   reporting non-idle until they have fired (active-set escape hatch);
+/// * everyone else is purely message-driven: received messages are
+///   re-forwarded over a pseudorandom subset of ports while their TTL
+///   lasts.
+///
+/// Every node logs every delivery it observes; the log is the basis of the
+/// message-for-message comparison.
+#[derive(Clone)]
+struct Scatter {
+    seed: u64,
+    id: u64,
+    starter: bool,
+    countdown: Option<u64>,
+    log: Vec<(u64, u32, u64, u64)>,
+    sent: u64,
+}
+
+impl Scatter {
+    fn new(seed: u64, id: usize, starter: bool, countdown: Option<u64>) -> Self {
+        Scatter {
+            seed,
+            id: id as u64,
+            starter,
+            countdown,
+            log: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut RoundCtx<'_>, ttl: u64) {
+        for port in 0..ctx.degree() {
+            ctx.send(port, Msg::two(mix(self.seed ^ self.id ^ port as u64), ttl));
+            self.sent += 1;
+        }
+    }
+}
+
+impl NodeProgram for Scatter {
+    fn round(&mut self, ctx: &mut RoundCtx<'_>) {
+        // 1. Log and collect this round's arrivals.
+        let mut relay: Vec<(u64, u64)> = Vec::new();
+        for i in 0..ctx.inbox().len() {
+            let inc = ctx.inbox()[i];
+            let (w0, ttl) = (inc.msg.word(0), inc.msg.word(1));
+            self.log.push((ctx.round(), inc.from_port, w0, ttl));
+            if ttl > 0 {
+                relay.push((w0, ttl - 1));
+            }
+        }
+        // 2. Spontaneous actions.
+        if ctx.round() == 0 && self.starter {
+            self.broadcast(ctx, 3);
+            return;
+        }
+        if let Some(c) = self.countdown {
+            if ctx.round() == c {
+                self.countdown = None;
+                self.broadcast(ctx, 2);
+                return;
+            }
+        }
+        // 3. Message-driven relays: at most one message per port.
+        for port in 0..ctx.degree() {
+            if let Some(&(w0, ttl)) = relay
+                .iter()
+                .find(|&&(w0, _)| mix(self.seed ^ w0 ^ ((port as u64) << 17)).is_multiple_of(3))
+            {
+                ctx.send(port, Msg::two(mix(w0 ^ self.id), ttl));
+                self.sent += 1;
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.countdown.is_none()
+    }
+}
+
+fn build_programs(n: usize, seed: u64) -> Vec<Scatter> {
+    (0..n)
+        .map(|v| {
+            let h = mix(seed ^ ((v as u64) << 13));
+            let starter = h.is_multiple_of(5);
+            let countdown = (h % 7 == 1).then_some(1 + (h >> 32) % 9);
+            Scatter::new(seed, v, starter, countdown)
+        })
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn snapshot(programs: &[Scatter]) -> Vec<(Vec<(u64, u32, u64, u64)>, u64, Option<u64>)> {
+    programs
+        .iter()
+        .map(|p| (p.log.clone(), p.sent, p.countdown))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arena_plane_matches_reference_simulator(
+        n in 2usize..56,
+        p in 0.02f64..0.3,
+        graph_seed in 0u64..1_000_000,
+        program_seed in 0u64..1_000_000,
+        rounds in 1u64..24,
+    ) {
+        let g = generators::gnp(n, p, graph_seed);
+
+        let mut fast = Simulator::new(&g, build_programs(n, program_seed));
+        fast.enable_transcript();
+        fast.run_rounds(rounds);
+
+        let mut slow = ReferenceSimulator::new(&g, build_programs(n, program_seed));
+        slow.enable_transcript();
+        slow.run_rounds(rounds);
+
+        // Message-for-message: every node saw the same deliveries in the
+        // same order, did the same sends, and reached the same state.
+        prop_assert_eq!(snapshot(fast.programs()), snapshot(slow.programs()));
+        // Transcript identity (per-round delivery digests, order included).
+        prop_assert_eq!(
+            fast.transcript().unwrap().first_divergence(slow.transcript().unwrap()),
+            None
+        );
+        prop_assert_eq!(
+            fast.transcript().unwrap().digest(),
+            slow.transcript().unwrap().digest()
+        );
+        // Aggregate accounting.
+        prop_assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn quiescence_detection_matches_reference(
+        n in 2usize..40,
+        p in 0.02f64..0.25,
+        graph_seed in 0u64..1_000_000,
+        program_seed in 0u64..1_000_000,
+    ) {
+        let g = generators::gnp(n, p, graph_seed);
+
+        let mut fast = Simulator::new(&g, build_programs(n, program_seed));
+        let fast_outcome = fast.run_until_quiet(500);
+
+        let mut slow = ReferenceSimulator::new(&g, build_programs(n, program_seed));
+        let slow_outcome = slow.run_until_quiet(500);
+
+        // Same stopping round and same quiescence verdict: the active-set
+        // bookkeeping must agree with the reference's full O(n) scan.
+        prop_assert_eq!(fast_outcome, slow_outcome);
+        prop_assert_eq!(fast.stats(), slow.stats());
+        prop_assert_eq!(snapshot(fast.programs()), snapshot(slow.programs()));
+    }
+}

@@ -358,6 +358,14 @@ impl NodeProgram for Algo1Protocol {
             ctx.send_all(Msg::one(c as u64));
         }
     }
+
+    /// Centers act spontaneously at round 0, and any node with knowledge
+    /// forwards entries on the fixed phase schedule — both must keep being
+    /// visited by the active-set scheduler. A non-center with no knowledge
+    /// is purely reactive: its `round` is a no-op on an empty inbox.
+    fn is_idle(&self) -> bool {
+        !self.is_center && self.knowledge.is_empty()
+    }
 }
 
 /// Runs Algorithm 1 on the CONGEST simulator.

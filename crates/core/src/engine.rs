@@ -151,6 +151,14 @@ impl PhaseEngine for CentralizedEngine {
 /// Distributed backend: every operation is a CONGEST protocol on the
 /// `nas-congest` simulator; `stats().rounds` is the measured running time
 /// the paper's Corollary 2.9 bounds.
+///
+/// Every sub-protocol runs on the arena message plane with active-set
+/// scheduling (see the `nas-congest` crate docs), so a phase's wall-clock
+/// cost tracks the work its messages actually do, not `n` per round. The
+/// protocols declare their spontaneity through `NodeProgram::is_idle`
+/// (schedule-driven senders report non-idle until done); the golden-run
+/// regression tests pin that the produced spanners and round/message
+/// accounting are bit-identical to the pre-arena simulator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CongestEngine {
     stats: RunStats,

@@ -195,6 +195,14 @@ impl NodeProgram for FullProtocol {
             self.harvest_phase(true);
         }
     }
+
+    /// Every node derives stage transitions from the global clock (that is
+    /// the whole point of this module), so every node must be visited every
+    /// round: the composite protocol is never idle. The run is bounded by
+    /// `run_rounds(total)`, not by quiescence.
+    fn is_idle(&self) -> bool {
+        false
+    }
 }
 
 /// Result of the single-simulation composite run.

@@ -62,6 +62,8 @@ pub struct TraceProtocol {
     forwarded: BTreeSet<u32>,
     /// Per-port outgoing queues.
     queues: Vec<VecDeque<u32>>,
+    /// Whether the schedule has started (queues initialized at `local == 0`).
+    started: bool,
     /// Edges this node marked (as (self, neighbor)).
     marked: Vec<(u32, u32)>,
     /// Trace initiations performed (for the path count).
@@ -88,6 +90,7 @@ impl TraceProtocol {
             parent_of: knowledge.iter().map(|(&c, e)| (c, e.parent)).collect(),
             forwarded: BTreeSet::new(),
             queues: Vec::new(),
+            started: false,
             marked: Vec::new(),
             initiated: 0,
             start_round,
@@ -143,6 +146,7 @@ impl NodeProgram for TraceProtocol {
             return; // schedule not started yet
         };
         if local == 0 {
+            self.started = true;
             self.queues = vec![VecDeque::new(); ctx.degree()];
             if self.is_initiator {
                 let centers: Vec<u32> = self.parent_of.keys().copied().collect();
@@ -169,8 +173,14 @@ impl NodeProgram for TraceProtocol {
         }
     }
 
+    /// Non-idle until the schedule's first round has run: every node has a
+    /// spontaneous `local == 0` action (queue setup, initiators enqueue), so
+    /// under the activity contract it must keep itself scheduled until then
+    /// — this matters for `new_at(start_round > 0)` on a standalone
+    /// simulator, where nothing else would wake the node at its start round.
+    /// Afterwards, idle exactly when the outgoing queues have drained.
     fn is_idle(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty())
+        self.started && self.queues.iter().all(|q| q.is_empty())
     }
 }
 
@@ -193,9 +203,9 @@ pub fn interconnect_distributed(
         .map(|v| TraceProtocol::new(is_initiator[v], &info.knowledge[v]))
         .collect();
     let mut sim = Simulator::new(g, programs);
-    sim.run_until_quiet(max_rounds);
+    let outcome = sim.run_until_quiet(max_rounds);
     assert!(
-        !sim.has_pending_messages(),
+        outcome.quiescent,
         "interconnection did not finish within {max_rounds} rounds"
     );
     let stats = *sim.stats();

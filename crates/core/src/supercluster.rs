@@ -204,6 +204,21 @@ impl NodeProgram for SuperclusterProtocol {
             // Duplicate confirms from other descendants: already forwarded.
         }
     }
+
+    /// Roots act spontaneously once (launching the claim flood at round 0);
+    /// claimed non-root centers act spontaneously once more (initiating the
+    /// confirm upcast). Everything else — claim relays and confirm
+    /// forwarding — happens in the same visit a message arrives, so those
+    /// nodes are purely reactive.
+    fn is_idle(&self) -> bool {
+        if self.is_root {
+            self.claim.is_some()
+        } else if self.is_center {
+            self.confirmed || self.claim.is_none()
+        } else {
+            true
+        }
+    }
 }
 
 /// Runs the distributed superclustering step and packages the result.

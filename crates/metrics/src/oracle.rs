@@ -17,6 +17,7 @@ pub struct SpannerOracle {
     spanner: Graph,
     cache_source: Option<usize>,
     cache_row: Vec<Option<u32>>,
+    bfs_runs: u64,
 }
 
 impl SpannerOracle {
@@ -26,6 +27,7 @@ impl SpannerOracle {
             spanner,
             cache_source: None,
             cache_row: Vec::new(),
+            bfs_runs: 0,
         }
     }
 
@@ -34,7 +36,16 @@ impl SpannerOracle {
         &self.spanner
     }
 
+    /// Number of BFS traversals executed so far (cache-effectiveness
+    /// observability; pinned by tests).
+    pub fn bfs_runs(&self) -> u64 {
+        self.bfs_runs
+    }
+
     /// The spanner distance `d_H(u, v)`, or `None` if disconnected in `H`.
+    ///
+    /// The graph is undirected, so `d_H(u, v) = d_H(v, u)`: a cached row
+    /// for *either* endpoint answers the query without a fresh BFS.
     ///
     /// # Panics
     ///
@@ -42,11 +53,15 @@ impl SpannerOracle {
     pub fn distance(&mut self, u: usize, v: usize) -> Option<u32> {
         let n = self.spanner.num_vertices();
         assert!(u < n && v < n, "query out of range");
-        if self.cache_source != Some(u) {
-            // A fresh row; prefer caching the endpoint likelier to repeat.
-            self.cache_row = bfs::distances(&self.spanner, u);
-            self.cache_source = Some(u);
+        if self.cache_source == Some(u) {
+            return self.cache_row[v];
         }
+        if self.cache_source == Some(v) {
+            return self.cache_row[u];
+        }
+        self.cache_row = bfs::distances(&self.spanner, u);
+        self.cache_source = Some(u);
+        self.bfs_runs += 1;
         self.cache_row[v]
     }
 
@@ -55,6 +70,7 @@ impl SpannerOracle {
         if self.cache_source != Some(u) {
             self.cache_row = bfs::distances(&self.spanner, u);
             self.cache_source = Some(u);
+            self.bfs_runs += 1;
         }
         &self.cache_row
     }
@@ -124,6 +140,30 @@ mod tests {
         assert_eq!(o.distance(0, 0), Some(0));
         // Cached row reused.
         assert_eq!(o.distance(0, 7), Some(2));
+        assert_eq!(o.bfs_runs(), 1);
+    }
+
+    /// Regression test: a `(u, v)` query right after a cached row for `v`
+    /// must be answered by symmetry from that row, not by discarding it and
+    /// re-running BFS from `u` (which the code did despite the comment
+    /// claiming otherwise).
+    #[test]
+    fn symmetric_query_reuses_cached_row() {
+        let g = generators::grid2d(6, 6);
+        let mut o = SpannerOracle::new(g.clone());
+        let forward = o.distance(0, 35);
+        assert_eq!(o.bfs_runs(), 1);
+        let backward = o.distance(35, 0); // reversed endpoints: same row
+        assert_eq!(forward, backward);
+        assert_eq!(o.bfs_runs(), 1, "symmetric query must not re-BFS");
+        // Mixed batch anchored on one endpoint: still one BFS total.
+        for v in [1, 7, 13, 35] {
+            o.distance(v, 0);
+        }
+        assert_eq!(o.bfs_runs(), 1);
+        // A genuinely new source pair does BFS again.
+        o.distance(14, 21);
+        assert_eq!(o.bfs_runs(), 2);
     }
 
     #[test]

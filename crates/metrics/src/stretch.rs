@@ -208,18 +208,27 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
     finalize(buckets, sums, disconnected, eps)
 }
 
-/// Sampled stretch audit: BFS from `samples` deterministic sources only
-/// (sources are spread via a fixed stride). For graphs too large for the
-/// all-pairs audit.
+/// Sampled stretch audit: BFS from `samples` deterministic sources only,
+/// spread evenly across the whole vertex range. For graphs too large for
+/// the all-pairs audit.
+///
+/// Source `i` is `⌊i · n / samples⌋`: the sources are strictly increasing
+/// and cover `0..n` end to end for every `samples ≤ n`. (An earlier integer
+/// stride — `step_by(n / samples).take(samples)` — degenerated to the
+/// prefix `0..samples` whenever `samples > n / 2`, silently never auditing
+/// the tail of the vertex range; see the `sampled_audit_covers_the_tail`
+/// regression test.)
 pub fn stretch_audit_sampled(g: &Graph, h: &Graph, eps: f64, samples: usize) -> StretchAudit {
     assert_eq!(g.num_vertices(), h.num_vertices());
     let n = g.num_vertices();
+    if n == 0 {
+        return finalize(Vec::new(), Vec::new(), 0, eps);
+    }
     let samples = samples.min(n).max(1);
-    let stride = (n / samples).max(1);
     let mut buckets = Vec::new();
     let mut sums = Vec::new();
     let mut disconnected = 0u64;
-    for s in (0..n).step_by(stride).take(samples) {
+    for s in (0..samples).map(|i| i * n / samples) {
         let dg = bfs::distances(g, s);
         let dh = bfs::distances(h, s);
         // Count all targets (not just > s) since sources are a sample.
@@ -307,6 +316,69 @@ mod tests {
             assert_eq!(b.pairs, (5 - d) as u64);
             assert_eq!(b.max_spanner_dist, d);
             assert_eq!(b.mean_spanner_dist, d as f64);
+        }
+    }
+
+    /// Regression test for the prefix-sampling bug: `g` is a long path with
+    /// a small cycle gadget hanging off its far end, and `h` drops the
+    /// cycle-closing edge. The worst stretch (9× across the removed edge)
+    /// is only witnessed by BFS sources *inside* the gadget. With
+    /// `samples > n / 2` the old stride clamped to 1 and `take(samples)`
+    /// audited only the prefix `0..samples` — exactly the path part — so
+    /// the violation was silently missed (reported max stretch ≈ 1.26).
+    #[test]
+    fn sampled_audit_covers_the_tail() {
+        let n = 40;
+        let mut bg = GraphBuilder::new(n);
+        for v in 1..30 {
+            bg.add_edge(v - 1, v); // path 0..29
+        }
+        for v in 31..40 {
+            bg.add_edge(v - 1, v); // gadget path 30..39
+        }
+        bg.add_edge(29, 30); // attach the gadget
+        let bh = bg.clone();
+        bg.add_edge(39, 30); // close the gadget cycle in g only
+        let (g, h) = (bg.build(), bh.build());
+
+        // 30 samples of 40 vertices: the old scheme audited sources 0..30
+        // and the new scheme includes in-gadget sources (e.g. vertex 30).
+        let audit = stretch_audit_sampled(&g, &h, 0.0, 30);
+        let exact = stretch_audit(&g, &h, 0.0);
+        assert_eq!(exact.max_stretch, 9.0);
+        assert_eq!(
+            audit.max_stretch, exact.max_stretch,
+            "sampled audit must witness the tail-only violation"
+        );
+    }
+
+    #[test]
+    fn sampled_audit_tolerates_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let a = stretch_audit_sampled(&g, &g, 0.5, 10);
+        assert_eq!(a.pairs, 0);
+        assert_eq!(a.disconnected_pairs, 0);
+    }
+
+    #[test]
+    fn sampled_sources_span_the_range_for_any_count() {
+        // The source formula must be strictly increasing and in range for
+        // every samples <= n, including the samples > n/2 regime.
+        for n in [1usize, 2, 7, 40, 100] {
+            for samples in 1..=n {
+                let sources: Vec<usize> = (0..samples).map(|i| i * n / samples).collect();
+                assert!(sources.windows(2).all(|w| w[0] < w[1]), "n={n} s={samples}");
+                assert!(*sources.last().unwrap() < n);
+                assert_eq!(sources[0], 0);
+                // Evenly spread: the largest gap is at most ⌈n/samples⌉.
+                let max_gap = sources
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .max()
+                    .unwrap_or(n)
+                    .max(n - sources.last().unwrap());
+                assert!(max_gap <= n.div_ceil(samples), "n={n} s={samples}");
+            }
         }
     }
 

@@ -29,8 +29,12 @@ pub struct RulingProtocol {
     in_w: bool,
     active: bool,
     killer: Option<u32>,
-    /// Wave origin seen in the current sub-phase (dedup flag).
-    wave_seen: Option<u64>,
+    /// Wave origin seen, tagged with the sub-phase it was seen in (dedup
+    /// flag). Tagging instead of resetting at each sub-phase start lets the
+    /// active-set scheduler skip passive nodes at sub-phase boundaries.
+    wave_seen: Option<(u64, u64)>,
+    /// Set once the full digit schedule has been executed.
+    done: bool,
     /// Global round at which this protocol's schedule starts (for embedding
     /// in composite protocols).
     start_round: u64,
@@ -52,6 +56,7 @@ impl RulingProtocol {
             active: in_w,
             killer: None,
             wave_seen: None,
+            done: false,
             start_round,
         }
     }
@@ -97,26 +102,30 @@ impl NodeProgram for RulingProtocol {
         };
         let (i, b, offset) = self.position(local);
         if i >= self.plan.count() {
+            self.done = true;
             return; // schedule exhausted
         }
+        let subphase = local / (self.q as u64 + 1);
+        let seen_this_subphase = self.wave_seen.is_some_and(|(sp, _)| sp == subphase);
         if offset == 0 {
-            // Sub-phase start: reset dedup, sources launch their wave.
-            self.wave_seen = None;
+            // Sub-phase start: sources launch their wave. (Passive nodes
+            // need not be visited here: their stale `wave_seen` tag can't
+            // match the new sub-phase.)
             if self.active && self.plan.digit(ctx.id() as u64, i) == b {
-                self.wave_seen = Some(ctx.id() as u64);
+                self.wave_seen = Some((subphase, ctx.id() as u64));
                 ctx.send_all(Msg::one(ctx.id() as u64));
             }
             return;
         }
         // offset ∈ [1, q]: wave propagation and kills.
-        if self.wave_seen.is_none() && !ctx.inbox().is_empty() {
+        if !seen_this_subphase && !ctx.inbox().is_empty() {
             let origin = ctx
                 .inbox()
                 .iter()
                 .map(|m| m.msg.word(0))
                 .min()
                 .expect("inbox non-empty");
-            self.wave_seen = Some(origin);
+            self.wave_seen = Some((subphase, origin));
             if self.active && self.plan.digit(ctx.id() as u64, i) > b {
                 self.active = false;
                 self.killer = Some(origin as u32);
@@ -125,6 +134,13 @@ impl NodeProgram for RulingProtocol {
                 ctx.send_all(Msg::one(origin));
             }
         }
+    }
+
+    /// Surviving `W` members launch waves spontaneously at sub-phase starts
+    /// and must stay scheduled until the digit schedule is exhausted; killed
+    /// and non-`W` nodes only ever relay waves they receive.
+    fn is_idle(&self) -> bool {
+        !self.active || self.done
     }
 }
 
