@@ -13,7 +13,16 @@
 //!   `n / 10` by default (its round schedule is super-linear in wall time;
 //!   pass `--full-spanner` to run it at the full `n`).
 //!
-//! Usage: `sim_scaling [--n N] [--smoke] [--full-spanner] [--skip-spanner]`
+//! Usage: `sim_scaling [--n N] [--threads T] [--compare-threads A,B,..]
+//!                     [--smoke] [--full-spanner] [--skip-spanner]`
+//!
+//! `--threads` sets the worker-pool lane count (default: `NAS_THREADS` env,
+//! else available parallelism); `--threads 1` runs the pure sequential path
+//! with no pool attached. `--compare-threads 1,4` runs the flood suite once
+//! per listed lane count — transcripts are bit-identical across counts, so
+//! the runs differ only in wall clock. Every run appends a machine-readable
+//! record to `BENCH_sim.json` (written at exit), the start of the perf
+//! trajectory the harness tracks.
 //!
 //! `--smoke` is the CI configuration: `n = 10^5`, spanner at `10^4`,
 //! asserting the same invariants at a size that finishes in seconds.
@@ -21,6 +30,8 @@
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
 use nas_graph::Graph;
+use nas_par::WorkerPool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Peak resident set size in MiB, from `/proc/self/status` (Linux).
@@ -31,9 +42,73 @@ fn peak_rss_mib() -> Option<f64> {
     Some(kib / 1024.0)
 }
 
-fn run_flood(name: &str, g: &Graph) {
+/// One benchmark data point, serialized into `BENCH_sim.json`.
+struct Record {
+    protocol: &'static str,
+    workload: String,
+    n: usize,
+    m: usize,
+    threads: usize,
+    backend: &'static str,
+    rounds: u64,
+    messages: u64,
+    busiest_round_messages: u64,
+    wall_ms: f64,
+    mmsg_per_s: f64,
+    /// Process-lifetime RSS high-water mark (VmHWM) *at record time* — the
+    /// kernel counter never decreases, so this is an upper bound inherited
+    /// from the largest workload run so far in the process, not a
+    /// per-workload footprint. `None` when /proc/self/status is
+    /// unavailable (non-Linux).
+    peak_rss_process_mib: Option<f64>,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let rss = match self.peak_rss_process_mib {
+            Some(v) if v.is_finite() => format!("{v:.1}"),
+            _ => "null".to_string(),
+        };
+        // The workload names are generator slugs (alphanumerics, '(', ')',
+        // ',', '.', '-') — no JSON escaping needed beyond quoting.
+        format!(
+            "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
+             \"backend\":\"{}\",\"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
+             \"wall_ms\":{:.3},\"mmsg_per_s\":{:.3},\"peak_rss_process_mib\":{rss}}}",
+            self.protocol,
+            self.workload,
+            self.n,
+            self.m,
+            self.threads,
+            self.backend,
+            self.rounds,
+            self.messages,
+            self.busiest_round_messages,
+            self.wall_ms,
+            self.mmsg_per_s,
+        )
+    }
+}
+
+fn write_bench_json(records: &[Record]) {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    match std::fs::write("BENCH_sim.json", &json) {
+        Ok(()) => println!("wrote BENCH_sim.json ({} records)", records.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_sim.json: {e}"),
+    }
+}
+
+fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
     let n = g.num_vertices();
+    let threads = pool.map(|p| p.threads()).unwrap_or(1);
     let mut sim = Simulator::new(g, Flood::network(n, &[0]));
+    if let Some(pool) = pool {
+        sim.set_pool(Arc::clone(pool));
+    }
     let t = Instant::now();
     let outcome = sim.run_until_quiet(4 * n as u64 + 16);
     let wall = t.elapsed();
@@ -41,7 +116,7 @@ fn run_flood(name: &str, g: &Graph) {
     let s = sim.stats();
     let reached = sim.programs().iter().filter(|p| p.dist.is_some()).count();
     println!(
-        "flood    | {name:<28} | n={n:>8} m={:>8} | rounds={:>7} msgs={:>9} busiest={:>8} | reached={reached:>8} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
+        "flood    | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} msgs={:>9} busiest={:>8} | reached={reached:>8} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
         g.num_edges(),
         s.rounds,
         s.messages,
@@ -50,16 +125,34 @@ fn run_flood(name: &str, g: &Graph) {
         s.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_mib().unwrap_or(f64::NAN),
     );
+    Record {
+        protocol: "flood",
+        workload: name.to_string(),
+        n,
+        m: g.num_edges(),
+        threads,
+        backend: if threads > 1 {
+            "congest-arena-par"
+        } else {
+            "congest-arena"
+        },
+        rounds: s.rounds,
+        messages: s.messages,
+        busiest_round_messages: s.busiest_round_messages,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mmsg_per_s: s.messages as f64 / wall.as_secs_f64() / 1e6,
+        peak_rss_process_mib: peak_rss_mib(),
+    }
 }
 
-fn run_spanner(name: &str, g: &Graph) {
+fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
     let n = g.num_vertices();
     let params = nas_core::Params::practical(0.5, 4, 0.45);
     let t = Instant::now();
     let r = nas_core::build_distributed(g, params).expect("valid parameters");
     let wall = t.elapsed();
     println!(
-        "spanner  | {name:<28} | n={n:>8} m={:>8} | rounds={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
+        "spanner  | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
         g.num_edges(),
         r.stats.rounds,
         r.stats.messages,
@@ -69,28 +162,86 @@ fn run_spanner(name: &str, g: &Graph) {
         r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_mib().unwrap_or(f64::NAN),
     );
+    Record {
+        protocol: "spanner",
+        workload: name.to_string(),
+        n,
+        m: g.num_edges(),
+        threads,
+        backend: "congest-engine",
+        rounds: r.stats.rounds,
+        messages: r.stats.messages,
+        busiest_round_messages: r.stats.busiest_round_messages,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mmsg_per_s: r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
+        peak_rss_process_mib: peak_rss_mib(),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |f: &str| args.iter().any(|a| a == f);
-    let opt = |f: &str| {
+    let opt_str = |f: &str| {
         args.iter()
             .position(|a| a == f)
             .and_then(|i| args.get(i + 1))
-            .map(|v| v.parse::<usize>().expect("numeric argument"))
+            .cloned()
     };
+    let opt = |f: &str| opt_str(f).map(|v| v.parse::<usize>().expect("numeric argument"));
 
     let smoke = flag("--smoke");
     let n = opt("--n").unwrap_or(if smoke { 100_000 } else { 1_000_000 });
     let spanner_n = if flag("--full-spanner") { n } else { n / 10 };
+    let threads = opt("--threads").unwrap_or_else(nas_par::default_threads);
+    // The distributed spanner construction runs on the process-wide pool;
+    // size it explicitly before anything touches it.
+    if let Err(frozen) = nas_par::init_global(threads) {
+        eprintln!("warning: global pool already sized to {frozen} lanes; --threads {threads} ignored for the spanner leg");
+    }
+    let flood_thread_counts: Vec<usize> = match opt_str("--compare-threads") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse::<usize>().expect("numeric thread count"))
+            .collect(),
+        None => vec![threads],
+    };
     let seed = 42;
 
-    println!("== sim_scaling: flood at n={n}, spanner at n={spanner_n} ==");
+    println!(
+        "== sim_scaling: flood at n={n} (threads {flood_thread_counts:?}), spanner at n={spanner_n} (threads {threads}) =="
+    );
     let t_total = Instant::now();
+    let mut records: Vec<Record> = Vec::new();
 
-    for (name, g) in nas_bench::large_scale(n, 8, seed) {
-        run_flood(&name, &g);
+    // Generate the graphs once; at n = 10^6 the four generators are the
+    // dominant non-measured cost of a multi-thread-count comparison.
+    let flood_suite = nas_bench::large_scale(n, 8, seed);
+    for &t in &flood_thread_counts {
+        let pool = (t > 1).then(|| Arc::new(WorkerPool::new(t)));
+        for (name, g) in &flood_suite {
+            records.push(run_flood(name, g, pool.as_ref()));
+        }
+    }
+
+    // Report per-workload speedups when more than one lane count ran.
+    if flood_thread_counts.len() > 1 {
+        let base_t = flood_thread_counts[0];
+        for r in records.iter().filter(|r| r.threads != base_t) {
+            if let Some(base) = records
+                .iter()
+                .find(|b| b.threads == base_t && b.workload == r.workload)
+            {
+                println!(
+                    "speedup  | {:<28} | {} threads vs {}: {:.2}x ({:.1} ms -> {:.1} ms)",
+                    r.workload,
+                    r.threads,
+                    base.threads,
+                    base.wall_ms / r.wall_ms,
+                    base.wall_ms,
+                    r.wall_ms
+                );
+            }
+        }
     }
 
     if flag("--skip-spanner") {
@@ -105,10 +256,11 @@ fn main() {
             } else {
                 g
             };
-            run_spanner(&name, &g);
+            records.push(run_spanner(&name, &g, threads));
         }
     }
 
+    write_bench_json(&records);
     println!(
         "== total wall time {:?}, final peak_rss {:.0} MiB ==",
         t_total.elapsed(),

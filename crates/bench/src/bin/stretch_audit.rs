@@ -1,11 +1,31 @@
 //! **E-S3 — stretch audit** (Corollary 2.18, stretch): exact all-pairs
 //! verification of the `(1+ε, β)` guarantee across the workload suite, with
 //! the measured effective β against the paper's worst-case envelope.
+//!
+//! Usage: `stretch_audit [--threads T]`
+//!
+//! `--threads` sizes the shared worker pool the audits fan their BFS runs
+//! out on (default: `NAS_THREADS` env, else available parallelism). The
+//! audit result is identical at every thread count.
 
 use nas_bench::{default_params, run_ours, workloads};
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("numeric --threads argument"))
+        .unwrap_or_else(nas_par::default_threads);
+    // The audits run on the process-wide pool; size it explicitly before
+    // first use.
+    if let Err(frozen) = nas_par::init_global(threads) {
+        eprintln!("warning: global pool already sized to {frozen} lanes; --threads ignored");
+    }
+    println!("stretch audits on {threads} worker-pool lane(s)");
+
     let params = default_params();
     let mut t = TableBuilder::new(vec![
         "workload",

@@ -70,6 +70,46 @@
 //! `Vec<Vec<_>>`-based simulator alive for differential testing: both
 //! planes must agree message-for-message on any contract-honoring protocol.
 //!
+//! # Determinism under parallelism
+//!
+//! Attaching a worker pool ([`Simulator::set_pool`], built on `nas-par`)
+//! shards each round across threads while keeping transcripts **bit-
+//! identical** to the sequential path at every thread count. The argument
+//! rests entirely on *contiguity*:
+//!
+//! * **Sender side.** The sorted visit list is split into contiguous
+//!   shards, one per lane; lane `w` runs its shard's programs in visit
+//!   order against the (read-only) previous-round inbox plane and stages
+//!   sends into its own arenas. Because the shards partition an ascending
+//!   id list, "lane order, then within-lane order" *is* the global
+//!   sender-ascending order — concatenating the lanes' staged streams
+//!   reproduces the sequential staging stream exactly, no sorting needed.
+//! * **Receiver side.** Staged sends are bucketed by contiguous
+//!   *receiver ranges* (range `j` owns node ids `[j·c, (j+1)·c)`). The
+//!   counting pass runs one lane per range (each lane walks every sender
+//!   lane's bucket for its range, in lane order), and the per-range sorted
+//!   `touched` lists concatenate — again by contiguity — into the globally
+//!   sorted receiver list, so the CSR layout (`inbox_start`) matches the
+//!   sequential counting pass value-for-value. The scatter then runs one
+//!   lane per range into *disjoint* spans of the delivery buffer, walking
+//!   sender lanes in lane order, which fills every inbox sender-ascending:
+//!   the exact delivery order the determinism contract promises.
+//! * **Digest.** The per-round delivery digest folds
+//!   `(receiver, port, words)` receiver-ascending; it is a pure function of
+//!   the *previous* round's scatter, so the parallel path computes it from
+//!   the inbox plane before sharding — byte-identical by construction.
+//!
+//! Program execution itself is unordered across lanes, which is sound for
+//! the same reason the active-set scheduler is: a [`NodeProgram`] can only
+//! read its own state and its inbox, never a neighbor's state, so rounds
+//! have no intra-round data flow. The per-lane arenas are allocated at
+//! [`Simulator::set_pool`] and reused, keeping the steady-state round
+//! zero-allocation with the pool active (also pinned by `zero_alloc`).
+//! `tests/par_differential.rs` checks all of this message-for-message
+//! against both the sequential path and the reference simulator at thread
+//! counts 1/2/3/8, and the golden transcripts are asserted verbatim at
+//! every thread count.
+//!
 //! # Example: distributed BFS flood
 //!
 //! ```

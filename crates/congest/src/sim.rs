@@ -30,6 +30,8 @@ use crate::msg::{Incoming, Msg};
 use crate::stats::RunStats;
 use crate::trace::{RoundDigest, Transcript};
 use nas_graph::Graph;
+use nas_par::WorkerPool;
+use std::sync::Arc;
 
 /// A protocol running at one vertex.
 ///
@@ -55,6 +57,12 @@ use nas_graph::Graph;
 /// `round` is a no-op on an empty inbox needs no override. `is_idle` must be
 /// a pure function of the program's state (it is consulted at scheduling
 /// points, never mid-round).
+///
+/// The same locality that makes idle-skipping sound also makes *parallel*
+/// execution sound: `round` sees only this node's state and inbox, so the
+/// simulator may run different nodes' rounds on different threads
+/// ([`Simulator::set_pool`]) with bit-identical transcripts — see the
+/// crate-level "Determinism under parallelism" notes.
 pub trait NodeProgram {
     /// Executes one synchronous round at this node.
     fn round(&mut self, ctx: &mut RoundCtx<'_>);
@@ -209,6 +217,54 @@ pub(crate) fn build_port_maps(graph: &Graph) -> (Vec<u32>, Vec<usize>) {
     (rev_port, arc_offsets)
 }
 
+/// Per-lane staging arena for the parallel visit phase. Allocated once when
+/// a pool is attached ([`Simulator::set_pool`]); reused every round, so the
+/// steady state stays allocation-free.
+struct WorkerArena {
+    /// One staging bucket per receiver range: `(receiver, incoming)` in send
+    /// order. `buckets[j]` holds this lane's sends whose receiver falls in
+    /// receiver range `j`.
+    buckets: Vec<Vec<(u32, Incoming)>>,
+    /// Per-node outbox scratch (cleared per visited node).
+    outbox: Vec<(u32, Msg)>,
+    /// Per-port "sent" flags scratch, sized to the graph's max degree.
+    sent: Vec<bool>,
+    /// Non-idle nodes discovered by this lane, in visit (= id) order.
+    nonidle: Vec<u32>,
+    /// Words sent by this lane this round.
+    words: u64,
+    /// Messages staged by this lane this round.
+    staged: u64,
+}
+
+/// Per-receiver-range merge scratch for the parallel counting/scatter
+/// phases.
+struct RangeArena {
+    /// Receivers in this range staged this round, sorted ascending after the
+    /// counting phase.
+    touched: Vec<u32>,
+}
+
+/// State for the sharded parallel round path (see the crate-level
+/// "Determinism under parallelism" notes).
+struct ParPlane {
+    pool: Arc<WorkerPool>,
+    workers: Vec<WorkerArena>,
+    ranges: Vec<RangeArena>,
+    /// Receiver-range width: receiver `u` belongs to range `u / chunk`.
+    chunk: usize,
+    /// Static node-id boundaries of the receiver ranges (`threads + 1`).
+    ncuts: Vec<usize>,
+    /// Unit cuts `[0, 1, .., threads]` for one-slot-per-lane splits.
+    ucuts: Vec<usize>,
+    /// Per-round visit-list shard boundaries.
+    vcuts: Vec<usize>,
+    /// Per-round program-slice boundaries aligned to the visit shards.
+    pcuts: Vec<usize>,
+    /// Per-round scatter-buffer boundaries aligned to the receiver ranges.
+    dcuts: Vec<usize>,
+}
+
 /// The result of [`Simulator::run_until_quiet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QuietOutcome {
@@ -225,6 +281,12 @@ pub struct QuietOutcome {
 /// Holds one [`NodeProgram`] per vertex and delivers messages with exactly
 /// one round of latency. See the crate-level docs for an example and for the
 /// arena / active-set design notes.
+///
+/// Programs must be `Send`: any round may be executed on a worker-pool lane
+/// ([`Simulator::set_pool`]), so program state moves between threads. Every
+/// protocol in this workspace is plain data and satisfies this
+/// automatically; a non-`Send` program (e.g. one holding an `Rc`) would
+/// also be unusable on the parallel path by construction.
 pub struct Simulator<'g, P> {
     graph: &'g Graph,
     programs: Vec<P>,
@@ -271,9 +333,21 @@ pub struct Simulator<'g, P> {
     outbox_scratch: Vec<(u32, Msg)>,
     /// Optional round-by-round transcript (see [`crate::trace`]).
     transcript: Option<Transcript>,
+    /// Optional sharded parallel round path (see [`Simulator::set_pool`]).
+    par: Option<ParPlane>,
+    /// Minimum visit-list length for a round to take the parallel path (see
+    /// [`Simulator::set_par_threshold`]).
+    par_threshold: usize,
 }
 
-impl<'g, P: NodeProgram> Simulator<'g, P> {
+/// Default [`Simulator::set_par_threshold`] value: rounds visiting fewer
+/// nodes than this run sequentially even with a pool attached, because the
+/// cross-thread dispatch latency (a few microseconds per round) dwarfs the
+/// work in a near-empty round — e.g. a flood on a path graph has an O(1)
+/// frontier for ~n rounds. Output is bit-identical either way.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1024;
+
+impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// Creates a simulator for `graph` with one program per vertex.
     ///
     /// # Panics
@@ -306,7 +380,72 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
             sent_scratch: vec![false; max_deg],
             outbox_scratch: Vec::new(),
             transcript: None,
+            par: None,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
         }
+    }
+
+    /// Attaches a worker pool: from now on every [`step`](Simulator::step)
+    /// runs the sharded parallel round path on `pool`'s lanes. Transcripts,
+    /// stats, and program states are **bit-identical** to the sequential
+    /// path at every thread count — see the crate-level "Determinism under
+    /// parallelism" notes for the argument.
+    ///
+    /// All per-lane arenas are allocated here (and grown during warm-up
+    /// rounds); the steady-state round stays zero-allocation, pool or not
+    /// (pinned by `tests/zero_alloc.rs`).
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        let n = self.graph.num_vertices();
+        let t = pool.threads();
+        let max_deg = self.sent_scratch.len();
+        let chunk = n.div_ceil(t).max(1);
+        let ncuts: Vec<usize> = (0..=t).map(|j| (j * chunk).min(n)).collect();
+        let workers = (0..t)
+            .map(|_| WorkerArena {
+                buckets: (0..t).map(|_| Vec::new()).collect(),
+                outbox: Vec::new(),
+                sent: vec![false; max_deg],
+                nonidle: Vec::new(),
+                words: 0,
+                staged: 0,
+            })
+            .collect();
+        let ranges = (0..t)
+            .map(|_| RangeArena {
+                touched: Vec::new(),
+            })
+            .collect();
+        self.par = Some(ParPlane {
+            pool,
+            workers,
+            ranges,
+            chunk,
+            ncuts,
+            ucuts: (0..=t).collect(),
+            vcuts: Vec::with_capacity(t + 1),
+            pcuts: Vec::with_capacity(t + 1),
+            dcuts: Vec::with_capacity(t + 1),
+        });
+    }
+
+    /// Detaches the worker pool; subsequent steps run sequentially.
+    pub fn clear_pool(&mut self) {
+        self.par = None;
+    }
+
+    /// Sets the minimum visit-list length for a round to take the parallel
+    /// path (default [`DEFAULT_PAR_THRESHOLD`]). Rounds below it run
+    /// sequentially — dispatching a handful of nodes to the pool costs more
+    /// than visiting them. `0` forces every round onto the pool (the
+    /// differential tests do this to exercise shard-boundary edge cases).
+    /// Both paths are bit-identical, so this only ever affects wall clock.
+    pub fn set_par_threshold(&mut self, threshold: usize) {
+        self.par_threshold = threshold;
+    }
+
+    /// The attached worker pool, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.par.as_ref().map(|p| &p.pool)
     }
 
     /// Enables transcript recording (see [`crate::trace`]). Call before the
@@ -401,14 +540,24 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
     ///
     /// Performs no heap allocation once all scratch buffers have reached
     /// their steady-state capacities (pinned by `tests/zero_alloc.rs`).
+    /// With a pool attached ([`Simulator::set_pool`]) and enough nodes to
+    /// visit ([`Simulator::set_par_threshold`]), the round runs the sharded
+    /// parallel path with identical observable behavior.
     pub fn step(&mut self) {
-        let n = self.graph.num_vertices();
-        let mut digest = self.transcript.is_some().then(RoundDigest::new);
+        self.build_visit();
+        if self.par.is_some() && self.visit.len() >= self.par_threshold {
+            self.step_par();
+        } else {
+            self.step_seq();
+        }
+    }
 
-        // 1. Build the visit list: everyone on wake-up, otherwise the union
-        //    of message receivers and self-reported non-idle nodes, both
-        //    sorted ascending — receiver-ascending digest order is part of
-        //    the determinism contract.
+    /// Builds this round's visit list: everyone on wake-up, otherwise the
+    /// union of message receivers and self-reported non-idle nodes, both
+    /// sorted ascending — receiver-ascending digest order is part of the
+    /// determinism contract.
+    fn build_visit(&mut self) {
+        let n = self.graph.num_vertices();
         self.visit.clear();
         if self.wake_all {
             self.wake_all = false;
@@ -436,6 +585,12 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
             self.visit.extend_from_slice(&a[i..]);
             self.visit.extend_from_slice(&b[j..]);
         }
+    }
+
+    /// The sequential round path (visit list already built by `step`).
+    fn step_seq(&mut self) {
+        let n = self.graph.num_vertices();
+        let mut digest = self.transcript.is_some().then(RoundDigest::new);
 
         // 2. Visit: deliver, digest, run the program, stage its sends.
         for idx in 0..self.visit.len() {
@@ -547,6 +702,286 @@ impl<'g, P: NodeProgram> Simulator<'g, P> {
         // `stats.messages` / `stats.words` (which are charged when a message
         // is sent, not when it is delivered one round later).
         self.stats.busiest_round_messages = self.stats.busiest_round_messages.max(sent_this_round);
+    }
+
+    /// The sharded parallel round path. Bit-identical to
+    /// [`step_seq`](Simulator::step_seq) at every thread count — see the
+    /// crate-level "Determinism under parallelism" notes for why contiguous
+    /// shards preserve the sender-ascending delivery order and the
+    /// receiver-ascending digest order.
+    fn step_par(&mut self) {
+        let n = self.graph.num_vertices();
+
+        // Phase 0 (sequential): the delivery digest (the visit list was
+        // built by `step`). The digest folds `(receiver, port, words)` in
+        // receiver-ascending, sender-ascending order — a pure function of
+        // the *previous* round's scatter, so it does not depend on this
+        // round's sharding at all. Only materialized when transcripts are
+        // enabled.
+        let mut digest = self.transcript.is_some().then(RoundDigest::new);
+        if let Some(d) = digest.as_mut() {
+            for &v in &self.visit {
+                let v = v as usize;
+                let len = self.inbox_len[v] as usize;
+                if len != 0 {
+                    let start = self.inbox_start[v];
+                    for inc in &self.inbox_data[start..start + len] {
+                        d.absorb(v as u64, inc.from_port as u64, inc.msg.words());
+                    }
+                }
+            }
+        }
+
+        // Split-borrow the simulator so the phases below can hand disjoint
+        // &mut pieces to the pool while sharing the read-only plane.
+        let Simulator {
+            graph,
+            programs,
+            inbox_data,
+            next_data,
+            inbox_start,
+            inbox_len,
+            msg_active,
+            nonidle,
+            count,
+            touched,
+            staged: _,
+            nonidle_next,
+            visit,
+            rev_port,
+            arc_offsets,
+            round,
+            stats,
+            transcript,
+            par,
+            ..
+        } = self;
+        let graph: &Graph = graph;
+        let visit: &[u32] = visit;
+        let rev_port: &[u32] = rev_port;
+        let arc_offsets: &[usize] = arc_offsets;
+        let round_now = *round;
+        let par = par.as_mut().expect("step_par requires an attached pool");
+        let ParPlane {
+            pool,
+            workers,
+            ranges,
+            chunk,
+            ncuts,
+            ucuts,
+            vcuts,
+            pcuts,
+            dcuts,
+        } = par;
+        let pool: &WorkerPool = pool;
+        let t = pool.threads();
+        let chunk = *chunk;
+        let ncuts: &[usize] = ncuts;
+        let ucuts: &[usize] = ucuts;
+
+        // Per-round cuts. `vcuts` shards the sorted visit list evenly;
+        // `pcuts` aligns program-slice boundaries to the smallest node id of
+        // each shard (visit ids are strictly ascending, so the shards' id
+        // ranges are disjoint and ordered).
+        nas_par::fill_balanced_cuts(vcuts, visit.len(), t);
+        pcuts.clear();
+        pcuts.push(0);
+        for i in 1..t {
+            let lo = if vcuts[i] < visit.len() {
+                visit[vcuts[i]] as usize
+            } else {
+                n
+            };
+            let prev = *pcuts.last().expect("pcuts is non-empty");
+            pcuts.push(lo.max(prev));
+        }
+        pcuts.push(n);
+        let vcuts: &[usize] = vcuts;
+        let pcuts: &[usize] = pcuts;
+
+        // Phase A (parallel over visit shards): each lane runs its shard's
+        // node programs against the shared read-only inbox plane and stages
+        // sends into its own per-receiver-range buckets. Within a lane the
+        // stage order is the shard's visit order (sender-ascending); lanes
+        // cover ascending sender ranges, so "lane order, then local order"
+        // is exactly the sequential staging order.
+        {
+            let inbox_data: &[Incoming] = inbox_data;
+            let inbox_start: &[usize] = inbox_start;
+            let inbox_len: &[u32] = inbox_len;
+            nas_par::for_each_part_mut2(
+                pool,
+                programs.as_mut_slice(),
+                pcuts,
+                workers.as_mut_slice(),
+                ucuts,
+                |w, progs, arena| {
+                    let arena = &mut arena[0];
+                    arena.words = 0;
+                    arena.staged = 0;
+                    arena.nonidle.clear();
+                    for bucket in arena.buckets.iter_mut() {
+                        bucket.clear();
+                    }
+                    let base = pcuts[w];
+                    for &vu in &visit[vcuts[w]..vcuts[w + 1]] {
+                        let v = vu as usize;
+                        let neighbors = graph.neighbors(v);
+                        let deg = neighbors.len();
+                        let sent = &mut arena.sent[..deg];
+                        sent.fill(false);
+                        arena.outbox.clear();
+
+                        let len = inbox_len[v] as usize;
+                        let inbox: &[Incoming] = if len == 0 {
+                            &[]
+                        } else {
+                            let start = inbox_start[v];
+                            &inbox_data[start..start + len]
+                        };
+
+                        let mut ctx = RoundCtx::new(
+                            v,
+                            n,
+                            round_now,
+                            neighbors,
+                            inbox,
+                            &mut arena.outbox,
+                            sent,
+                        );
+                        progs[v - base].round(&mut ctx);
+
+                        let arc_base = arc_offsets[v];
+                        for k in 0..arena.outbox.len() {
+                            let (port, msg) = arena.outbox[k];
+                            let u = neighbors[port as usize];
+                            let from_port = rev_port[arc_base + port as usize];
+                            arena.buckets[u as usize / chunk]
+                                .push((u, Incoming { from_port, msg }));
+                            arena.words += msg.len() as u64;
+                            arena.staged += 1;
+                        }
+                        if !progs[v - base].is_idle() {
+                            arena.nonidle.push(vu);
+                        }
+                    }
+                },
+            );
+        }
+
+        // Phase B (parallel over receiver ranges): each lane counts the
+        // staged messages landing in its node-id range — walking every
+        // sender lane's bucket for that range — and collects + sorts its
+        // touched receivers.
+        {
+            let workers_ro: &[WorkerArena] = workers;
+            nas_par::for_each_part_mut2(
+                pool,
+                count.as_mut_slice(),
+                ncuts,
+                ranges.as_mut_slice(),
+                ucuts,
+                |j, count_part, range| {
+                    let range = &mut range[0];
+                    range.touched.clear();
+                    let lo = ncuts[j] as u32;
+                    for arena in workers_ro {
+                        for &(u, _) in &arena.buckets[j] {
+                            let idx = (u - lo) as usize;
+                            if count_part[idx] == 0 {
+                                range.touched.push(u);
+                            }
+                            count_part[idx] += 1;
+                        }
+                    }
+                    range.touched.sort_unstable();
+                },
+            );
+        }
+
+        // Phase C (sequential merge): retire the consumed inboxes, then lay
+        // out next round's CSR ranges. Concatenating the per-range sorted
+        // touched lists in range order *is* the globally sorted receiver
+        // list, so `inbox_start` gets exactly the sequential path's values.
+        for &r in msg_active.iter() {
+            inbox_len[r as usize] = 0;
+        }
+        touched.clear();
+        dcuts.clear();
+        let mut acc = 0usize;
+        for range in ranges.iter() {
+            dcuts.push(acc);
+            for &r in &range.touched {
+                touched.push(r);
+                inbox_start[r as usize] = acc;
+                acc += count[r as usize] as usize;
+                count[r as usize] = 0;
+            }
+        }
+        dcuts.push(acc);
+        next_data.clear();
+        next_data.resize(
+            acc,
+            Incoming {
+                from_port: 0,
+                msg: Msg::one(0),
+            },
+        );
+        nonidle_next.clear();
+        let mut sent_this_round = 0u64;
+        for arena in workers.iter() {
+            nonidle_next.extend_from_slice(&arena.nonidle);
+            stats.words += arena.words;
+            sent_this_round += arena.staged;
+        }
+        debug_assert_eq!(acc as u64, sent_this_round);
+        let dcuts: &[usize] = dcuts;
+
+        // Phase D (parallel over receiver ranges): stable scatter. Each lane
+        // owns the scatter-buffer span of its receiver range and walks the
+        // sender lanes' buckets for that range *in lane order*, so every
+        // inbox fills sender-ascending — identical to the sequential stable
+        // scatter. `inbox_len` doubles as the per-receiver fill cursor and
+        // ends at its final value.
+        {
+            let workers_ro: &[WorkerArena] = workers;
+            let inbox_start: &[usize] = inbox_start;
+            nas_par::for_each_part_mut2(
+                pool,
+                next_data.as_mut_slice(),
+                dcuts,
+                inbox_len.as_mut_slice(),
+                ncuts,
+                |j, data_part, len_part| {
+                    let base = dcuts[j];
+                    let lo = ncuts[j];
+                    for arena in workers_ro {
+                        for &(u, inc) in &arena.buckets[j] {
+                            let u = u as usize;
+                            let cursor = &mut len_part[u - lo];
+                            let pos = inbox_start[u] + *cursor as usize;
+                            data_part[pos - base] = inc;
+                            *cursor += 1;
+                        }
+                    }
+                },
+            );
+        }
+
+        // Phase E (sequential): account and swap, exactly as step_seq does.
+        stats.messages += sent_this_round;
+        std::mem::swap(inbox_data, next_data);
+        std::mem::swap(msg_active, touched);
+        touched.clear();
+        std::mem::swap(nonidle, nonidle_next);
+        nonidle_next.clear();
+
+        if let (Some(tr), Some(d)) = (transcript.as_mut(), digest) {
+            tr.push(d.finish(round_now));
+        }
+        *round += 1;
+        stats.rounds += 1;
+        stats.busiest_round_messages = stats.busiest_round_messages.max(sent_this_round);
     }
 
     /// Runs `k` rounds unconditionally.

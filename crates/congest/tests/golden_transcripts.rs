@@ -10,15 +10,31 @@
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
 use nas_graph::generators;
+use nas_par::WorkerPool;
+use std::sync::Arc;
 
-fn run_flood(g: &nas_graph::Graph, sources: &[usize]) -> (u64, usize, u64, u64, u64) {
+fn run_flood_with(
+    g: &nas_graph::Graph,
+    sources: &[usize],
+    pool: Option<Arc<WorkerPool>>,
+) -> (u64, usize, u64, u64, u64) {
     let mut sim = Simulator::new(g, Flood::network(g.num_vertices(), sources));
+    if let Some(pool) = pool {
+        sim.set_pool(pool);
+        // The golden graphs are small; force the parallel path so the
+        // digests are asserted against real sharded execution.
+        sim.set_par_threshold(0);
+    }
     sim.enable_transcript();
     let outcome = sim.run_until_quiet(10_000);
     assert!(outcome.quiescent, "flood must go quiet");
     let t = sim.transcript().unwrap();
     let s = sim.stats();
     (t.digest(), t.len(), s.rounds, s.messages, s.words)
+}
+
+fn run_flood(g: &nas_graph::Graph, sources: &[usize]) -> (u64, usize, u64, u64, u64) {
+    run_flood_with(g, sources, None)
 }
 
 struct Golden {
@@ -73,5 +89,39 @@ fn flood_transcripts_match_pre_refactor_goldens() {
         assert_eq!(rounds, c.rounds as u64, "{}: round count drifted", c.name);
         assert_eq!(messages, c.messages, "{}: message count drifted", c.name);
         assert_eq!(words, c.messages, "{}: word count drifted", c.name);
+
+        // The same goldens must hold verbatim on the sharded parallel path
+        // at every thread count — the transcripts are part of the public
+        // determinism contract, independent of execution strategy.
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Arc::new(WorkerPool::new(threads));
+            let (digest, len, rounds, messages, words) =
+                run_flood_with(&c.graph, &c.sources, Some(pool));
+            assert_eq!(
+                digest, c.digest,
+                "{}: transcript digest drifted at {threads} threads",
+                c.name
+            );
+            assert_eq!(
+                len, c.rounds,
+                "{}: length drifted at {threads} threads",
+                c.name
+            );
+            assert_eq!(
+                rounds, c.rounds as u64,
+                "{}: rounds drifted at {threads} threads",
+                c.name
+            );
+            assert_eq!(
+                messages, c.messages,
+                "{}: messages drifted at {threads} threads",
+                c.name
+            );
+            assert_eq!(
+                words, c.messages,
+                "{}: words drifted at {threads} threads",
+                c.name
+            );
+        }
     }
 }

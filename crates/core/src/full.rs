@@ -230,6 +230,12 @@ pub fn run_full_protocol(g: &Graph, params: Params) -> Result<FullProtocolResult
         .map(|_| FullProtocol::new(schedule.clone(), windows.clone()))
         .collect();
     let mut sim = Simulator::new(g, programs);
+    // Multi-core round execution on the shared pool (NAS_THREADS honored);
+    // transcripts and stats are bit-identical to the sequential path, so
+    // the golden engine digests hold at every thread count.
+    if nas_par::global().threads() > 1 {
+        sim.set_pool(nas_par::global_arc());
+    }
     sim.run_rounds(total);
     let stats = *sim.stats();
     let mut spanner = EdgeSet::new(n);

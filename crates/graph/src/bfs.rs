@@ -1,6 +1,14 @@
 //! Breadth-first search in the flavors the spanner algorithms need.
+//!
+//! The batched entry points ([`par_distances`],
+//! [`par_multi_source_distances`]) fan independent BFS runs out over a
+//! `nas-par` worker pool with static contiguous sharding, so the returned
+//! rows are byte-identical to running the sequential functions in a loop —
+//! they back the metrics crate's distance oracle and the Baswana–Sen/EN17
+//! baseline stretch evaluations.
 
 use crate::graph::Graph;
+use nas_par::WorkerPool;
 use std::collections::VecDeque;
 
 /// Distances from `source` to every vertex; `None` for unreachable vertices.
@@ -42,6 +50,39 @@ pub fn multi_source_distances<I: IntoIterator<Item = usize>>(
         }
     }
     dist
+}
+
+/// Batched single-source BFS: one [`distances`] row per entry of `sources`,
+/// computed in parallel on `pool` with contiguous sharding (row `i` of the
+/// result always corresponds to `sources[i]`, identical to the sequential
+/// loop).
+pub fn par_distances(g: &Graph, sources: &[usize], pool: &WorkerPool) -> Vec<Vec<Option<u32>>> {
+    let mut rows: Vec<Vec<Option<u32>>> = vec![Vec::new(); sources.len()];
+    let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
+    nas_par::for_each_part_mut(pool, &mut rows, &cuts, |i, part| {
+        for (k, row) in part.iter_mut().enumerate() {
+            *row = distances(g, sources[cuts[i] + k]);
+        }
+    });
+    rows
+}
+
+/// Batched multi-source BFS: one [`multi_source_distances`] row (distance to
+/// the nearest source of the set) per entry of `source_sets`, computed in
+/// parallel on `pool`.
+pub fn par_multi_source_distances(
+    g: &Graph,
+    source_sets: &[&[usize]],
+    pool: &WorkerPool,
+) -> Vec<Vec<Option<u32>>> {
+    let mut rows: Vec<Vec<Option<u32>>> = vec![Vec::new(); source_sets.len()];
+    let cuts = nas_par::balanced_cuts(source_sets.len(), pool.threads());
+    nas_par::for_each_part_mut(pool, &mut rows, &cuts, |i, part| {
+        for (k, row) in part.iter_mut().enumerate() {
+            *row = multi_source_distances(g, source_sets[cuts[i] + k].iter().copied());
+        }
+    });
+    rows
 }
 
 /// Result of a BFS that also records the forest structure.
@@ -241,6 +282,34 @@ mod tests {
         let g = generators::path(8);
         assert_eq!(eccentricity(&g, 0), 7);
         assert_eq!(eccentricity(&g, 4), 4);
+    }
+
+    #[test]
+    fn par_distances_matches_sequential_loop() {
+        let g = generators::gnp(70, 0.08, 9);
+        let sources: Vec<usize> = (0..30).map(|i| (i * 7) % 70).collect();
+        let want: Vec<_> = sources.iter().map(|&s| distances(&g, s)).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = nas_par::WorkerPool::new(threads);
+            let got = par_distances(&g, &sources, &pool);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+        // Fewer sources than lanes, and the empty batch.
+        let pool = nas_par::WorkerPool::new(8);
+        assert_eq!(par_distances(&g, &sources[..2], &pool), want[..2].to_vec());
+        assert!(par_distances(&g, &[], &pool).is_empty());
+    }
+
+    #[test]
+    fn par_multi_source_matches_sequential_loop() {
+        let g = generators::grid2d(9, 8);
+        let sets: Vec<&[usize]> = vec![&[0], &[3, 70], &[1, 2, 3], &[71]];
+        let want: Vec<_> = sets
+            .iter()
+            .map(|s| multi_source_distances(&g, s.iter().copied()))
+            .collect();
+        let pool = nas_par::WorkerPool::new(3);
+        assert_eq!(par_multi_source_distances(&g, &sets, &pool), want);
     }
 
     #[test]

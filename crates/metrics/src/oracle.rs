@@ -74,6 +74,29 @@ impl SpannerOracle {
         }
         &self.cache_row
     }
+
+    /// Batched distances from many sources: one BFS per source, fanned out
+    /// over `pool` via [`bfs::par_distances`]. Row `i` corresponds to
+    /// `sources[i]`, byte-identical to calling
+    /// [`distances_from`](SpannerOracle::distances_from) in a loop at any
+    /// thread count.
+    ///
+    /// Counts one BFS per source in [`bfs_runs`](SpannerOracle::bfs_runs)
+    /// and leaves the single-row cache holding the *last* source's row, so
+    /// follow-up point queries anchored there stay free.
+    pub fn distances_batch(
+        &mut self,
+        sources: &[usize],
+        pool: &nas_par::WorkerPool,
+    ) -> Vec<Vec<Option<u32>>> {
+        let rows = bfs::par_distances(&self.spanner, sources, pool);
+        self.bfs_runs += sources.len() as u64;
+        if let (Some(&s), Some(row)) = (sources.last(), rows.last()) {
+            self.cache_source = Some(s);
+            self.cache_row.clone_from(row);
+        }
+        rows
+    }
 }
 
 /// Quality of one oracle answer against the base graph.
@@ -164,6 +187,25 @@ mod tests {
         // A genuinely new source pair does BFS again.
         o.distance(14, 21);
         assert_eq!(o.bfs_runs(), 2);
+    }
+
+    #[test]
+    fn batch_distances_match_point_queries() {
+        let g = generators::grid2d(7, 7);
+        let pool = nas_par::WorkerPool::new(3);
+        let sources = [0usize, 13, 25, 48, 13];
+        let mut batched = SpannerOracle::new(g.clone());
+        let rows = batched.distances_batch(&sources, &pool);
+        assert_eq!(batched.bfs_runs(), sources.len() as u64);
+
+        let mut pointwise = SpannerOracle::new(g.clone());
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i], pointwise.distances_from(s).to_vec(), "source {s}");
+        }
+        // The cache holds the last batched row: anchored queries are free.
+        let runs = batched.bfs_runs();
+        assert_eq!(batched.distance(13, 40), rows[4][40]);
+        assert_eq!(batched.bfs_runs(), runs);
     }
 
     #[test]

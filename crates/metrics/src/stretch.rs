@@ -8,7 +8,7 @@
 //! "near-additive spanners preserve large distances faithfully" message.
 
 use nas_graph::{bfs, Graph};
-use std::sync::Mutex;
+use nas_par::WorkerPool;
 
 /// Aggregated stretch statistics for one distance value `d = d_G(u,v)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,27 +67,98 @@ impl StretchAudit {
     }
 }
 
-fn merge_source_into(
-    buckets: &mut Vec<DistanceBucket>,
-    sums: &mut Vec<f64>,
-    disconnected: &mut u64,
-    dg: &[Option<u32>],
-    dh: &[Option<u32>],
-    source: usize,
-) {
-    for v in (source + 1)..dg.len() {
-        let Some(d) = dg[v] else { continue };
-        if d == 0 {
-            continue;
-        }
-        let Some(s) = dh[v] else {
-            *disconnected += 1;
-            continue;
+/// One worker's running histogram: per-distance buckets, per-distance sums,
+/// and the disconnected-pair count. Workers fill partials independently
+/// (no locks); the caller merges them in worker order after the join, which
+/// keeps the result deterministic at every thread count.
+#[derive(Debug, Default)]
+struct Partial {
+    buckets: Vec<DistanceBucket>,
+    sums: Vec<f64>,
+    disconnected: u64,
+}
+
+impl Partial {
+    /// Folds the pairs of one BFS source into this partial. With
+    /// `targets_after_source_only`, only pairs `(source, v)` with
+    /// `v > source` count (the all-pairs audit, where each unordered pair
+    /// must count once); otherwise every `v != source` counts (the sampled
+    /// audit, where sources are a sample).
+    fn absorb_source(
+        &mut self,
+        dg: &[Option<u32>],
+        dh: &[Option<u32>],
+        source: usize,
+        targets_after_source_only: bool,
+    ) {
+        let from = if targets_after_source_only {
+            source + 1
+        } else {
+            0
         };
-        let d = d as usize;
-        if buckets.len() <= d {
+        for v in from..dg.len() {
+            if v == source {
+                continue;
+            }
+            let Some(d) = dg[v] else { continue };
+            if d == 0 {
+                continue;
+            }
+            let Some(s) = dh[v] else {
+                self.disconnected += 1;
+                continue;
+            };
+            let d = d as usize;
+            if self.buckets.len() <= d {
+                self.buckets.resize(
+                    d + 1,
+                    DistanceBucket {
+                        dist: 0,
+                        pairs: 0,
+                        max_spanner_dist: 0,
+                        mean_spanner_dist: 0.0,
+                    },
+                );
+                self.sums.resize(d + 1, 0.0);
+            }
+            let b = &mut self.buckets[d];
+            b.dist = d as u32;
+            b.pairs += 1;
+            b.max_spanner_dist = b.max_spanner_dist.max(s);
+            self.sums[d] += s as f64;
+        }
+    }
+}
+
+/// The pooled audit core: BFS from every source in `sources` (contiguous
+/// shards, one per pool lane, each lane accumulating into its own
+/// [`Partial`]), then a lane-ordered merge. No locks, no atomics; a lane
+/// panic propagates through the pool instead of poisoning an accumulator.
+fn audit_sources(
+    g: &Graph,
+    h: &Graph,
+    eps: f64,
+    sources: &[usize],
+    targets_after_source_only: bool,
+    pool: &WorkerPool,
+) -> StretchAudit {
+    let mut partials: Vec<Partial> = (0..pool.threads()).map(|_| Partial::default()).collect();
+    let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
+    nas_par::for_each_worker(pool, &mut partials, |i, part| {
+        for &s in &sources[cuts[i]..cuts[i + 1]] {
+            let dg = bfs::distances(g, s);
+            let dh = bfs::distances(h, s);
+            part.absorb_source(&dg, &dh, s, targets_after_source_only);
+        }
+    });
+
+    let mut buckets: Vec<DistanceBucket> = Vec::new();
+    let mut sums: Vec<f64> = Vec::new();
+    let mut disconnected = 0u64;
+    for p in &partials {
+        if buckets.len() < p.buckets.len() {
             buckets.resize(
-                d + 1,
+                p.buckets.len(),
                 DistanceBucket {
                     dist: 0,
                     pairs: 0,
@@ -95,14 +166,21 @@ fn merge_source_into(
                     mean_spanner_dist: 0.0,
                 },
             );
-            sums.resize(d + 1, 0.0);
+            sums.resize(p.buckets.len(), 0.0);
         }
-        let b = &mut buckets[d];
-        b.dist = d as u32;
-        b.pairs += 1;
-        b.max_spanner_dist = b.max_spanner_dist.max(s);
-        sums[d] += s as f64;
+        for (d, lb) in p.buckets.iter().enumerate() {
+            if lb.pairs == 0 {
+                continue;
+            }
+            let b = &mut buckets[d];
+            b.dist = d as u32;
+            b.pairs += lb.pairs;
+            b.max_spanner_dist = b.max_spanner_dist.max(lb.max_spanner_dist);
+            sums[d] += p.sums[d];
+        }
+        disconnected += p.disconnected;
     }
+    finalize(buckets, sums, disconnected, eps)
 }
 
 fn finalize(
@@ -134,78 +212,37 @@ fn finalize(
 }
 
 /// Exact stretch audit over **all** pairs: `n` BFS traversals in each graph,
-/// parallelized over sources with scoped threads.
+/// fanned out over the process-wide [`nas_par::global`] worker pool
+/// (`NAS_THREADS` honored). Deterministic at every thread count: lanes own
+/// contiguous source shards and private histograms, merged in lane order —
+/// see [`stretch_audit_with_pool`].
 ///
 /// # Panics
 ///
 /// Panics if the two graphs have different vertex counts.
 pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
+    stretch_audit_with_pool(g, h, eps, nas_par::global())
+}
+
+/// [`stretch_audit`] on an explicit worker pool.
+///
+/// This replaced a hand-rolled `thread::scope` + `Mutex` accumulator: each
+/// lane now fills a private [`Partial`] histogram and the merge happens
+/// lock-free in lane order after the join, which removes both the lock
+/// contention on the shared accumulator and the lock-poisoning failure mode
+/// (a panicking lane now surfaces as a pool panic, not a poisoned `Mutex`).
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+pub fn stretch_audit_with_pool(g: &Graph, h: &Graph, eps: f64, pool: &WorkerPool) -> StretchAudit {
     assert_eq!(
         g.num_vertices(),
         h.num_vertices(),
         "graph and spanner must share a vertex set"
     );
-    let n = g.num_vertices();
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    let acc = Mutex::new((Vec::new(), Vec::new(), 0u64));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local_buckets: Vec<DistanceBucket> = Vec::new();
-                let mut local_sums: Vec<f64> = Vec::new();
-                let mut local_disc = 0u64;
-                loop {
-                    let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if s >= n {
-                        break;
-                    }
-                    let dg = bfs::distances(g, s);
-                    let dh = bfs::distances(h, s);
-                    merge_source_into(
-                        &mut local_buckets,
-                        &mut local_sums,
-                        &mut local_disc,
-                        &dg,
-                        &dh,
-                        s,
-                    );
-                }
-                let mut guard = acc.lock().expect("audit threads must not panic");
-                let (buckets, sums, disc) = &mut *guard;
-                if buckets.len() < local_buckets.len() {
-                    buckets.resize(
-                        local_buckets.len(),
-                        DistanceBucket {
-                            dist: 0,
-                            pairs: 0,
-                            max_spanner_dist: 0,
-                            mean_spanner_dist: 0.0,
-                        },
-                    );
-                    sums.resize(local_buckets.len(), 0.0);
-                }
-                for (d, lb) in local_buckets.iter().enumerate() {
-                    if lb.pairs == 0 {
-                        continue;
-                    }
-                    let b = &mut buckets[d];
-                    b.dist = d as u32;
-                    b.pairs += lb.pairs;
-                    b.max_spanner_dist = b.max_spanner_dist.max(lb.max_spanner_dist);
-                    sums[d] += local_sums[d];
-                }
-                *disc += local_disc;
-            });
-        }
-    });
-
-    let (buckets, sums, disconnected) = acc.into_inner().expect("audit threads must not panic");
-    finalize(buckets, sums, disconnected, eps)
+    let sources: Vec<usize> = (0..g.num_vertices()).collect();
+    audit_sources(g, h, eps, &sources, true, pool)
 }
 
 /// Sampled stretch audit: BFS from `samples` deterministic sources only,
@@ -219,49 +256,28 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
 /// the tail of the vertex range; see the `sampled_audit_covers_the_tail`
 /// regression test.)
 pub fn stretch_audit_sampled(g: &Graph, h: &Graph, eps: f64, samples: usize) -> StretchAudit {
+    stretch_audit_sampled_with_pool(g, h, eps, samples, nas_par::global())
+}
+
+/// [`stretch_audit_sampled`] on an explicit worker pool. The sample sources
+/// are sharded contiguously across lanes with private per-lane histograms
+/// (all targets `v != s` count, since the sources are a sample), merged in
+/// lane order — same result at every thread count.
+pub fn stretch_audit_sampled_with_pool(
+    g: &Graph,
+    h: &Graph,
+    eps: f64,
+    samples: usize,
+    pool: &WorkerPool,
+) -> StretchAudit {
     assert_eq!(g.num_vertices(), h.num_vertices());
     let n = g.num_vertices();
     if n == 0 {
         return finalize(Vec::new(), Vec::new(), 0, eps);
     }
     let samples = samples.min(n).max(1);
-    let mut buckets = Vec::new();
-    let mut sums = Vec::new();
-    let mut disconnected = 0u64;
-    for s in (0..samples).map(|i| i * n / samples) {
-        let dg = bfs::distances(g, s);
-        let dh = bfs::distances(h, s);
-        // Count all targets (not just > s) since sources are a sample.
-        for v in 0..n {
-            if v == s {
-                continue;
-            }
-            let Some(d) = dg[v] else { continue };
-            let Some(sp) = dh[v] else {
-                disconnected += 1;
-                continue;
-            };
-            let d = d as usize;
-            if buckets.len() <= d {
-                buckets.resize(
-                    d + 1,
-                    DistanceBucket {
-                        dist: 0,
-                        pairs: 0,
-                        max_spanner_dist: 0,
-                        mean_spanner_dist: 0.0,
-                    },
-                );
-                sums.resize(d + 1, 0.0);
-            }
-            let b = &mut buckets[d];
-            b.dist = d as u32;
-            b.pairs += 1;
-            b.max_spanner_dist = b.max_spanner_dist.max(sp);
-            sums[d] += sp as f64;
-        }
-    }
-    finalize(buckets, sums, disconnected, eps)
+    let sources: Vec<usize> = (0..samples).map(|i| i * n / samples).collect();
+    audit_sources(g, h, eps, &sources, false, pool)
 }
 
 #[cfg(test)]
@@ -400,5 +416,32 @@ mod tests {
         let a = stretch_audit(&g, &h, 0.25);
         let b = stretch_audit(&g, &h, 0.25);
         assert_eq!(a, b);
+    }
+
+    /// The audits are identical at every thread count — per-lane partials
+    /// merged in lane order, no scheduling-dependent accumulation.
+    #[test]
+    fn audit_identical_across_thread_counts() {
+        let g = generators::connected_gnp(70, 0.08, 12);
+        let h = nas_baselines::baswana_sen(&g, 3, 4).to_graph();
+        let exact1 = stretch_audit_with_pool(&g, &h, 0.25, &nas_par::WorkerPool::new(1));
+        let sampled1 =
+            stretch_audit_sampled_with_pool(&g, &h, 0.25, 50, &nas_par::WorkerPool::new(1));
+        for threads in [2usize, 3, 8] {
+            let pool = nas_par::WorkerPool::new(threads);
+            assert_eq!(
+                stretch_audit_with_pool(&g, &h, 0.25, &pool),
+                exact1,
+                "exact audit drift at {threads} threads"
+            );
+            assert_eq!(
+                stretch_audit_sampled_with_pool(&g, &h, 0.25, 50, &pool),
+                sampled1,
+                "sampled audit drift at {threads} threads"
+            );
+        }
+        // And the global-pool entry points agree with the explicit-pool ones.
+        assert_eq!(stretch_audit(&g, &h, 0.25), exact1);
+        assert_eq!(stretch_audit_sampled(&g, &h, 0.25, 50), sampled1);
     }
 }
