@@ -2,7 +2,7 @@
 //! Printable version: the `ablations` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nas_core::{build_distributed, Params};
+use nas_core::{Backend, Params, Session};
 use nas_graph::generators;
 use nas_ruling::{ruling_set_distributed, RulingParams};
 use std::hint::black_box;
@@ -32,8 +32,12 @@ fn bench_ablation_rho(c: &mut Criterion) {
     for rho in [0.45f64, 0.49] {
         group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
             b.iter(|| {
-                let r = build_distributed(&g, Params::practical(0.5, 4, rho)).unwrap();
-                black_box(r.stats.rounds)
+                let r = Session::on(&g)
+                    .params(Params::practical(0.5, 4, rho))
+                    .backend(Backend::Congest)
+                    .run()
+                    .unwrap();
+                black_box(r.rounds())
             })
         });
     }

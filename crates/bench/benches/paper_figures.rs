@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nas_bench::default_params;
 use nas_core::algo1::algo1_centralized;
-use nas_core::build_centralized;
+use nas_core::Session;
 use nas_graph::generators;
 use nas_metrics::stretch_audit;
 use nas_ruling::{ruling_set_centralized, RulingParams};
@@ -16,7 +16,7 @@ fn bench_fig12_supercluster(c: &mut Criterion) {
     let params = default_params();
     c.bench_function("fig12_supercluster/complete64", |b| {
         b.iter(|| {
-            let r = build_centralized(&g, params).unwrap();
+            let r = Session::on(&g).params(params).run().unwrap();
             black_box(r.phases.iter().map(|p| p.superclustered).sum::<usize>())
         })
     });
@@ -41,7 +41,7 @@ fn bench_fig45_paths(c: &mut Criterion) {
     let params = default_params();
     c.bench_function("fig45_paths/build", |b| {
         b.iter(|| {
-            let r = build_centralized(&g, params).unwrap();
+            let r = Session::on(&g).params(params).run().unwrap();
             black_box(r.phases.iter().map(|p| p.interconnect_paths).sum::<usize>())
         })
     });
@@ -51,7 +51,7 @@ fn bench_fig45_paths(c: &mut Criterion) {
 fn bench_fig678_stretch(c: &mut Criterion) {
     let g = generators::torus2d(8, 8);
     let params = default_params();
-    let r = build_centralized(&g, params).unwrap();
+    let r = Session::on(&g).params(params).run().unwrap();
     let h = r.to_graph();
     c.bench_function("fig678_stretch/audit_torus64", |b| {
         b.iter(|| black_box(stretch_audit(&g, &h, params.eps).effective_beta))

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nas_bench::default_params;
-use nas_core::{build_centralized, build_distributed};
+use nas_core::{Backend, Session};
 use nas_graph::generators;
 use nas_metrics::stretch_audit;
 use std::hint::black_box;
@@ -17,7 +17,7 @@ fn bench_size_scaling(c: &mut Criterion) {
     for n in [32usize, 64, 128] {
         let g = generators::complete(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(build_centralized(g, params).unwrap().num_edges()))
+            b.iter(|| black_box(Session::on(g).params(params).run().unwrap().num_edges()))
         });
     }
     group.finish();
@@ -31,7 +31,16 @@ fn bench_round_scaling(c: &mut Criterion) {
     for n in [24usize, 48] {
         let g = generators::random_regular(n, 8, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(build_distributed(g, params).unwrap().stats.rounds))
+            b.iter(|| {
+                black_box(
+                    Session::on(g)
+                        .params(params)
+                        .backend(Backend::Congest)
+                        .run()
+                        .unwrap()
+                        .rounds(),
+                )
+            })
         });
     }
     group.finish();
@@ -41,7 +50,7 @@ fn bench_round_scaling(c: &mut Criterion) {
 fn bench_stretch_audit(c: &mut Criterion) {
     let params = default_params();
     let g = generators::connected_gnp(128, 0.08, 11);
-    let h = build_centralized(&g, params).unwrap().to_graph();
+    let h = Session::on(&g).params(params).run().unwrap().to_graph();
     c.bench_function("stretch_audit/gnp128", |b| {
         b.iter(|| black_box(stretch_audit(&g, &h, params.eps).max_stretch))
     });

@@ -3,24 +3,29 @@
 //! 1. ruling-set iteration count `c`: domination radius vs round cost;
 //! 2. the time/size knob `ρ`: phase count, thresholds, measured rounds;
 //! 3. paper vs practical constants: schedule magnitudes.
+//!
+//! Usage: `ablations [--seed S] [--threads T]`
 
-use nas_bench::default_params;
-use nas_core::{build_distributed, Params};
+use nas_bench::{default_params, BenchCli};
+use nas_core::{Backend, Params, Session};
 use nas_graph::{bfs, generators};
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 use nas_ruling::{ruling_set_distributed, RulingParams};
 
 fn main() {
-    ablation_ruling_c();
-    ablation_rho();
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    // Per-experiment defaults reproduce the pre-BenchCli outputs exactly.
+    ablation_ruling_c(cli.seed(5));
+    ablation_rho(cli.seed(3));
     ablation_constants();
 }
 
 /// Ablation 1: the `(q+1, cq)`-ruling set trade-off — larger `c` costs more
 /// domination radius but fewer rounds (`n^{1/c}` sub-phases per digit).
-fn ablation_ruling_c() {
+fn ablation_ruling_c(seed: u64) {
     println!("== ablation 1: ruling-set iteration count c ==\n");
-    let g = generators::connected_gnp(400, 0.03, 5);
+    let g = generators::connected_gnp(400, 0.03, seed);
     let w: Vec<usize> = (0..g.num_vertices()).filter(|v| v % 2 == 0).collect();
     let q = 4u32;
     let mut t = TableBuilder::new(vec![
@@ -48,11 +53,11 @@ fn ablation_ruling_c() {
 }
 
 /// Ablation 2: `ρ` sweeps the time/β trade-off (the paper's headline knob).
-fn ablation_rho() {
+fn ablation_rho(seed: u64) {
     println!("== ablation 2: the time exponent ρ ==\n");
     // n = 64 keeps the smallest-ρ point (4 phases, δ_ℓ in the thousands)
     // runnable in seconds.
-    let g = generators::random_regular(64, 8, 3);
+    let g = generators::random_regular(64, 8, seed);
     let mut t = TableBuilder::new(vec![
         "ρ",
         "ℓ (phases)",
@@ -62,14 +67,17 @@ fn ablation_rho() {
         "spanner edges",
     ]);
     for rho in [0.35f64, 0.4, 0.45, 0.49] {
-        let params = Params::practical(0.5, 4, rho);
-        let r = build_distributed(&g, params).unwrap();
+        let r = Session::on(&g)
+            .params(Params::practical(0.5, 4, rho))
+            .backend(Backend::Congest)
+            .run()
+            .unwrap();
         t.row(vec![
             rho.to_string(),
             (r.schedule.ell + 1).to_string(),
             r.schedule.delta[r.schedule.ell].to_string(),
             fmt_f64(r.schedule.beta_nominal()),
-            r.stats.rounds.to_string(),
+            r.rounds().to_string(),
             r.num_edges().to_string(),
         ]);
     }

@@ -5,16 +5,20 @@
 //! (interconnection). The measurable content is Lemma 2.12's per-phase edge
 //! budget: the interconnection adds at most `|U_i| · deg_i` paths of length
 //! `≤ δ_i` each, i.e. `O(n^{1+1/κ} · δ_i)` edges per phase.
+//!
+//! Usage: `fig_paths [--seed S] [--threads T]`
 
-use nas_bench::default_params;
-use nas_core::build_centralized;
+use nas_bench::{default_params, BenchCli};
+use nas_core::Session;
 use nas_graph::generators;
 use nas_metrics::TableBuilder;
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
     let params = default_params();
-    let g = generators::connected_gnp(600, 0.03, 21);
-    let r = build_centralized(&g, params).unwrap();
+    let g = generators::connected_gnp(600, 0.03, cli.seed(21));
+    let r = Session::on(&g).params(params).run().unwrap();
     println!(
         "workload: gnp(600), n = {}, m = {}; κ = {}, n^(1+1/κ) = {:.0}\n",
         g.num_vertices(),

@@ -6,16 +6,21 @@
 //! (Lemmas 2.10/2.11) rests on. We measure it: minimum pairwise distance of
 //! the ruling set vs. the guarantee, ball disjointness, and domination
 //! radius vs. the `(2/ρ)δ_i` bound.
+//!
+//! Usage: `fig_rulingset [--seed S] [--threads T]`
 
+use nas_bench::BenchCli;
 use nas_core::algo1::algo1_centralized;
 use nas_graph::{bfs, generators};
 use nas_metrics::TableBuilder;
 use nas_ruling::{ruling_set_centralized, RulingParams};
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
     // Geometric graph: local edges, diameter ~20 — δ-balls are genuinely
     // local, so ruling sets have interesting sizes.
-    let g = generators::connected_random_geometric(500, 0.07, 9);
+    let g = generators::connected_random_geometric(500, 0.07, cli.seed(9));
     println!(
         "workload: random_geometric(500, r=0.07), n = {}, m = {}\n",
         g.num_vertices(),

@@ -7,21 +7,29 @@
 //! and mean spanner distance — the additive error must *not* grow with
 //! distance (that is what "near-additive" means), while a multiplicative
 //! baseline's error grows linearly.
+//!
+//! Usage: `fig_stretch [--seed S] [--threads T]`
 
 use nas_baselines::baswana_sen;
-use nas_bench::default_params;
-use nas_core::build_centralized;
+use nas_bench::{default_params, BenchCli};
+use nas_core::Session;
 use nas_graph::generators;
 use nas_metrics::{stretch_audit, TableBuilder};
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
     let params = default_params();
     // Circulant: degree 10 (dense enough that superclustering fires and the
     // spanner actually drops edges), diameter ~26 (long distances exist).
     let g = generators::circulant(360, &[1, 2, 3, 4, 7]);
-    let r = build_centralized(&g, params).unwrap();
+    let r = Session::on(&g).params(params).run().unwrap();
     let ours = stretch_audit(&g, &r.to_graph(), params.eps);
-    let bs = stretch_audit(&g, &baswana_sen(&g, params.kappa, 3).to_graph(), 0.0);
+    let bs = stretch_audit(
+        &g,
+        &baswana_sen(&g, params.kappa, cli.seed(3)).to_graph(),
+        0.0,
+    );
 
     println!(
         "workload: circulant(360; 1,2,3,4,7); ours: {} edges of {}, Baswana-Sen: see table\n",

@@ -6,20 +6,25 @@
 //! clusters merge, and how many forest-path edges enter the spanner —
 //! together with the cluster-count decay of Lemmas 2.10/2.11
 //! (`|P_{i+1}| ≤ |P_i| / deg_i`).
+//!
+//! Usage: `fig_supercluster [--seed S] [--threads T]`
 
-use nas_bench::default_params;
-use nas_core::build_centralized;
+use nas_bench::{default_params, BenchCli};
+use nas_core::Session;
 use nas_graph::generators;
 use nas_metrics::TableBuilder;
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(3);
     let params = default_params();
     for (name, g) in [
         // Local structure keeps several phases populated: superclusters must
         // cascade instead of swallowing the graph in phase 0.
         (
             "random_geometric(600, r=0.06)",
-            generators::connected_random_geometric(600, 0.06, 3),
+            generators::connected_random_geometric(600, 0.06, seed),
         ),
         (
             "circulant(500; 1..5)",
@@ -28,10 +33,10 @@ fn main() {
         ("complete(256)", generators::complete(256)),
         (
             "pref_attach(400, 6)",
-            generators::preferential_attachment(400, 6, 3),
+            generators::preferential_attachment(400, 6, seed),
         ),
     ] {
-        let r = build_centralized(&g, params).unwrap();
+        let r = Session::on(&g).params(params).run().unwrap();
         println!(
             "== {} (n = {}, m = {}) ==\n",
             name,

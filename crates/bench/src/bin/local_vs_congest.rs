@@ -7,13 +7,18 @@
 //! messages), CONGEST pays `δ_i · deg_i` (one word per edge per round) —
 //! and shows the CONGEST overhead stays a low-polynomial `n^ρ`-style factor,
 //! not the `n^{1+Ω(1)}` of the pre-paper state of the art (Elk05).
+//!
+//! Usage: `local_vs_congest [--seed S] [--threads T]`
 
-use nas_bench::default_params;
-use nas_core::{build_distributed, build_local};
+use nas_bench::{default_params, BenchCli};
+use nas_core::{Backend, Session};
 use nas_graph::generators;
 use nas_metrics::TableBuilder;
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(7);
     let params = default_params();
     let mut t = TableBuilder::new(vec![
         "n",
@@ -25,14 +30,15 @@ fn main() {
         "CONGEST edges",
     ]);
     for n in [64usize, 128, 256] {
-        let g = generators::connected_gnp(n, 16.0 / n as f64, 7);
-        let local = build_local(&g, params).unwrap();
-        let congest = build_distributed(&g, params).unwrap();
-        let overhead = congest.stats.rounds as f64 / local.rounds.max(1) as f64;
+        let g = generators::connected_gnp(n, 16.0 / n as f64, seed);
+        let run = |backend| Session::on(&g).params(params).backend(backend).run();
+        let local = run(Backend::Local).unwrap();
+        let congest = run(Backend::Congest).unwrap();
+        let overhead = congest.rounds() as f64 / local.rounds().max(1) as f64;
         t.row(vec![
             n.to_string(),
-            local.rounds.to_string(),
-            congest.stats.rounds.to_string(),
+            local.rounds().to_string(),
+            congest.rounds().to_string(),
             format!("{overhead:.2}"),
             format!("{:.1}", (n as f64).powf(params.rho)),
             local.num_edges().to_string(),

@@ -6,12 +6,19 @@
 //! rounds) and the ruling set's `n^{1/c}` factor — so the fitted exponent of
 //! rounds in `n` should be well below 1 (sublinear), nowhere near the
 //! `n^{1+1/2κ}` of the only previous deterministic algorithm (Elk05).
+//!
+//! Usage: `round_scaling [--seed S] [--threads T]`
 
-use nas_bench::{default_params, fitted_exponent, run_en17_distributed, run_ours_distributed};
+use nas_bench::{
+    default_params, fitted_exponent, run_en17_distributed, run_ours_distributed, BenchCli,
+};
 use nas_graph::generators;
 use nas_metrics::TableBuilder;
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(1);
     let params = default_params();
     println!(
         "parameters: ε = {}, κ = {}, ρ = {} (time target ~ n^{})\n",
@@ -26,9 +33,9 @@ fn main() {
     ]);
     let mut points: Vec<(usize, f64)> = Vec::new();
     for n in [64usize, 128, 256] {
-        let g = generators::random_regular(n, 8, 1);
+        let g = generators::random_regular(n, 8, seed);
         let ours = run_ours_distributed("rr8", &g, params);
-        let (_, en_rounds) = run_en17_distributed(&g, params, 5);
+        let (_, en_rounds) = run_en17_distributed(&g, params, seed.wrapping_add(4));
         points.push((n, ours.rounds as f64));
         t.row(vec![
             n.to_string(),

@@ -27,8 +27,10 @@
 //! `--smoke` is the CI configuration: `n = 10^5`, spanner at `10^4`,
 //! asserting the same invariants at a size that finishes in seconds.
 
+use nas_bench::BenchCli;
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
+use nas_core::{Backend, Session};
 use nas_graph::Graph;
 use nas_par::WorkerPool;
 use std::sync::Arc;
@@ -149,7 +151,14 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
     let n = g.num_vertices();
     let params = nas_core::Params::practical(0.5, 4, 0.45);
     let t = Instant::now();
-    let r = nas_core::build_distributed(g, params).expect("valid parameters");
+    // No .threads() here: init_pool() already sized the process-wide pool
+    // to --threads, and an unset knob inherits it — a dedicated per-run
+    // pool would just double the lane count for nothing.
+    let r = Session::on(g)
+        .params(params)
+        .backend(Backend::Congest)
+        .run()
+        .expect("valid parameters");
     let wall = t.elapsed();
     println!(
         "spanner  | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
@@ -179,33 +188,26 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |f: &str| args.iter().any(|a| a == f);
-    let opt_str = |f: &str| {
-        args.iter()
-            .position(|a| a == f)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
+    let cli = BenchCli::parse();
+    let smoke = cli.smoke();
+    let n = cli.n(if smoke { 100_000 } else { 1_000_000 });
+    let spanner_n = if cli.flag("--full-spanner") {
+        n
+    } else {
+        n / 10
     };
-    let opt = |f: &str| opt_str(f).map(|v| v.parse::<usize>().expect("numeric argument"));
-
-    let smoke = flag("--smoke");
-    let n = opt("--n").unwrap_or(if smoke { 100_000 } else { 1_000_000 });
-    let spanner_n = if flag("--full-spanner") { n } else { n / 10 };
-    let threads = opt("--threads").unwrap_or_else(nas_par::default_threads);
-    // The distributed spanner construction runs on the process-wide pool;
-    // size it explicitly before anything touches it.
-    if let Err(frozen) = nas_par::init_global(threads) {
-        eprintln!("warning: global pool already sized to {frozen} lanes; --threads {threads} ignored for the spanner leg");
-    }
-    let flood_thread_counts: Vec<usize> = match opt_str("--compare-threads") {
+    // One pool for everything: init_pool() sizes the process-wide pool to
+    // --threads, and both legs (flood comparisons aside, which build their
+    // own per-count pools) inherit it — see run_spanner.
+    let threads = cli.init_pool();
+    let flood_thread_counts: Vec<usize> = match cli.opt_str("--compare-threads") {
         Some(list) => list
             .split(',')
             .map(|t| t.trim().parse::<usize>().expect("numeric thread count"))
             .collect(),
         None => vec![threads],
     };
-    let seed = 42;
+    let seed = cli.seed(42);
 
     println!(
         "== sim_scaling: flood at n={n} (threads {flood_thread_counts:?}), spanner at n={spanner_n} (threads {threads}) =="
@@ -244,7 +246,7 @@ fn main() {
         }
     }
 
-    if flag("--skip-spanner") {
+    if cli.flag("--skip-spanner") {
         println!("spanner  | (skipped)");
     } else {
         for (name, g) in nas_bench::large_scale(spanner_n, 8, seed) {

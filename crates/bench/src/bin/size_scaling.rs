@@ -4,13 +4,18 @@
 //! The paper claims `|H| = O(β·n^{1+1/κ})`. On dense inputs (complete
 //! graphs), the measured fitted exponent of `|H|` in `n` should be around
 //! `1 + 1/κ`, far below the input's `2`.
+//!
+//! Usage: `size_scaling [--seed S] [--threads T]`
 
 use nas_baselines::greedy_spanner;
-use nas_bench::{default_params, fitted_exponent, run_baswana_sen, run_ours};
+use nas_bench::{default_params, fitted_exponent, run_baswana_sen, run_ours, BenchCli};
 use nas_graph::generators;
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(1);
     let params = default_params();
     println!(
         "parameters: ε = {}, κ = {} (size target n^{:.2}), ρ = {}\n",
@@ -32,7 +37,7 @@ fn main() {
     for n in [64usize, 128, 256, 512] {
         let g = generators::complete(n);
         let ours = run_ours("complete", &g, params);
-        let (bs, _) = run_baswana_sen(&g, params.kappa, 1);
+        let (bs, _) = run_baswana_sen(&g, params.kappa, seed);
         let gr = greedy_spanner(&g, params.kappa).len();
         let norm = ours.spanner_edges as f64 / (n as f64).powf(1.0 + 1.0 / params.kappa as f64);
         points.push((n, ours.spanner_edges as f64));
@@ -63,7 +68,7 @@ fn main() {
     println!("\nsparse inputs (G(n,p) with average degree 12): the spanner keeps");
     let mut t2 = TableBuilder::new(vec!["n", "m", "|H| ours", "kept fraction"]);
     for n in [128usize, 256, 512, 1024] {
-        let g = generators::connected_gnp(n, 12.0 / n as f64, 3);
+        let g = generators::connected_gnp(n, 12.0 / n as f64, seed.wrapping_add(2));
         let ours = run_ours("gnp", &g, params);
         t2.row(vec![
             n.to_string(),
@@ -79,9 +84,9 @@ fn main() {
     let mut pts: Vec<(usize, f64)> = Vec::new();
     for n in [64usize, 128, 256, 512] {
         let m = (n as f64).powf(1.5) as usize;
-        let g = generators::gnm(n, m, 9);
+        let g = generators::gnm(n, m, seed.wrapping_add(8));
         let ours = run_ours("gnm", &g, params);
-        let (bs, _) = run_baswana_sen(&g, params.kappa, 2);
+        let (bs, _) = run_baswana_sen(&g, params.kappa, seed.wrapping_add(1));
         pts.push((n, ours.spanner_edges as f64));
         t3.row(vec![
             n.to_string(),

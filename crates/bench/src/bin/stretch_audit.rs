@@ -2,28 +2,20 @@
 //! verification of the `(1+ε, β)` guarantee across the workload suite, with
 //! the measured effective β against the paper's worst-case envelope.
 //!
-//! Usage: `stretch_audit [--threads T]`
+//! Usage: `stretch_audit [--threads T] [--seed S]`
 //!
 //! `--threads` sizes the shared worker pool the audits fan their BFS runs
 //! out on (default: `NAS_THREADS` env, else available parallelism). The
 //! audit result is identical at every thread count.
 
-use nas_bench::{default_params, run_ours, workloads};
+use nas_bench::{default_params, run_ours, workloads, BenchCli};
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse::<usize>().expect("numeric --threads argument"))
-        .unwrap_or_else(nas_par::default_threads);
+    let cli = BenchCli::parse();
     // The audits run on the process-wide pool; size it explicitly before
     // first use.
-    if let Err(frozen) = nas_par::init_global(threads) {
-        eprintln!("warning: global pool already sized to {frozen} lanes; --threads ignored");
-    }
+    let threads = cli.init_pool();
     println!("stretch audits on {threads} worker-pool lane(s)");
 
     let params = default_params();
@@ -36,7 +28,7 @@ fn main() {
         "β envelope (worst case)",
         "within bound",
     ]);
-    for (name, g) in workloads(300, 11) {
+    for (name, g) in workloads(300, cli.seed(11)) {
         let r = run_ours(&name, &g, params);
         let (alpha_env, env) = r.result.schedule.stretch_envelope();
         let ok = r.audit.satisfies(alpha_env - 1.0, env)

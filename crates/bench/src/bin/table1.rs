@@ -6,12 +6,17 @@
 //! its *measured* behaviour (spanner size, effective β, CONGEST rounds) on a
 //! shared workload. Elkin '05 was never implemented by anyone and is quoted
 //! analytically (see DESIGN.md substitutions).
+//!
+//! Usage: `table1 [--seed S] [--threads T]`
 
-use nas_bench::{default_params, run_ours_distributed};
+use nas_bench::{default_params, run_ours_distributed, BenchCli};
 use nas_core::betas;
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(7);
     println!("== Table 1: deterministic CONGEST constructions (analytic) ==\n");
     let mut t = TableBuilder::new(vec![
         "κ",
@@ -76,7 +81,7 @@ fn main() {
         "eff. β",
     ]);
     for n in [96usize, 192] {
-        for (name, g) in nas_bench::workloads(n, 7).into_iter().take(2) {
+        for (name, g) in nas_bench::workloads(n, seed).into_iter().take(2) {
             let r = run_ours_distributed(&name, &g, params);
             let nf = r.n as f64;
             m.row(vec![

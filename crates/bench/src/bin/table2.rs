@@ -2,13 +2,18 @@
 //! constructions — analytic β/size/time for every row of the paper's table,
 //! plus measured rows for the three constructions this repository
 //! implements (New, EN17, Baswana–Sen as the multiplicative reference).
+//!
+//! Usage: `table2 [--seed S] [--threads T]`
 
-use nas_bench::{default_params, run_baswana_sen, run_en17, run_ours};
+use nas_bench::{default_params, run_baswana_sen, run_en17, run_ours, BenchCli};
 use nas_core::betas;
 use nas_graph::generators;
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 
 fn main() {
+    let cli = BenchCli::parse();
+    cli.init_pool();
+    let seed = cli.seed(13);
     let (eps, kappa, rho) = (0.5f64, 8u32, 0.3f64);
     println!(
         "== Table 2: known near-additive spanner constructions \
@@ -86,11 +91,13 @@ fn main() {
     println!("{}", t.render());
 
     println!("== Table 2 (measured): the implemented rows on one workload ==\n");
-    let g = generators::connected_gnp(300, 0.04, 13);
+    let g = generators::connected_gnp(300, 0.04, seed);
+    // Separate default so the no-flag output matches the pre-BenchCli rows.
+    let baseline_seed = cli.seed(5);
     let params = default_params();
     let ours = run_ours("gnp(300)", &g, params);
-    let (en_edges, en_audit) = run_en17(&g, params, 5);
-    let (bs_edges, bs_audit) = run_baswana_sen(&g, params.kappa, 5);
+    let (en_edges, en_audit) = run_en17(&g, params, baseline_seed);
+    let (bs_edges, bs_audit) = run_baswana_sen(&g, params.kappa, baseline_seed);
 
     let mut m = TableBuilder::new(vec![
         "construction",

@@ -9,9 +9,12 @@
 #![warn(missing_docs)]
 
 use nas_baselines::{baswana_sen, build_en17_centralized, build_en17_distributed, En17Params};
-use nas_core::{build_centralized, build_distributed, Params, SpannerResult};
+use nas_core::{Backend, Params, Report, Session};
 use nas_graph::{generators, Graph};
 use nas_metrics::{stretch_audit, StretchAudit};
+
+pub mod cli;
+pub use cli::BenchCli;
 
 /// The default parameter point used across experiments (practical mode).
 pub fn default_params() -> Params {
@@ -86,39 +89,39 @@ pub struct MeasuredRun {
     pub rounds: u64,
     /// The stretch audit (exact).
     pub audit: StretchAudit,
-    /// The full construction result.
-    pub result: SpannerResult,
+    /// The unified construction report.
+    pub result: Report,
 }
 
-/// Runs our deterministic algorithm (centralized) and audits it exactly.
-pub fn run_ours(name: &str, g: &Graph, params: Params) -> MeasuredRun {
-    let result = build_centralized(g, params).expect("valid parameters");
+/// Runs a configured [`Session`] on a backend and audits the spanner
+/// exactly — the one measurement path every experiment shares.
+pub fn run_session(name: &str, g: &Graph, params: Params, backend: Backend) -> MeasuredRun {
+    let result = Session::on(g)
+        .params(params)
+        .backend(backend)
+        .run()
+        .expect("valid parameters");
     let audit = stretch_audit(g, &result.to_graph(), params.eps);
     MeasuredRun {
         workload: name.to_string(),
         n: g.num_vertices(),
         m: g.num_edges(),
         spanner_edges: result.num_edges(),
-        rounds: 0,
+        rounds: result.rounds(),
         audit,
         result,
     }
+}
+
+/// Runs our deterministic algorithm (centralized) and audits it exactly.
+pub fn run_ours(name: &str, g: &Graph, params: Params) -> MeasuredRun {
+    run_session(name, g, params, Backend::Centralized)
 }
 
 /// Runs our deterministic algorithm distributed (measured rounds) and audits
 /// it exactly.
 pub fn run_ours_distributed(name: &str, g: &Graph, params: Params) -> MeasuredRun {
-    let result = build_distributed(g, params).expect("valid parameters");
-    let audit = stretch_audit(g, &result.to_graph(), params.eps);
-    MeasuredRun {
-        workload: name.to_string(),
-        n: g.num_vertices(),
-        m: g.num_edges(),
-        spanner_edges: result.num_edges(),
-        rounds: result.stats.rounds,
-        audit,
-        result,
-    }
+    run_session(name, g, params, Backend::Congest)
 }
 
 /// Measured EN17 row (centralized): `(edges, audit)`.

@@ -66,7 +66,19 @@
 //! ([`Simulator::run_until_quiet`]) reads the same bookkeeping and is
 //! O(active set) instead of O(n) per round.
 //!
-//! The [`reference`] module keeps the naive visit-everyone,
+//! # Streaming observation
+//!
+//! Callers that want to *watch* a run — progress bars, streaming metrics,
+//! round budgets — attach a [`RoundObserver`] via
+//! [`Simulator::run_rounds_observed`] /
+//! [`Simulator::run_until_quiet_observed`] and receive one [`RoundInfo`]
+//! (round index, messages sent, active-set size) per executed round; the
+//! observer can cancel the run by returning `false`. A disabled observer
+//! costs one branch per round and nothing allocates on either path (see
+//! [`observe`]). This replaces transcript retention for everything except
+//! bit-level divergence hunting, which stays on [`trace`].
+//!
+//! The [`mod@reference`] module keeps the naive visit-everyone,
 //! `Vec<Vec<_>>`-based simulator alive for differential testing: both
 //! planes must agree message-for-message on any contract-honoring protocol.
 //!
@@ -145,6 +157,7 @@
 #![warn(missing_docs)]
 
 mod msg;
+pub mod observe;
 pub mod programs;
 pub mod reference;
 mod sim;
@@ -152,7 +165,8 @@ mod stats;
 pub mod trace;
 
 pub use msg::{Incoming, Msg, MAX_WORDS};
+pub use observe::{NoopRoundObserver, RoundInfo, RoundObserver, RunHooks};
 pub use reference::ReferenceSimulator;
-pub use sim::{NodeProgram, QuietOutcome, RoundCtx, Simulator};
+pub use sim::{NodeProgram, QuietOutcome, RoundCtx, Simulator, DEFAULT_PAR_THRESHOLD};
 pub use stats::RunStats;
 pub use trace::{RoundRecord, Transcript};

@@ -27,6 +27,7 @@
 //! full invariant list.
 
 use crate::msg::{Incoming, Msg};
+use crate::observe::{NoopRoundObserver, RoundInfo, RoundObserver};
 use crate::stats::RunStats;
 use crate::trace::{RoundDigest, Transcript};
 use nas_graph::Graph;
@@ -986,9 +987,38 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
 
     /// Runs `k` rounds unconditionally.
     pub fn run_rounds(&mut self, k: u64) {
+        self.run_rounds_observed(k, &mut NoopRoundObserver);
+    }
+
+    /// Runs up to `k` rounds, reporting each executed round to `obs` and
+    /// stopping early if the observer returns `false`. Returns the number
+    /// of rounds executed by this call.
+    ///
+    /// When the observer is disabled ([`RoundObserver::enabled`]) the loop
+    /// is equivalent to [`run_rounds`](Simulator::run_rounds): no
+    /// [`RoundInfo`] is computed and nothing allocates.
+    pub fn run_rounds_observed(&mut self, k: u64, obs: &mut dyn RoundObserver) -> u64 {
+        let start = self.round;
+        let watching = obs.enabled();
+        let detail = watching && obs.wants_round_detail();
         for _ in 0..k {
-            self.step();
+            if watching {
+                let active = if detail { self.active_nodes() } else { 0 };
+                let before = self.stats.messages;
+                self.step();
+                let info = RoundInfo {
+                    round: self.round - 1,
+                    messages: self.stats.messages - before,
+                    active,
+                };
+                if !obs.on_round(info) {
+                    break;
+                }
+            } else {
+                self.step();
+            }
         }
+        self.round - start
     }
 
     /// Runs until the network is quiet — no messages in flight and every
@@ -1000,12 +1030,44 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// `max_rounds == 0`, no rounds execute and the returned
     /// [`QuietOutcome::quiescent`] reports the *current* state.
     pub fn run_until_quiet(&mut self, max_rounds: u64) -> QuietOutcome {
+        self.run_until_quiet_observed(max_rounds, &mut NoopRoundObserver)
+    }
+
+    /// [`run_until_quiet`](Simulator::run_until_quiet) with per-round
+    /// reports to `obs`. An observer that returns `false` stops the run;
+    /// the returned outcome then has `quiescent == false` (cancellation is
+    /// recorded by the observer side, e.g. [`crate::RunHooks::stopped`]).
+    ///
+    /// Quiescence is checked *before* the observer, so a run that goes
+    /// quiet on its last permitted round still reports `quiescent == true`.
+    pub fn run_until_quiet_observed(
+        &mut self,
+        max_rounds: u64,
+        obs: &mut dyn RoundObserver,
+    ) -> QuietOutcome {
         let start = self.round;
+        let watching = obs.enabled();
+        let detail = watching && obs.wants_round_detail();
         let mut quiescent = self.is_quiescent();
         for _ in 0..max_rounds {
+            let active = if detail { self.active_nodes() } else { 0 };
+            let before = self.stats.messages;
             self.step();
             quiescent = self.is_quiescent();
-            if quiescent {
+            if watching {
+                let info = RoundInfo {
+                    round: self.round - 1,
+                    messages: self.stats.messages - before,
+                    active,
+                };
+                let go = obs.on_round(info);
+                if quiescent {
+                    break;
+                }
+                if !go {
+                    break;
+                }
+            } else if quiescent {
                 break;
             }
         }

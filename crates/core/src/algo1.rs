@@ -41,7 +41,7 @@
 //! are made deterministic (smallest ids first) so the centralized and
 //! distributed implementations agree bit-for-bit — asserted in tests.
 
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::Graph;
 use std::collections::BTreeMap;
 
@@ -378,13 +378,28 @@ pub fn algo1_distributed(
     deg: usize,
     delta: u64,
 ) -> (PopularityInfo, RunStats) {
+    algo1_distributed_hooked(g, is_center, deg, delta, &mut RunHooks::none())
+}
+
+/// [`algo1_distributed`] with execution hooks: the simulator run reports to
+/// `hooks`' round observer (which may cancel it) and attaches `hooks`'
+/// worker pool. On cancellation (`hooks.stopped`) the returned knowledge is
+/// truncated mid-protocol — callers must check the flag and discard it.
+pub fn algo1_distributed_hooked(
+    g: &Graph,
+    is_center: &[bool],
+    deg: usize,
+    delta: u64,
+    hooks: &mut RunHooks<'_>,
+) -> (PopularityInfo, RunStats) {
     let n = g.num_vertices();
     assert_eq!(is_center.len(), n);
     let programs: Vec<Algo1Protocol> = (0..n)
         .map(|v| Algo1Protocol::new(is_center[v], deg, delta))
         .collect();
     let mut sim = Simulator::new(g, programs);
-    sim.run_rounds(algo1_rounds(deg, delta));
+    hooks.attach(&mut sim);
+    sim.run_rounds_observed(algo1_rounds(deg, delta), hooks);
     let stats = *sim.stats();
     let knowledge: Vec<Knowledge> = sim
         .into_programs()

@@ -25,10 +25,10 @@
 //! # Backends
 //!
 //! * [`build_centralized`] runs the loop over a
-//!   [`CentralizedEngine`](crate::engine::CentralizedEngine) (reference
+//!   [`CentralizedEngine`] (reference
 //!   implementations, zero cost);
 //! * [`build_distributed`] runs the *same* loop over a
-//!   [`CongestEngine`](crate::engine::CongestEngine) — every operation is a
+//!   [`CongestEngine`] — every operation is a
 //!   real CONGEST protocol on the simulator, with exact round accounting;
 //! * [`crate::local::build_local`] adapts the loop to LOCAL-model cost
 //!   accounting via [`LocalEngine`](crate::local::LocalEngine);
@@ -43,11 +43,14 @@
 use crate::cluster::Clustering;
 use crate::engine::{CentralizedEngine, CongestEngine, PhaseEngine};
 use crate::params::{ParamError, Params, Schedule};
-use nas_congest::RunStats;
+use crate::session::{Conduit, SessionError};
+use nas_congest::{RunHooks, RunStats};
 use nas_graph::{EdgeSet, Graph};
+use nas_par::WorkerPool;
 use nas_ruling::RulingParams;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-phase observability record (the quantities Figures 1–5 and
 /// Lemmas 2.10–2.12 are about).
@@ -122,9 +125,14 @@ impl SpannerResult {
 
 /// Builds the spanner with the centralized reference implementation.
 ///
+/// Thin legacy shim over the unified entry point — prefer
+/// `Session::on(g).params(p).run()`; this function is kept (bit-identical)
+/// so golden-transcript regressions keep pinning pre-redesign behavior.
+///
 /// # Errors
 ///
 /// Propagates parameter/schedule validation errors.
+#[deprecated(note = "use nas_core::Session with Backend::Centralized instead")]
 pub fn build_centralized(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
     build_with_engine(g, params, &mut CentralizedEngine)
 }
@@ -133,9 +141,15 @@ pub fn build_centralized(g: &Graph, params: Params) -> Result<SpannerResult, Par
 /// simulator; `result.stats.rounds` is the measured running time the paper's
 /// Corollary 2.9 bounds.
 ///
+/// Thin legacy shim over the unified entry point — prefer
+/// `Session::on(g).params(p).backend(Backend::Congest).run()`; this
+/// function is kept (bit-identical) so golden-transcript regressions keep
+/// pinning pre-redesign behavior.
+///
 /// # Errors
 ///
 /// Propagates parameter/schedule validation errors.
+#[deprecated(note = "use nas_core::Session with Backend::Congest instead")]
 pub fn build_distributed(g: &Graph, params: Params) -> Result<SpannerResult, ParamError> {
     build_with_engine(g, params, &mut CongestEngine::new())
 }
@@ -143,8 +157,8 @@ pub fn build_distributed(g: &Graph, params: Params) -> Result<SpannerResult, Par
 /// The phase loop of §2.1–§2.3, generic over the execution backend.
 ///
 /// See the module docs for the engine contract. All public entry points
-/// ([`build_centralized`], [`build_distributed`],
-/// [`crate::local::build_local`]) are thin wrappers around this function.
+/// (the legacy shims and `Session`) are thin wrappers around this function
+/// (or its observed variant).
 ///
 /// # Errors
 ///
@@ -154,6 +168,32 @@ pub fn build_with_engine<E: PhaseEngine>(
     params: Params,
     engine: &mut E,
 ) -> Result<SpannerResult, ParamError> {
+    let mut ctl = Conduit::noop();
+    build_with_engine_ctl(g, params, engine, &mut ctl, None).map_err(SessionError::expect_param)
+}
+
+/// Builds the per-call execution hooks an engine operation runs under: the
+/// conduit as the round observer, plus the session's worker pool.
+fn hooks<'a>(ctl: &'a mut Conduit<'_>, pool: Option<&'a Arc<WorkerPool>>) -> RunHooks<'a> {
+    RunHooks {
+        observer: Some(ctl),
+        pool,
+        stopped: false,
+    }
+}
+
+/// The observed phase loop behind [`build_with_engine`] and
+/// `Session::run`: emits `PhaseStarted` / `PhaseFinished` events through
+/// `ctl`, threads the round-observer + worker-pool hooks into every engine
+/// operation, and aborts (discarding the operation's result) as soon as the
+/// conduit reports the round budget exhausted.
+pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
+    g: &Graph,
+    params: Params,
+    engine: &mut E,
+    ctl: &mut Conduit<'_>,
+    pool: Option<&Arc<WorkerPool>>,
+) -> Result<SpannerResult, SessionError> {
     let n = g.num_vertices();
     let schedule = params.schedule(n)?;
     let ell = schedule.ell;
@@ -169,10 +209,11 @@ pub fn build_with_engine<E: PhaseEngine>(
             .unwrap_or(usize::MAX)
             .min(n + 1);
         let centers = clustering.centers().to_vec();
+        ctl.phase_started(i, centers.len(), delta, schedule.deg[i]);
 
         if centers.is_empty() {
             // Everything settled in earlier phases; later phases are no-ops.
-            phases.push(PhaseStats {
+            let ps = PhaseStats {
                 phase: i,
                 num_clusters: 0,
                 popular: 0,
@@ -186,7 +227,10 @@ pub fn build_with_engine<E: PhaseEngine>(
                 delta,
                 deg: schedule.deg[i],
                 rounds: 0,
-            });
+            };
+            phases.push(ps);
+            ctl.phase_finished(&ps);
+            ctl.bail()?;
             continue;
         }
 
@@ -196,16 +240,22 @@ pub fn build_with_engine<E: PhaseEngine>(
         }
 
         // --- Step 1: Algorithm 1 (popular detection + neighborhood maps) ---
-        let info = engine.detect_popular(g, &centers, &is_center, deg, delta);
+        let info =
+            engine.detect_popular(g, &centers, &is_center, deg, delta, &mut hooks(ctl, pool));
+        ctl.bail()?;
         let w_i = info.popular.clone();
 
         // --- Step 2: superclustering (all phases but the concluding one) ---
         let (u_centers, assignment, rs_len, sc_edges) = if i < ell {
             let q = u32::try_from(2 * delta).expect("2δ fits u32 by MAX_DELTA");
             let rp = RulingParams::new(q.max(1), schedule.ruling_c);
-            let rs = engine.ruling_set(g, &w_i, rp);
+            let rs = engine.ruling_set(g, &w_i, rp, &mut hooks(ctl, pool));
+            ctl.bail()?;
             let depth = schedule.sc_depth(i);
-            let sc = engine.supercluster(g, &rs.members, &centers, depth);
+            let sc = engine.supercluster(g, &rs.members, &centers, depth, &mut hooks(ctl, pool));
+            // A cancelled superclustering run is truncated garbage — bail
+            // before the Lemma 2.4 assertion can fire on it.
+            ctl.bail()?;
             // Lemma 2.4: every popular center must be superclustered.
             let spanned: HashMap<usize, usize> = sc.assignment.iter().copied().collect();
             for &p in &w_i {
@@ -229,7 +279,8 @@ pub fn build_with_engine<E: PhaseEngine>(
 
         // --- Step 3: interconnection from the settled clusters ---
         let h_before = h.len();
-        let inter = engine.interconnect(g, &info, &u_centers, deg, delta);
+        let inter = engine.interconnect(g, &info, &u_centers, deg, delta, &mut hooks(ctl, pool));
+        ctl.bail()?;
         h.union_with(&inter.edges);
         let interconnect_edges = h.len() - h_before;
 
@@ -247,7 +298,7 @@ pub fn build_with_engine<E: PhaseEngine>(
             }
         }
 
-        phases.push(PhaseStats {
+        let ps = PhaseStats {
             phase: i,
             num_clusters: centers.len(),
             popular: w_i.len(),
@@ -261,7 +312,10 @@ pub fn build_with_engine<E: PhaseEngine>(
             delta,
             deg: schedule.deg[i],
             rounds: engine.take_phase_rounds(),
-        });
+        };
+        phases.push(ps);
+        ctl.phase_finished(&ps);
+        ctl.bail()?;
 
         if let Some(assignment) = assignment {
             clustering = clustering.supercluster(&assignment);
@@ -279,6 +333,9 @@ pub fn build_with_engine<E: PhaseEngine>(
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately pin the legacy shims' behavior.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::cluster::verify_settled_partition;
     use nas_graph::generators;

@@ -27,9 +27,9 @@
 use crate::algo1::{self, PopularityInfo};
 use crate::interconnect::{self, Interconnection};
 use crate::supercluster::{self, Superclustering};
-use nas_congest::RunStats;
+use nas_congest::{RunHooks, RunStats};
 use nas_graph::Graph;
-use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams, RulingSet};
+use nas_ruling::{ruling_set_centralized, ruling_set_distributed_hooked, RulingParams, RulingSet};
 
 /// The per-phase primitives the spanner phase loop is generic over.
 ///
@@ -43,6 +43,15 @@ use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams, R
 /// Implementations must be deterministic: the driver's correctness
 /// assertions (Lemma 2.4, the settled-partition invariant) and the
 /// cross-backend equality tests rely on it.
+///
+/// Every operation receives the phase loop's execution hooks
+/// ([`nas_congest::RunHooks`]): simulating engines report each executed
+/// round to the hooks' observer (the [`crate::session`] event plane) and
+/// attach the hooks' worker pool to their simulators; non-simulating
+/// engines ignore them. An observer may *cancel* a run mid-simulation —
+/// the operation then returns truncated garbage and the driver, which
+/// checks for cancellation after every call, discards it and aborts the
+/// build (round-budget enforcement).
 pub trait PhaseEngine {
     /// Algorithm 1 (Appendix A / Theorem 2.1): every center discovers up to
     /// `deg` centers within distance `delta`; centers with `≥ deg` near
@@ -57,11 +66,18 @@ pub trait PhaseEngine {
         is_center: &[bool],
         deg: usize,
         delta: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> PopularityInfo;
 
     /// Theorem 2.2: a deterministic `(q+1, cq)`-ruling set over the popular
     /// centers `w` — the paper's replacement for EN17's random sampling.
-    fn ruling_set(&mut self, g: &Graph, w: &[usize], params: RulingParams) -> RulingSet;
+    fn ruling_set(
+        &mut self,
+        g: &Graph,
+        w: &[usize],
+        params: RulingParams,
+        hooks: &mut RunHooks<'_>,
+    ) -> RulingSet;
 
     /// Lemma 2.4: depth-bounded BFS forest from the ruling set; spanned
     /// centers merge into superclusters and the tree paths enter `H`.
@@ -71,6 +87,7 @@ pub trait PhaseEngine {
         roots: &[usize],
         centers: &[usize],
         depth: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> Superclustering;
 
     /// Lemma 2.6: every settled cluster center (`initiators`, the centers of
@@ -86,6 +103,7 @@ pub trait PhaseEngine {
         initiators: &[usize],
         deg: usize,
         delta: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> Interconnection;
 
     /// Drains the rounds accumulated since the last call — the cost of the
@@ -110,11 +128,18 @@ impl PhaseEngine for CentralizedEngine {
         is_center: &[bool],
         deg: usize,
         delta: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> PopularityInfo {
         algo1::algo1_centralized(g, is_center, deg, delta)
     }
 
-    fn ruling_set(&mut self, g: &Graph, w: &[usize], params: RulingParams) -> RulingSet {
+    fn ruling_set(
+        &mut self,
+        g: &Graph,
+        w: &[usize],
+        params: RulingParams,
+        _hooks: &mut RunHooks<'_>,
+    ) -> RulingSet {
         ruling_set_centralized(g, w, params)
     }
 
@@ -124,6 +149,7 @@ impl PhaseEngine for CentralizedEngine {
         roots: &[usize],
         centers: &[usize],
         depth: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> Superclustering {
         supercluster::supercluster_centralized(g, roots, centers, depth)
     }
@@ -135,6 +161,7 @@ impl PhaseEngine for CentralizedEngine {
         initiators: &[usize],
         _deg: usize,
         _delta: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> Interconnection {
         interconnect::interconnect_centralized(g, info, initiators)
     }
@@ -185,14 +212,21 @@ impl PhaseEngine for CongestEngine {
         is_center: &[bool],
         deg: usize,
         delta: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> PopularityInfo {
-        let (info, s) = algo1::algo1_distributed(g, is_center, deg, delta);
+        let (info, s) = algo1::algo1_distributed_hooked(g, is_center, deg, delta, hooks);
         self.charge(&s);
         info
     }
 
-    fn ruling_set(&mut self, g: &Graph, w: &[usize], params: RulingParams) -> RulingSet {
-        let (rs, s) = ruling_set_distributed(g, w, params);
+    fn ruling_set(
+        &mut self,
+        g: &Graph,
+        w: &[usize],
+        params: RulingParams,
+        hooks: &mut RunHooks<'_>,
+    ) -> RulingSet {
+        let (rs, s) = ruling_set_distributed_hooked(g, w, params, hooks);
         self.charge(&s);
         rs
     }
@@ -203,8 +237,10 @@ impl PhaseEngine for CongestEngine {
         roots: &[usize],
         centers: &[usize],
         depth: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> Superclustering {
-        let (sc, s) = supercluster::supercluster_distributed(g, roots, centers, depth);
+        let (sc, s) =
+            supercluster::supercluster_distributed_hooked(g, roots, centers, depth, hooks);
         self.charge(&s);
         sc
     }
@@ -216,11 +252,13 @@ impl PhaseEngine for CongestEngine {
         initiators: &[usize],
         deg: usize,
         delta: u64,
+        hooks: &mut RunHooks<'_>,
     ) -> Interconnection {
         // Trace-backs complete within δ·(deg+1) + 4 rounds (Lemma 2.6's
         // pipelining argument with our exact constants).
         let max_rounds = deg as u64 * delta + delta + 4;
-        let (inter, s) = interconnect::interconnect_distributed(g, info, initiators, max_rounds);
+        let (inter, s) =
+            interconnect::interconnect_distributed_hooked(g, info, initiators, max_rounds, hooks);
         self.charge(&s);
         inter
     }

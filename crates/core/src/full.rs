@@ -28,12 +28,16 @@
 //! spanner is asserted (in tests) to be identical to both other backends.
 
 use crate::algo1::{algo1_rounds, Algo1Protocol};
+use crate::driver::PhaseStats;
 use crate::interconnect::TraceProtocol;
 use crate::params::{ParamError, Params, Schedule};
+use crate::session::{Conduit, SessionError};
 use crate::supercluster::SuperclusterProtocol;
 use nas_congest::{NodeProgram, RoundCtx, RunStats, Simulator};
 use nas_graph::{EdgeSet, Graph};
+use nas_par::WorkerPool;
 use nas_ruling::{RulingParams, RulingProtocol};
+use std::sync::Arc;
 
 /// Round windows of one phase (absolute global rounds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,32 +222,23 @@ pub struct FullProtocolResult {
 
 /// Runs the entire construction as a single CONGEST protocol.
 ///
+/// Thin legacy shim — prefer
+/// `Session::on(g).params(p).backend(Backend::Full).run()`, whose unified
+/// `Report` adds per-window phase records and the observer event plane.
+///
 /// # Errors
 ///
 /// Propagates parameter/schedule validation errors.
+#[deprecated(note = "use nas_core::Session with Backend::Full instead")]
 pub fn run_full_protocol(g: &Graph, params: Params) -> Result<FullProtocolResult, ParamError> {
-    let n = g.num_vertices();
-    let schedule = params.schedule(n)?;
-    let windows = windows(&schedule, n);
-    let total = windows.last().map(|w| w.end).unwrap_or(0);
-    let programs: Vec<FullProtocol> = (0..n)
-        .map(|_| FullProtocol::new(schedule.clone(), windows.clone()))
-        .collect();
-    let mut sim = Simulator::new(g, programs);
     // Multi-core round execution on the shared pool (NAS_THREADS honored);
     // transcripts and stats are bit-identical to the sequential path, so
     // the golden engine digests hold at every thread count.
-    if nas_par::global().threads() > 1 {
-        sim.set_pool(nas_par::global_arc());
-    }
-    sim.run_rounds(total);
-    let stats = *sim.stats();
-    let mut spanner = EdgeSet::new(n);
-    for p in sim.into_programs() {
-        for &(a, b) in p.edges() {
-            spanner.insert(a as usize, b as usize);
-        }
-    }
+    let global = nas_par::global_arc();
+    let pool = (global.threads() > 1).then_some(global);
+    let mut ctl = Conduit::noop();
+    let (spanner, stats, schedule, _phases) =
+        run_full_ctl(g, params, &mut ctl, pool.as_ref()).map_err(SessionError::expect_param)?;
     Ok(FullProtocolResult {
         spanner,
         stats,
@@ -251,8 +246,70 @@ pub fn run_full_protocol(g: &Graph, params: Params) -> Result<FullProtocolResult
     })
 }
 
+/// The observed composite run behind [`run_full_protocol`] and
+/// `Session::run` with `Backend::Full`: drives the single simulation one
+/// schedule window at a time, emitting `PhaseStarted` / `PhaseFinished`
+/// through `ctl` and reporting every round to its observer (which may
+/// cancel on budget exhaustion).
+///
+/// The per-phase records carry only the window quantities every node can
+/// derive locally (`δ_i`, `deg_i`, rounds); the structural counters
+/// (cluster/popular/settled counts) require a global view the composite
+/// protocol deliberately does not have, and read as zero.
+pub(crate) fn run_full_ctl(
+    g: &Graph,
+    params: Params,
+    ctl: &mut Conduit<'_>,
+    pool: Option<&Arc<WorkerPool>>,
+) -> Result<(EdgeSet, RunStats, Schedule, Vec<PhaseStats>), SessionError> {
+    let n = g.num_vertices();
+    let schedule = params.schedule(n)?;
+    let windows = windows(&schedule, n);
+    let programs: Vec<FullProtocol> = (0..n)
+        .map(|_| FullProtocol::new(schedule.clone(), windows.clone()))
+        .collect();
+    let mut sim = Simulator::new(g, programs);
+    if let Some(pool) = pool {
+        sim.set_pool(Arc::clone(pool));
+    }
+    let mut phases = Vec::with_capacity(windows.len());
+    for (i, w) in windows.iter().enumerate() {
+        ctl.phase_started(i, 0, schedule.delta[i], schedule.deg[i]);
+        let executed = sim.run_rounds_observed(w.end - w.algo1, ctl);
+        let ps = PhaseStats {
+            phase: i,
+            num_clusters: 0,
+            popular: 0,
+            ruling_set: 0,
+            superclustered: 0,
+            settled_clusters: 0,
+            supercluster_path_edges: 0,
+            interconnect_paths: 0,
+            interconnect_edges: 0,
+            h_edges_cumulative: 0,
+            delta: schedule.delta[i],
+            deg: schedule.deg[i],
+            rounds: executed,
+        };
+        phases.push(ps);
+        ctl.phase_finished(&ps);
+        ctl.bail()?;
+    }
+    let stats = *sim.stats();
+    let mut spanner = EdgeSet::new(n);
+    for p in sim.into_programs() {
+        for &(a, b) in p.edges() {
+            spanner.insert(a as usize, b as usize);
+        }
+    }
+    Ok((spanner, stats, schedule, phases))
+}
+
 #[cfg(test)]
 mod tests {
+    // These tests deliberately pin the legacy shims' behavior.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{build_centralized, build_distributed};
     use nas_graph::generators;

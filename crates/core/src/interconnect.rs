@@ -17,7 +17,7 @@
 //! (Lemma 2.8's interconnection term).
 
 use crate::algo1::PopularityInfo;
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::{EdgeSet, Graph};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -194,6 +194,21 @@ pub fn interconnect_distributed(
     initiators: &[usize],
     max_rounds: u64,
 ) -> (Interconnection, RunStats) {
+    interconnect_distributed_hooked(g, info, initiators, max_rounds, &mut RunHooks::none())
+}
+
+/// [`interconnect_distributed`] with execution hooks: the simulator run
+/// reports to `hooks`' round observer (which may cancel it) and attaches
+/// `hooks`' worker pool. On cancellation (`hooks.stopped`) the
+/// must-go-quiet assertion is waived and the returned edges are partial —
+/// callers must check the flag and discard them.
+pub fn interconnect_distributed_hooked(
+    g: &Graph,
+    info: &PopularityInfo,
+    initiators: &[usize],
+    max_rounds: u64,
+    hooks: &mut RunHooks<'_>,
+) -> (Interconnection, RunStats) {
     let n = g.num_vertices();
     let mut is_initiator = vec![false; n];
     for &v in initiators {
@@ -203,9 +218,10 @@ pub fn interconnect_distributed(
         .map(|v| TraceProtocol::new(is_initiator[v], &info.knowledge[v]))
         .collect();
     let mut sim = Simulator::new(g, programs);
-    let outcome = sim.run_until_quiet(max_rounds);
+    hooks.attach(&mut sim);
+    let outcome = sim.run_until_quiet_observed(max_rounds, hooks);
     assert!(
-        outcome.quiescent,
+        outcome.quiescent || hooks.stopped,
         "interconnection did not finish within {max_rounds} rounds"
     );
     let stats = *sim.stats();

@@ -35,19 +35,31 @@
 //! algorithm is deterministic — and the distributed run reports true round
 //! counts for the time experiments.
 //!
-//! # Example
+//! # Entry point: [`Session`]
+//!
+//! All backends hang off one fluent builder returning one unified
+//! [`Report`] (see [`session`] for the full knob ↔ paper-parameter map and
+//! the streaming [`Observer`] event plane):
 //!
 //! ```
-//! use nas_core::{build_centralized, Params};
+//! use nas_core::{Backend, Params, Session};
 //! use nas_graph::generators;
 //!
 //! let g = generators::grid2d(8, 8);
-//! let result = build_centralized(&g, Params::practical(0.5, 4, 0.45))?;
-//! assert!(result.num_edges() <= g.num_edges());
+//! let report = Session::on(&g)
+//!     .params(Params::practical(0.5, 4, 0.45))
+//!     .backend(Backend::Centralized)
+//!     .run()?;
+//! assert!(report.num_edges() <= g.num_edges());
 //! // The spanner is a subgraph of g.
-//! assert!(result.spanner.verify_subgraph_of(&g).is_ok());
-//! # Ok::<(), nas_core::ParamError>(())
+//! assert!(report.spanner.verify_subgraph_of(&g).is_ok());
+//! # Ok::<(), nas_core::SessionError>(())
 //! ```
+//!
+//! The historical free functions (`build_centralized`,
+//! `build_distributed`, `build_local`, `run_full_protocol`) remain as
+//! deprecated bit-identical shims so golden-transcript regressions keep
+//! their anchors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,12 +72,20 @@ pub mod full;
 pub mod interconnect;
 pub mod local;
 pub mod params;
+pub mod session;
 pub mod supercluster;
 
-pub use driver::{
-    build_centralized, build_distributed, build_with_engine, PhaseStats, SpannerResult,
-};
+#[allow(deprecated)]
+pub use driver::{build_centralized, build_distributed};
+pub use driver::{build_with_engine, PhaseStats, SpannerResult};
 pub use engine::{CentralizedEngine, CongestEngine, PhaseEngine};
-pub use full::{run_full_protocol, FullProtocol, FullProtocolResult};
-pub use local::{build_local, LocalEngine, LocalRunResult};
+#[allow(deprecated)]
+pub use full::run_full_protocol;
+pub use full::{FullProtocol, FullProtocolResult};
+#[allow(deprecated)]
+pub use local::build_local;
+pub use local::{LocalEngine, LocalRunResult};
 pub use params::{betas, Mode, ParamError, Params, Schedule};
+pub use session::{
+    Backend, Event, EventLog, Observer, Report, Session, SessionError, StretchSummary,
+};

@@ -34,7 +34,7 @@ use crate::engine::PhaseEngine;
 use crate::interconnect::{interconnect_centralized, Interconnection};
 use crate::params::{ParamError, Params};
 use crate::supercluster::{supercluster_centralized, Superclustering};
-use nas_congest::RunStats;
+use nas_congest::{RunHooks, RunStats};
 use nas_graph::{EdgeSet, Graph};
 use nas_ruling::{ruling_set_centralized, RulingParams, RulingSet};
 
@@ -67,6 +67,7 @@ impl PhaseEngine for LocalEngine {
         is_center: &[bool],
         deg: usize,
         delta: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> PopularityInfo {
         let n = g.num_vertices();
         // LOCAL Algorithm 1: full δ-ball gathering — δ_i rounds, no
@@ -83,7 +84,13 @@ impl PhaseEngine for LocalEngine {
         info
     }
 
-    fn ruling_set(&mut self, g: &Graph, w: &[usize], params: RulingParams) -> RulingSet {
+    fn ruling_set(
+        &mut self,
+        g: &Graph,
+        w: &[usize],
+        params: RulingParams,
+        _hooks: &mut RunHooks<'_>,
+    ) -> RulingSet {
         // Ruling-set rounds are bandwidth-light already; same cost as
         // CONGEST. Skipped when W_i is empty — matching the distributed
         // implementation's early exit, so LOCAL and CONGEST accounting stay
@@ -102,6 +109,7 @@ impl PhaseEngine for LocalEngine {
         roots: &[usize],
         centers: &[usize],
         depth: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> Superclustering {
         self.charge(2 * depth + 2);
         supercluster_centralized(g, roots, centers, depth)
@@ -114,6 +122,7 @@ impl PhaseEngine for LocalEngine {
         initiators: &[usize],
         _deg: usize,
         delta: u64,
+        _hooks: &mut RunHooks<'_>,
     ) -> Interconnection {
         // LOCAL interconnection: all traces complete within δ_i rounds
         // (unbounded bandwidth, paths of length ≤ δ_i).
@@ -163,9 +172,14 @@ impl LocalRunResult {
 /// Builds the spanner under LOCAL-model semantics (see module docs) — a
 /// thin adapter over the shared phase loop with a [`LocalEngine`].
 ///
+/// Thin legacy shim — prefer
+/// `Session::on(g).params(p).backend(Backend::Local).run()`, whose unified
+/// `Report` carries the same accounting plus settlement records.
+///
 /// # Errors
 ///
 /// Propagates parameter/schedule validation errors.
+#[deprecated(note = "use nas_core::Session with Backend::Local instead")]
 pub fn build_local(g: &Graph, params: Params) -> Result<LocalRunResult, ParamError> {
     let r = build_with_engine(g, params, &mut LocalEngine::new())?;
     Ok(LocalRunResult {
@@ -178,6 +192,9 @@ pub fn build_local(g: &Graph, params: Params) -> Result<LocalRunResult, ParamErr
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately pin the legacy shims' behavior.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::build_centralized;
     use nas_graph::generators;

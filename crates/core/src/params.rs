@@ -73,6 +73,32 @@ pub enum ParamError {
     GraphTooSmall(usize),
 }
 
+impl ParamError {
+    /// The name of the parameter (or derived quantity) the error is about —
+    /// stable identifiers for programmatic handling and error tables.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ParamError::EpsilonOutOfRange(_) => "epsilon",
+            ParamError::KappaTooSmall(_) => "kappa",
+            ParamError::RhoOutOfRange { .. } => "rho",
+            ParamError::ScheduleOverflow { .. } => "delta",
+            ParamError::GraphTooSmall(_) => "n",
+        }
+    }
+
+    /// The offending value, rendered. Together with [`ParamError::field`]
+    /// this gives `(field, value)` without string-parsing the display form.
+    pub fn offending(&self) -> String {
+        match self {
+            ParamError::EpsilonOutOfRange(e) => e.to_string(),
+            ParamError::KappaTooSmall(k) => k.to_string(),
+            ParamError::RhoOutOfRange { rho, .. } => rho.to_string(),
+            ParamError::ScheduleOverflow { delta, .. } => delta.to_string(),
+            ParamError::GraphTooSmall(n) => n.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for ParamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -527,5 +553,78 @@ mod tests {
     fn error_display() {
         let e = Params::practical(0.5, 1, 0.4).validate().unwrap_err();
         assert!(e.to_string().contains("kappa"));
+    }
+
+    #[test]
+    fn errors_carry_field_and_offending_value() {
+        let cases: Vec<(ParamError, &str, &str)> = vec![
+            (
+                Params::practical(1.5, 4, 0.45).validate().unwrap_err(),
+                "epsilon",
+                "1.5",
+            ),
+            (
+                Params::practical(0.5, 1, 0.45).validate().unwrap_err(),
+                "kappa",
+                "1",
+            ),
+            (
+                Params::practical(0.5, 4, 0.6).validate().unwrap_err(),
+                "rho",
+                "0.6",
+            ),
+            (
+                Params::practical(0.5, 4, 0.45).schedule(1).unwrap_err(),
+                "n",
+                "1",
+            ),
+        ];
+        for (e, field, value) in cases {
+            assert_eq!(e.field(), field, "{e}");
+            assert_eq!(e.offending(), value, "{e}");
+        }
+    }
+
+    #[test]
+    fn epsilon_edge_cases() {
+        // The boundary ε = 1 is valid; 0, negatives, >1 and NaN are not —
+        // the `!(ε > 0 && ε ≤ 1)` form must catch NaN, which every
+        // comparison-based rewrite silently lets through.
+        assert!(Params::practical(1.0, 4, 0.45).validate().is_ok());
+        for bad in [0.0, -0.25, 1.0 + 1e-12, f64::NAN, f64::INFINITY] {
+            let e = Params::practical(bad, 4, 0.45).validate().unwrap_err();
+            assert_eq!(e.field(), "epsilon", "eps = {bad}");
+        }
+        // Tiny-but-positive ε is *valid* per se; it fails later, at
+        // schedule derivation, as a structured delta overflow.
+        assert!(Params::practical(1e-9, 16, 0.26).validate().is_ok());
+    }
+
+    #[test]
+    fn rho_edge_cases_including_nan() {
+        // Closed lower bound 1/κ, open upper bound 1/2.
+        assert!(Params::practical(0.5, 4, 0.25).validate().is_ok());
+        for bad in [0.5, 0.25 - 1e-12, f64::NAN] {
+            let e = Params::practical(0.5, 4, bad).validate().unwrap_err();
+            assert_eq!(e.field(), "rho", "rho = {bad}");
+        }
+    }
+
+    #[test]
+    fn beta_overflow_reports_phase_and_delta() {
+        // The δ_i (and hence β) blow-up from a tiny ε is a structured
+        // ScheduleOverflow carrying the phase and the overflowing value.
+        let e = Params::practical(1e-9, 16, 0.26)
+            .schedule(1024)
+            .unwrap_err();
+        match &e {
+            ParamError::ScheduleOverflow { phase, delta } => {
+                assert!(*phase > 0, "phase 0 has δ = 1 and cannot overflow");
+                assert!(*delta > Schedule::MAX_DELTA);
+                assert_eq!(e.field(), "delta");
+                assert_eq!(e.offending(), delta.to_string());
+            }
+            other => panic!("expected ScheduleOverflow, got {other:?}"),
+        }
     }
 }

@@ -18,7 +18,7 @@
 //!    Shared path prefixes are confirmed once, and the union of marked edges
 //!    equals the union of root→center tree paths.
 
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::{bfs, EdgeSet, Graph};
 
 /// Output of one superclustering step.
@@ -228,6 +228,21 @@ pub fn supercluster_distributed(
     centers: &[usize],
     depth: u64,
 ) -> (Superclustering, RunStats) {
+    supercluster_distributed_hooked(g, roots, centers, depth, &mut RunHooks::none())
+}
+
+/// [`supercluster_distributed`] with execution hooks: the simulator run
+/// reports to `hooks`' round observer (which may cancel it) and attaches
+/// `hooks`' worker pool. On cancellation (`hooks.stopped`) the returned
+/// forest is truncated mid-protocol — callers must check the flag and
+/// discard it.
+pub fn supercluster_distributed_hooked(
+    g: &Graph,
+    roots: &[usize],
+    centers: &[usize],
+    depth: u64,
+    hooks: &mut RunHooks<'_>,
+) -> (Superclustering, RunStats) {
     let n = g.num_vertices();
     let mut is_root = vec![false; n];
     for &r in roots {
@@ -241,7 +256,8 @@ pub fn supercluster_distributed(
         .map(|v| SuperclusterProtocol::new(is_root[v], is_center[v], depth))
         .collect();
     let mut sim = Simulator::new(g, programs);
-    sim.run_rounds(SuperclusterProtocol::total_rounds(depth));
+    hooks.attach(&mut sim);
+    sim.run_rounds_observed(SuperclusterProtocol::total_rounds(depth), hooks);
     let stats = *sim.stats();
     let programs = sim.into_programs();
 

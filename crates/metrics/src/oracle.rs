@@ -236,7 +236,10 @@ mod tests {
     #[test]
     fn end_to_end_with_real_spanner() {
         let g = generators::connected_gnp(70, 0.1, 4);
-        let r = nas_core::build_centralized(&g, nas_core::Params::practical(0.5, 4, 0.45)).unwrap();
+        let r = nas_core::Session::on(&g)
+            .params(nas_core::Params::practical(0.5, 4, 0.45))
+            .run()
+            .unwrap();
         let mut o = SpannerOracle::new(r.to_graph());
         let pairs: Vec<(usize, usize)> = (0..70).map(|v| (0, v)).collect();
         let q = compare(&g, &mut o, &pairs);

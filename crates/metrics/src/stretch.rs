@@ -227,7 +227,7 @@ pub fn stretch_audit(g: &Graph, h: &Graph, eps: f64) -> StretchAudit {
 /// [`stretch_audit`] on an explicit worker pool.
 ///
 /// This replaced a hand-rolled `thread::scope` + `Mutex` accumulator: each
-/// lane now fills a private [`Partial`] histogram and the merge happens
+/// lane now fills a private `Partial` histogram and the merge happens
 /// lock-free in lane order after the join, which removes both the lock
 /// contention on the shared accumulator and the lock-poisoning failure mode
 /// (a panicking lane now surfaces as a pool panic, not a poisoned `Mutex`).

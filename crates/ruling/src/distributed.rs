@@ -15,7 +15,7 @@
 use crate::centralized::assemble;
 use crate::digits::DigitPlan;
 use crate::result::{RulingParams, RulingSet};
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunStats, Simulator};
+use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::Graph;
 
 /// Per-node state of the distributed ruling-set protocol.
@@ -161,6 +161,26 @@ pub fn ruling_set_distributed(
     w: &[usize],
     params: RulingParams,
 ) -> (RulingSet, RunStats) {
+    ruling_set_distributed_hooked(g, w, params, &mut RunHooks::none())
+}
+
+/// [`ruling_set_distributed`] with execution hooks: the simulator run
+/// reports to `hooks`' round observer (which may cancel it) and attaches
+/// `hooks`' worker pool.
+///
+/// When the observer cancels the run (`hooks.stopped`), the returned set is
+/// assembled from the truncated protocol state and is **not** a valid
+/// ruling set — callers must check `hooks.stopped` and discard it.
+///
+/// # Panics
+///
+/// Panics if a vertex of `w` is out of range.
+pub fn ruling_set_distributed_hooked(
+    g: &Graph,
+    w: &[usize],
+    params: RulingParams,
+    hooks: &mut RunHooks<'_>,
+) -> (RulingSet, RunStats) {
     let n = g.num_vertices();
     let mut in_w = vec![false; n];
     for &v in w {
@@ -180,7 +200,8 @@ pub fn ruling_set_distributed(
         .map(|v| RulingProtocol::new(n, params, in_w[v]))
         .collect();
     let mut sim = Simulator::new(g, programs);
-    sim.run_rounds(RulingProtocol::total_rounds(n, params));
+    hooks.attach(&mut sim);
+    sim.run_rounds_observed(RulingProtocol::total_rounds(n, params), hooks);
     let stats = *sim.stats();
     let programs = sim.into_programs();
     let active: Vec<bool> = programs.iter().map(|p| p.active).collect();

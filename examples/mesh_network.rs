@@ -11,7 +11,7 @@
 //! ```
 
 use nas_baselines::baswana_sen;
-use nas_core::{build_centralized, Params};
+use nas_core::{Params, Session};
 use nas_graph::generators;
 use nas_metrics::{stretch_audit, TableBuilder};
 
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let params = Params::practical(0.5, 3, 0.45);
-    let ours = build_centralized(&g, params)?;
+    let ours = Session::on(&g).params(params).run()?;
     let bs = baswana_sen(&g, 3, 7);
 
     let ours_audit = stretch_audit(&g, &ours.to_graph(), params.eps);

@@ -72,4 +72,49 @@ fn main() {
     );
     let reached = sim.programs().iter().filter(|p| p.dist.is_some()).count();
     println!("reached {reached}/{n} vertices (the giant component at this density)");
+
+    // --- 3. The full construction, watched live. -------------------------
+    // The spanner's round schedule is super-linear in wall time, so it runs
+    // at n/100 here — the point is the `Session` observer plane: per-phase
+    // progress streams out of the running simulation with zero retention
+    // (no transcript), which is what makes long builds supervisable.
+    let sn = (n / 100).max(1_000);
+    println!("building connected_gnp({sn}, deg≈8) and its spanner …");
+    let g = nas_graph::generators::connected_gnp(sn, 8.0 / sn as f64, 7);
+    let t = Instant::now();
+
+    /// Phase-level progress only: opting out of round events
+    /// (`wants_rounds = false`) also lets the simulator skip the per-round
+    /// active-set count — the right observer shape for very long runs.
+    struct PhaseProgress;
+    impl nas_core::Observer for PhaseProgress {
+        fn on_event(&mut self, e: &nas_core::Event) {
+            if let nas_core::Event::PhaseFinished { phase, stats } = e {
+                println!(
+                    "  phase {phase}: {} clusters -> {} settled, {} rounds, |H| = {}",
+                    stats.num_clusters,
+                    stats.settled_clusters,
+                    stats.rounds,
+                    stats.h_edges_cumulative
+                );
+            }
+        }
+        fn wants_rounds(&self) -> bool {
+            false
+        }
+    }
+    let mut obs = PhaseProgress;
+    let report = nas_core::Session::on(&g)
+        .backend(nas_core::Backend::Congest)
+        .observer(&mut obs)
+        .run()
+        .expect("valid parameters");
+    println!(
+        "spanner: {} edges of {}, {} rounds, {} messages in {:?}",
+        report.num_edges(),
+        g.num_edges(),
+        report.rounds(),
+        report.messages(),
+        t.elapsed()
+    );
 }

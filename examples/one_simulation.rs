@@ -10,7 +10,7 @@
 //! cargo run --release --example one_simulation
 //! ```
 
-use nas_core::{build_centralized, run_full_protocol, Params};
+use nas_core::{Backend, Params, Session};
 use nas_graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,16 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.num_edges()
     );
 
-    let full = run_full_protocol(&g, params)?;
+    let full = Session::on(&g)
+        .params(params)
+        .backend(Backend::Full)
+        .run()?;
     println!(
         "single-simulation run: {} rounds (= the fixed schedule length), \
          {} messages, {} spanner edges",
-        full.stats.rounds,
-        full.stats.messages,
-        full.spanner.len()
+        full.rounds(),
+        full.messages(),
+        full.num_edges()
     );
 
-    let reference = build_centralized(&g, params)?;
+    let reference = Session::on(&g).params(params).run()?;
     let mut a: Vec<_> = full.spanner.iter().collect();
     let mut b: Vec<_> = reference.spanner.iter().collect();
     a.sort_unstable();
@@ -44,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "schedule bound (Lemma 2.8 analogue): {} rounds ≥ measured {}",
         full.schedule.total_round_bound(),
-        full.stats.rounds
+        full.rounds()
     );
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nas_core::{build_centralized, Params};
+use nas_core::{Params, Session};
 use nas_graph::generators;
 use nas_metrics::stretch_audit;
 
@@ -18,9 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (1+ε, β)-spanner parameters: ε = 0.5, κ = 4 (size ~ n^{1.25}),
-    // ρ = 0.45 (CONGEST time ~ n^{0.45}).
+    // ρ = 0.45 (CONGEST time ~ n^{0.45}). One fluent entry point for every
+    // backend; the default is the centralized reference.
     let params = Params::practical(0.5, 4, 0.45);
-    let result = build_centralized(&g, params)?;
+    let result = Session::on(&g).params(params).run()?;
 
     println!(
         "spanner: {} edges ({:.1}% of the graph), {} phases",

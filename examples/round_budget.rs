@@ -1,15 +1,18 @@
-//! CONGEST round accounting: run the construction as a real message-passing
-//! protocol and see where the rounds go.
+//! CONGEST round accounting, streamed: run the construction as a real
+//! message-passing protocol, watch it through the `Observer` event plane,
+//! and enforce a hard round budget.
 //!
 //! The paper's bound is `O(β · n^ρ · ρ⁻¹)` rounds (Corollary 2.9 / 2.18);
-//! this example runs the full distributed pipeline on the simulator and
-//! breaks the measured rounds down per phase and per step bound.
+//! this example runs the full distributed pipeline on the simulator, breaks
+//! the measured rounds down per phase (streamed live, not post-processed
+//! from a transcript), and then shows the budget knob cancelling a run that
+//! exceeds its allowance.
 //!
 //! ```sh
 //! cargo run --release --example round_budget
 //! ```
 
-use nas_core::{build_distributed, Params};
+use nas_core::{Backend, Event, Params, Session, SessionError};
 use nas_graph::generators;
 use nas_metrics::TableBuilder;
 
@@ -25,12 +28,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.rho
     );
 
-    let r = build_distributed(&g, params)?;
+    // Stream the per-phase progress while the build runs: the observer sees
+    // typed events, no transcript is retained anywhere.
+    let mut live: Vec<(usize, u64, u64)> = Vec::new(); // (phase, rounds, messages)
+    let mut phase_msgs = 0u64;
+    let mut obs = |e: &Event| match e {
+        Event::RoundCompleted { messages, .. } => phase_msgs += messages,
+        Event::PhaseFinished { phase, stats } => {
+            live.push((*phase, stats.rounds, phase_msgs));
+            phase_msgs = 0;
+        }
+        _ => {}
+    };
+    let r = Session::on(&g)
+        .params(params)
+        .backend(Backend::Congest)
+        .observer(&mut obs)
+        .run()?;
 
     let mut t = TableBuilder::new(vec![
-        "phase", "δ_i", "deg_i", "|P_i|", "popular", "|RS_i|", "rounds", "bound",
+        "phase",
+        "δ_i",
+        "deg_i",
+        "|P_i|",
+        "popular",
+        "|RS_i|",
+        "rounds",
+        "msgs (streamed)",
+        "bound",
     ]);
-    for p in &r.phases {
+    for (p, (_, live_rounds, live_msgs)) in r.phases.iter().zip(&live) {
+        assert_eq!(p.rounds, *live_rounds, "streamed rounds match the report");
         t.row(vec![
             p.phase.to_string(),
             p.delta.to_string(),
@@ -39,15 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.popular.to_string(),
             p.ruling_set.to_string(),
             p.rounds.to_string(),
+            live_msgs.to_string(),
             r.schedule.phase_round_bound(p.phase).to_string(),
         ]);
     }
     println!("\n{}", t.render());
     println!(
         "total: {} rounds measured  ≤  {} (schedule bound);  {} messages, {} words",
-        r.stats.rounds,
+        r.rounds(),
         r.schedule.total_round_bound(),
-        r.stats.messages,
+        r.messages(),
         r.stats.words
     );
     println!(
@@ -56,6 +85,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.num_edges(),
         g.num_edges()
     );
-    assert!(r.stats.rounds <= r.schedule.total_round_bound());
+    assert!(r.rounds() <= r.schedule.total_round_bound());
+
+    // The budget knob: the same run under half its own round count is
+    // cancelled mid-simulation — no transcript, no partial spanner.
+    let budget = r.rounds() / 2;
+    match Session::on(&g)
+        .params(params)
+        .backend(Backend::Congest)
+        .round_budget(budget)
+        .run()
+    {
+        Err(SessionError::RoundBudgetExhausted { budget, executed }) => println!(
+            "round budget {budget}: build cancelled after {executed} rounds ✓ \
+             (full run needs {})",
+            r.rounds()
+        ),
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
     Ok(())
 }

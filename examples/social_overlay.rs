@@ -11,7 +11,7 @@
 //! ```
 
 use nas_baselines::{build_en17_centralized, En17Params};
-use nas_core::{build_centralized, Params};
+use nas_core::Session;
 use nas_graph::generators;
 use nas_metrics::{stretch_audit, TableBuilder};
 
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let (eps, kappa, rho) = (0.5, 4, 0.45);
-    let ours = build_centralized(&g, Params::practical(eps, kappa, rho))?;
+    let ours = Session::on(&g).eps(eps).kappa(kappa).rho(rho).run()?;
     let ours_audit = stretch_audit(&g, &ours.to_graph(), eps);
 
     let mut t = TableBuilder::new(vec![
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", t.render());
 
     // Determinism demonstrated, not just claimed.
-    let again = build_centralized(&g, Params::practical(eps, kappa, rho))?;
+    let again = Session::on(&g).eps(eps).kappa(kappa).rho(rho).run()?;
     assert_eq!(ours.spanner, again.spanner);
     println!("re-ran the deterministic construction: spanner is identical ✓");
     Ok(())

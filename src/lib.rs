@@ -14,17 +14,20 @@
 //!
 //! # Quickstart
 //!
+//! One fluent entry point ([`core::Session`]) selects any execution backend
+//! and returns one unified [`core::Report`]:
+//!
 //! ```
-//! use near_additive_spanner::core::{build_centralized, Params};
+//! use near_additive_spanner::core::{Params, Session};
 //! use near_additive_spanner::graph::generators;
 //! use near_additive_spanner::metrics::stretch_audit;
 //!
 //! let g = generators::grid2d(6, 6);
 //! let params = Params::practical(0.5, 4, 0.45);
-//! let spanner = build_centralized(&g, params)?;
-//! let audit = stretch_audit(&g, &spanner.to_graph(), params.eps);
+//! let report = Session::on(&g).params(params).run()?;
+//! let audit = stretch_audit(&g, &report.to_graph(), params.eps);
 //! assert_eq!(audit.disconnected_pairs, 0);
-//! # Ok::<(), near_additive_spanner::core::ParamError>(())
+//! # Ok::<(), near_additive_spanner::core::SessionError>(())
 //! ```
 
 #![forbid(unsafe_code)]

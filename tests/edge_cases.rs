@@ -1,5 +1,10 @@
 //! Boundary conditions: tiny graphs, isolated vertices, extreme parameters.
 
+// These integration tests deliberately exercise the deprecated legacy entry
+// points: they are the bit-identical anchors the `Session` redesign is pinned
+// against (see tests/legacy_shims.rs and tests/session_api.rs for the new API).
+#![allow(deprecated)]
+
 use nas_core::{build_centralized, build_distributed, Params};
 use nas_graph::{generators, GraphBuilder};
 

@@ -1,0 +1,235 @@
+//! Workspace-level tests for the unified `Session` API: cross-backend
+//! equivalence through the new surface, the observer event plane's ordering
+//! guarantees, and budget/thread knobs.
+
+use nas_core::{Backend, Event, EventLog, Params, Session, SessionError};
+use nas_graph::{generators, EdgeSet, Graph};
+
+fn sorted(s: &EdgeSet) -> Vec<(usize, usize)> {
+    let mut v: Vec<_> = s.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid2d(6,6)", generators::grid2d(6, 6)),
+        (
+            "connected_gnp(48, 0.1)",
+            generators::connected_gnp(48, 0.1, 42),
+        ),
+        ("path(64)", generators::path(64)),
+    ]
+}
+
+#[test]
+fn all_backends_agree_through_the_session_surface() {
+    let params = Params::practical(0.5, 4, 0.45);
+    for (name, g) in workloads() {
+        let run = |b: Backend| Session::on(&g).params(params).backend(b).run().unwrap();
+        let central = run(Backend::Centralized);
+        let congest = run(Backend::Congest);
+        let local = run(Backend::Local);
+        let full = run(Backend::Full);
+        let reference = sorted(&central.spanner);
+        for r in [&congest, &local, &full] {
+            assert_eq!(
+                reference,
+                sorted(&r.spanner),
+                "{name}: {} differs",
+                r.backend
+            );
+        }
+        assert_eq!(central.settled, congest.settled, "{name}");
+        assert_eq!(central.rounds(), 0, "{name}");
+        assert!(congest.rounds() > 0, "{name}");
+        assert!(
+            congest.rounds() <= congest.schedule.total_round_bound(),
+            "{name}: rounds exceed the Corollary 2.9 schedule bound"
+        );
+        assert!(full.rounds() >= congest.rounds(), "{name}: full < staged");
+    }
+}
+
+/// The event-plane ordering contract, on both phase-emitting simulated
+/// backends: per phase a `PhaseStarted` … (`RoundCompleted`)* …
+/// `PhaseFinished` bracket, phases in schedule order, exactly one trailing
+/// `BuildFinished`, and global round numbering that is consecutive across
+/// phase boundaries.
+#[test]
+fn event_stream_is_properly_bracketed_and_numbered() {
+    let g = generators::connected_gnp(40, 0.12, 7);
+    for backend in [Backend::Congest, Backend::Full] {
+        let mut log = EventLog::new();
+        let report = Session::on(&g)
+            .backend(backend)
+            .observer(&mut log)
+            .run()
+            .unwrap();
+
+        let mut open_phase: Option<usize> = None;
+        let mut next_phase = 0usize;
+        let mut next_round = 0u64;
+        let mut finished = 0usize;
+        let mut streamed_messages = 0u64;
+        for e in &log.events {
+            match *e {
+                Event::PhaseStarted { phase, .. } => {
+                    assert_eq!(open_phase, None, "{backend}: nested phase");
+                    assert_eq!(phase, next_phase, "{backend}: phase order");
+                    open_phase = Some(phase);
+                }
+                Event::RoundCompleted {
+                    round, messages, ..
+                } => {
+                    assert!(open_phase.is_some(), "{backend}: round outside a phase");
+                    assert_eq!(round, next_round, "{backend}: round numbering");
+                    next_round += 1;
+                    streamed_messages += messages;
+                }
+                Event::PhaseFinished { phase, stats } => {
+                    assert_eq!(open_phase, Some(phase), "{backend}: unbalanced finish");
+                    assert_eq!(stats.phase, phase);
+                    open_phase = None;
+                    next_phase += 1;
+                }
+                Event::BuildFinished {
+                    rounds,
+                    messages,
+                    spanner_edges,
+                } => {
+                    finished += 1;
+                    assert_eq!(rounds, report.rounds(), "{backend}");
+                    assert_eq!(messages, report.messages(), "{backend}");
+                    assert_eq!(spanner_edges, report.num_edges(), "{backend}");
+                }
+                other => panic!("{backend}: unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(open_phase, None, "{backend}: phase left open");
+        assert_eq!(next_phase, report.phases.len(), "{backend}: phase count");
+        assert_eq!(finished, 1, "{backend}: exactly one BuildFinished");
+        assert_eq!(
+            log.events
+                .last()
+                .map(|e| matches!(e, Event::BuildFinished { .. })),
+            Some(true),
+            "{backend}: BuildFinished must be last"
+        );
+        assert_eq!(
+            next_round,
+            report.rounds(),
+            "{backend}: every simulated round must be streamed"
+        );
+        assert_eq!(
+            streamed_messages,
+            report.messages(),
+            "{backend}: streamed message counts must reconcile with stats"
+        );
+        // Per-phase rounds from the stream equal the report's records.
+        let per_phase: Vec<u64> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseFinished { stats, .. } => Some(stats.rounds),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            per_phase,
+            report.phases.iter().map(|p| p.rounds).collect::<Vec<_>>(),
+            "{backend}"
+        );
+    }
+}
+
+/// Observation must not perturb execution: the observed run's report is
+/// bit-identical to the silent run's.
+#[test]
+fn observers_are_side_effect_free() {
+    let g = generators::connected_gnp(40, 0.12, 7);
+    let silent = Session::on(&g).backend(Backend::Congest).run().unwrap();
+    let mut log = EventLog::new();
+    let watched = Session::on(&g)
+        .backend(Backend::Congest)
+        .observer(&mut log)
+        .run()
+        .unwrap();
+    assert_eq!(sorted(&silent.spanner), sorted(&watched.spanner));
+    assert_eq!(silent.stats, watched.stats);
+    assert_eq!(silent.settled, watched.settled);
+    assert!(log.rounds_seen() > 0);
+}
+
+#[test]
+fn budget_cancellation_emits_no_build_finished() {
+    let g = generators::connected_gnp(40, 0.12, 7);
+    let full = Session::on(&g).backend(Backend::Congest).run().unwrap();
+    let mut log = EventLog::new();
+    let err = Session::on(&g)
+        .backend(Backend::Congest)
+        .round_budget(full.rounds() / 2)
+        .observer(&mut log)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SessionError::RoundBudgetExhausted { .. }));
+    assert!(
+        !log.events
+            .iter()
+            .any(|e| matches!(e, Event::BuildFinished { .. })),
+        "a cancelled build must not report completion"
+    );
+    // The stream stops right after the budget-crossing round.
+    assert_eq!(log.rounds_seen() as u64, full.rounds() / 2 + 1);
+}
+
+#[test]
+fn session_threads_knob_is_result_invariant() {
+    let g = generators::connected_gnp(48, 0.1, 42);
+    let params = Params::practical(0.5, 4, 0.45);
+    let runs: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|t| {
+            Session::on(&g)
+                .params(params)
+                .backend(Backend::Congest)
+                .threads(t)
+                .run()
+                .unwrap()
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(sorted(&runs[0].spanner), sorted(&r.spanner));
+        assert_eq!(runs[0].stats, r.stats);
+        assert_eq!(runs[0].settled, r.settled);
+    }
+    // Same invariance on the full-protocol backend.
+    let f1 = Session::on(&g)
+        .params(params)
+        .backend(Backend::Full)
+        .threads(1)
+        .run()
+        .unwrap();
+    let f4 = Session::on(&g)
+        .params(params)
+        .backend(Backend::Full)
+        .threads(4)
+        .run()
+        .unwrap();
+    assert_eq!(sorted(&f1.spanner), sorted(&f4.spanner));
+    assert_eq!(f1.stats, f4.stats);
+}
+
+#[test]
+fn report_carries_schedule_stretch_and_timings() {
+    let g = generators::grid2d(7, 7);
+    let r = Session::on(&g).backend(Backend::Congest).run().unwrap();
+    assert_eq!(r.phases.len(), r.schedule.ell + 1);
+    assert_eq!(r.phase_wall.len(), r.phases.len());
+    assert!(r.wall >= r.phase_wall.iter().sum());
+    let (alpha_env, beta_env) = r.schedule.stretch_envelope();
+    assert_eq!(r.stretch.alpha_envelope, alpha_env);
+    assert_eq!(r.stretch.beta_envelope, beta_env);
+    assert_eq!(r.stretch.alpha_nominal, r.schedule.alpha_nominal());
+    assert_eq!(r.stretch.beta_nominal, r.schedule.beta_nominal());
+}
