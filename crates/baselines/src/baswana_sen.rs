@@ -11,7 +11,7 @@
 //! positions near-additive spanners against.
 
 use nas_graph::rng::SplitMix64;
-use nas_graph::{EdgeSet, Graph};
+use nas_graph::{EdgeSet, EpochMarks, Graph};
 
 /// Builds a `(2κ−1)`-spanner of `g` with the Baswana–Sen algorithm.
 ///
@@ -30,6 +30,11 @@ pub fn baswana_sen(g: &Graph, kappa: u32, seed: u64) -> EdgeSet {
 
     // cluster[v]: the center of v's cluster, or None once v has settled.
     let mut cluster: Vec<Option<u32>> = (0..n).map(|v| Some(v as u32)).collect();
+    // Per-vertex "adjacent clusters already connected" dedup, on the flat
+    // plane's epoch marks (O(1) clear per vertex instead of a fresh
+    // HashSet; identical edge insertion order, since the set was only ever
+    // probed, never iterated).
+    let mut seen = EpochMarks::new();
 
     for _round in 1..kappa {
         // Sample surviving cluster centers.
@@ -60,11 +65,11 @@ pub fn baswana_sen(g: &Graph, kappa: u32, seed: u64) -> EdgeSet {
             }
             if !joined {
                 // Settle: one edge to every adjacent cluster.
-                let mut seen = std::collections::HashSet::new();
+                seen.begin(n);
                 for &u in g.neighbors(v) {
                     let u = u as usize;
                     if let Some(cu) = cluster[u] {
-                        if seen.insert(cu) {
+                        if seen.mark(cu as usize) {
                             h.insert(v, u);
                         }
                     }
@@ -78,11 +83,11 @@ pub fn baswana_sen(g: &Graph, kappa: u32, seed: u64) -> EdgeSet {
     // Final round: every vertex adds one edge to each adjacent surviving
     // cluster.
     for v in 0..n {
-        let mut seen = std::collections::HashSet::new();
+        seen.begin(n);
         for &u in g.neighbors(v) {
             let u = u as usize;
             if let Some(cu) = cluster[u] {
-                if seen.insert(cu) {
+                if seen.mark(cu as usize) {
                     h.insert(v, u);
                 }
             }

@@ -27,7 +27,7 @@ use nas_core::algo1;
 use nas_core::interconnect;
 use nas_core::supercluster;
 use nas_graph::rng::SplitMix64;
-use nas_graph::{EdgeSet, Graph};
+use nas_graph::{EdgeSet, EpochMarks, Graph};
 
 /// Parameters of an EN17 run: the same `(ε, κ, ρ)` as the deterministic
 /// algorithm plus a sampling seed.
@@ -144,6 +144,15 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
     let mut phases = Vec::with_capacity(ell + 1);
     // Cluster state: center of each vertex's cluster (None once settled).
     let mut center_of: Vec<Option<u32>> = (0..n).map(|v| Some(v as u32)).collect();
+    // Flat per-center transition tables, reused across phases (the flat
+    // distance plane's idiom replacing the old per-phase
+    // HashSet/HashMap churn): `root_of_center[c]` is the supercluster root
+    // of center `c` this phase (`NO_ROOT` sentinel = not superclustered),
+    // `spanned`/`settled` are epoch-marked sets.
+    const NO_ROOT: u32 = u32::MAX;
+    let mut root_of_center: Vec<u32> = vec![NO_ROOT; n];
+    let mut spanned = EpochMarks::new();
+    let mut settled_mark = EpochMarks::new();
 
     for i in 0..=ell {
         let centers: Vec<usize> = (0..n).filter(|&v| center_of[v] == Some(v as u32)).collect();
@@ -199,12 +208,14 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
                 }
             };
             h.union_with(&sc.path_edges);
-            let spanned: std::collections::HashSet<usize> =
-                sc.assignment.iter().map(|&(c, _)| c).collect();
+            spanned.begin(n);
+            for &(c, _) in &sc.assignment {
+                spanned.mark(c);
+            }
             let settled: Vec<usize> = centers
                 .iter()
                 .copied()
-                .filter(|c| !spanned.contains(c))
+                .filter(|&c| !spanned.is_marked(c))
                 .collect();
             (settled, Some((sc.assignment, roots.len())))
         } else {
@@ -225,26 +236,34 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
         };
         h.union_with(&inter.edges);
 
-        // Advance cluster state.
-        let settled_set: std::collections::HashSet<u32> =
-            settled_centers.iter().map(|&c| c as u32).collect();
-        let (assign_map, sampled) = match &assignment {
-            Some((assign, roots)) => (
-                assign
-                    .iter()
-                    .map(|&(c, r)| (c as u32, r as u32))
-                    .collect::<std::collections::HashMap<u32, u32>>(),
-                *roots,
-            ),
-            None => (Default::default(), 0),
+        // Advance cluster state on the flat tables.
+        settled_mark.begin(n);
+        for &c in &settled_centers {
+            settled_mark.mark(c);
+        }
+        let (superclustered, sampled) = match &assignment {
+            Some((assign, roots)) => {
+                for &(c, r) in assign {
+                    root_of_center[c] = r as u32;
+                }
+                (assign.len(), *roots)
+            }
+            None => (0, 0),
         };
         for slot in center_of.iter_mut() {
             if let Some(c) = *slot {
-                if settled_set.contains(&c) {
+                if settled_mark.is_marked(c as usize) {
                     *slot = None;
-                } else if let Some(&r) = assign_map.get(&c) {
-                    *slot = Some(r);
+                } else if root_of_center[c as usize] != NO_ROOT {
+                    *slot = Some(root_of_center[c as usize]);
                 }
+            }
+        }
+        // Rewind the root table for the next phase (assignment entries
+        // only — no dense refill).
+        if let Some((assign, _)) = &assignment {
+            for &(c, _) in assign {
+                root_of_center[c] = NO_ROOT;
             }
         }
 
@@ -252,7 +271,7 @@ fn build_en17(g: &Graph, params: En17Params, dist_cap_factor: Option<usize>) -> 
             phase: i,
             num_clusters: centers.len(),
             sampled,
-            superclustered: assign_map.len(),
+            superclustered,
             settled_clusters: settled_centers.len(),
             delta: delta[i],
             rounds: phase_rounds,

@@ -5,13 +5,18 @@
 //! within `2κ−1` hops. The result matches the existential size bound
 //! `O(n^{1+1/κ})` and is the quality yardstick for the size experiments.
 
-use nas_graph::{EdgeSet, Graph, GraphBuilder};
+use nas_graph::{EdgeSet, EpochMarks, Graph, GraphBuilder};
 use std::collections::VecDeque;
 
 /// Builds the greedy `(2κ−1)`-spanner of `g`.
 ///
 /// Runs in `O(m·(n + m_H))` — intended for the experiment sizes, not for
 /// huge graphs.
+///
+/// The per-edge bounded BFS probe runs on the flat distance plane's
+/// [`EpochMarks`]: the visited set clears in O(1) between the `m` probes
+/// (epoch bump) instead of rewinding a touched list, and the distance
+/// value of a vertex is only meaningful while it is marked.
 ///
 /// # Panics
 ///
@@ -23,15 +28,17 @@ pub fn greedy_spanner(g: &Graph, kappa: u32) -> EdgeSet {
     let mut h = EdgeSet::new(n);
     // Incremental adjacency of H for the bounded BFS.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut dist: Vec<u32> = vec![u32::MAX; n];
-    let mut touched: Vec<usize> = Vec::new();
+    let mut visited = EpochMarks::new();
+    let mut dist: Vec<u32> = vec![0; n];
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     for (u, v) in g.edges() {
         // Bounded BFS from u in H: is v within `threshold` hops?
         let mut within = false;
+        visited.begin(n);
+        visited.mark(u);
         dist[u] = 0;
-        touched.push(u);
+        queue.clear();
         queue.push_back(u);
         while let Some(x) = queue.pop_front() {
             let dx = dist[x];
@@ -44,18 +51,12 @@ pub fn greedy_spanner(g: &Graph, kappa: u32) -> EdgeSet {
             }
             for &y in &adj[x] {
                 let y = y as usize;
-                if dist[y] == u32::MAX {
+                if visited.mark(y) {
                     dist[y] = dx + 1;
-                    touched.push(y);
                     queue.push_back(y);
                 }
             }
         }
-        for &t in &touched {
-            dist[t] = u32::MAX;
-        }
-        touched.clear();
-        queue.clear();
 
         if !within {
             h.insert(u, v);

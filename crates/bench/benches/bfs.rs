@@ -1,0 +1,61 @@
+//! Criterion benches for the flat distance plane: single-source BFS,
+//! 16-way batched fills, and the pooled (sharded) batch path — the three
+//! shapes the stretch audits and oracles run on. Printable large-scale
+//! version: the `sim_scaling` binary's audit leg.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nas_graph::{generators, BatchScratch, BfsScratch, DistanceBatch, DistanceMap};
+use nas_par::WorkerPool;
+use std::hint::black_box;
+
+/// Single-source fill with reused scratch (the audit's per-source kernel).
+fn bench_single_source(c: &mut Criterion) {
+    let g = generators::gnp(4096, 8.0 / 4096.0, 7);
+    let mut map = DistanceMap::new();
+    let mut scratch = BfsScratch::new();
+    c.bench_function("bfs/single_source/gnp4096", |b| {
+        b.iter(|| {
+            map.fill(&g, [black_box(0usize)], &mut scratch);
+            black_box(map.raw()[4095])
+        })
+    });
+}
+
+/// 16-way batched fill on one lane: the row-of-rows replacement, steady
+/// state (no allocation after the first fill).
+fn bench_batched_16(c: &mut Criterion) {
+    let g = generators::gnp(4096, 8.0 / 4096.0, 7);
+    let sources: Vec<usize> = (0..16).map(|i| i * 256).collect();
+    let pool = WorkerPool::new(1);
+    let mut batch = DistanceBatch::new();
+    let mut scratch = BatchScratch::new();
+    c.bench_function("bfs/batch16/gnp4096", |b| {
+        b.iter(|| {
+            batch.fill(&g, black_box(&sources), &mut scratch, &pool);
+            black_box(batch.row(15)[0])
+        })
+    });
+}
+
+/// The same 16-way batch sharded over a 4-lane pool (bit-identical rows;
+/// on multi-core hardware this is the wall-clock lever).
+fn bench_batched_16_pooled(c: &mut Criterion) {
+    let g = generators::gnp(4096, 8.0 / 4096.0, 7);
+    let sources: Vec<usize> = (0..16).map(|i| i * 256).collect();
+    let pool = WorkerPool::new(4);
+    let mut batch = DistanceBatch::new();
+    let mut scratch = BatchScratch::new();
+    c.bench_function("bfs/batch16_pool4/gnp4096", |b| {
+        b.iter(|| {
+            batch.fill(&g, black_box(&sources), &mut scratch, &pool);
+            black_box(batch.row(15)[0])
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_source, bench_batched_16, bench_batched_16_pooled
+}
+criterion_main!(benches);

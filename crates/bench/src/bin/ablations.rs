@@ -8,7 +8,7 @@
 
 use nas_bench::{default_params, BenchCli};
 use nas_core::{Backend, Params, Session};
-use nas_graph::{bfs, generators};
+use nas_graph::generators;
 use nas_metrics::{tables::fmt_f64, TableBuilder};
 use nas_ruling::{ruling_set_distributed, RulingParams};
 
@@ -37,8 +37,8 @@ fn ablation_ruling_c(seed: u64) {
     ]);
     for c in [1u32, 2, 3, 4] {
         let (rs, stats) = ruling_set_distributed(&g, &w, RulingParams::new(q, c));
-        let dom = bfs::multi_source_distances(&g, rs.members.iter().copied());
-        let max_dom = w.iter().filter_map(|&v| dom[v]).max().unwrap_or(0);
+        let dom = nas_graph::DistanceMap::from_sources(&g, rs.members.iter().copied());
+        let max_dom = w.iter().filter_map(|&v| dom.get(v)).max().unwrap_or(0);
         t.row(vec![
             c.to_string(),
             (c * q).to_string(),

@@ -11,7 +11,7 @@
 
 use nas_bench::BenchCli;
 use nas_core::algo1::algo1_centralized;
-use nas_graph::{bfs, generators};
+use nas_graph::generators;
 use nas_metrics::TableBuilder;
 use nas_ruling::{ruling_set_centralized, RulingParams};
 
@@ -47,10 +47,12 @@ fn main() {
 
         // Min pairwise distance among members.
         let mut min_pair = u32::MAX;
+        let mut d = nas_graph::DistanceMap::new();
+        let mut scratch = nas_graph::BfsScratch::new();
         for (i, &a) in rs.members.iter().enumerate() {
-            let d = bfs::distances(&g, a);
+            d.fill(&g, [a], &mut scratch);
             for &b in &rs.members[i + 1..] {
-                if let Some(dab) = d[b] {
+                if let Some(dab) = d.get(b) {
                     min_pair = min_pair.min(dab);
                 }
             }
@@ -59,21 +61,21 @@ fn main() {
         let mut owner: Vec<Option<u32>> = vec![None; g.num_vertices()];
         let mut disjoint = true;
         for &a in &rs.members {
-            let d = bfs::distances(&g, a);
-            for v in 0..g.num_vertices() {
-                if d[v].is_some_and(|x| x as u64 <= delta) {
-                    if owner[v].is_some() {
+            d.fill(&g, [a], &mut scratch);
+            for (v, slot) in owner.iter_mut().enumerate() {
+                if d.get(v).is_some_and(|x| x as u64 <= delta) {
+                    if slot.is_some() {
                         disjoint = false;
                     }
-                    owner[v] = Some(a as u32);
+                    *slot = Some(a as u32);
                 }
             }
         }
         // Domination: every popular center within 2cδ of some member.
-        let dom = bfs::multi_source_distances(&g, rs.members.iter().copied());
+        let dom = nas_graph::DistanceMap::from_sources(&g, rs.members.iter().copied());
         let max_dom = w
             .iter()
-            .map(|&v| dom[v].unwrap_or(u32::MAX))
+            .map(|&v| dom.get(v).unwrap_or(u32::MAX))
             .max()
             .unwrap_or(0);
 

@@ -9,12 +9,21 @@
 //!   10^6). The four families cover the two extremes the active-set
 //!   scheduler must handle: ~n rounds with an O(1) frontier (path) and
 //!   O(log n) rounds with an Ω(n) frontier (G(n,p)).
-//! * **spanner** — the full distributed Elkin–Matar construction, at
-//!   `n / 10` by default (its round schedule is super-linear in wall time;
-//!   pass `--full-spanner` to run it at the full `n`).
+//! * **spanner** — the full distributed Elkin–Matar construction at the
+//!   **full** size `n` (the historical `n / 10` cap is gone: the flat
+//!   distance plane made the audit leg affordable at 10^6, and the
+//!   construction itself was never the blocker — override with
+//!   `--spanner-n N` if you want a smaller leg).
+//! * **audit** — a sampled stretch audit of each spanner against its base
+//!   graph (`--audit-samples K` sources, default 64, spread evenly over
+//!   the vertex range), on the flat distance plane: per-lane reused
+//!   scratch, zero steady-state allocation. Reports audit throughput in
+//!   Mvert/s (`2 · K · n` row entries scanned across both graphs, per
+//!   second) and peak RSS.
 //!
 //! Usage: `sim_scaling [--n N] [--threads T] [--compare-threads A,B,..]
-//!                     [--smoke] [--full-spanner] [--skip-spanner]`
+//!                     [--smoke] [--spanner-n N] [--audit-samples K]
+//!                     [--skip-spanner]`
 //!
 //! `--threads` sets the worker-pool lane count (default: `NAS_THREADS` env,
 //! else available parallelism); `--threads 1` runs the pure sequential path
@@ -24,14 +33,16 @@
 //! record to `BENCH_sim.json` (written at exit), the start of the perf
 //! trajectory the harness tracks.
 //!
-//! `--smoke` is the CI configuration: `n = 10^5`, spanner at `10^4`,
-//! asserting the same invariants at a size that finishes in seconds.
+//! `--smoke` is the CI configuration: `n = 10^5`, spanner + audit at
+//! `10^4`, asserting the same invariants at a size that finishes in
+//! seconds.
 
 use nas_bench::BenchCli;
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
-use nas_core::{Backend, Session};
+use nas_core::{Backend, Report, Session};
 use nas_graph::Graph;
+use nas_metrics::stretch_audit_sampled;
 use nas_par::WorkerPool;
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,6 +74,24 @@ struct Record {
     /// per-workload footprint. `None` when /proc/self/status is
     /// unavailable (non-Linux).
     peak_rss_process_mib: Option<f64>,
+    /// Audit-leg extras (`protocol == "audit"` records only).
+    audit: Option<AuditInfo>,
+}
+
+/// Extra fields of an audit record.
+struct AuditInfo {
+    /// BFS sample sources audited.
+    samples: usize,
+    /// Vertex pairs the sampled audit covered.
+    pairs: u64,
+    /// Audit throughput: `2 · samples · n` distance-row entries scanned
+    /// (one row in `G` plus one in `H` per sample) per second, in
+    /// millions.
+    mvert_per_s: f64,
+    /// Worst multiplicative stretch observed.
+    max_stretch: f64,
+    /// Measured effective additive error at the construction's ε.
+    effective_beta: f64,
 }
 
 impl Record {
@@ -71,12 +100,20 @@ impl Record {
             Some(v) if v.is_finite() => format!("{v:.1}"),
             _ => "null".to_string(),
         };
+        let audit = match &self.audit {
+            Some(a) => format!(
+                ",\"samples\":{},\"audit_pairs\":{},\"mvert_per_s\":{:.3},\
+                 \"max_stretch\":{:.4},\"effective_beta\":{:.4}",
+                a.samples, a.pairs, a.mvert_per_s, a.max_stretch, a.effective_beta,
+            ),
+            None => String::new(),
+        };
         // The workload names are generator slugs (alphanumerics, '(', ')',
         // ',', '.', '-') — no JSON escaping needed beyond quoting.
         format!(
             "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
              \"backend\":\"{}\",\"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
-             \"wall_ms\":{:.3},\"mmsg_per_s\":{:.3},\"peak_rss_process_mib\":{rss}}}",
+             \"wall_ms\":{:.3},\"mmsg_per_s\":{:.3},\"peak_rss_process_mib\":{rss}{audit}}}",
             self.protocol,
             self.workload,
             self.n,
@@ -144,10 +181,11 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: s.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_process_mib: peak_rss_mib(),
+        audit: None,
     }
 }
 
-fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
+fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
     let n = g.num_vertices();
     let params = nas_core::Params::practical(0.5, 4, 0.45);
     let t = Instant::now();
@@ -171,7 +209,7 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
         r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_mib().unwrap_or(f64::NAN),
     );
-    Record {
+    let record = Record {
         protocol: "spanner",
         workload: name.to_string(),
         n,
@@ -184,6 +222,58 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> Record {
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_process_mib: peak_rss_mib(),
+        audit: None,
+    };
+    (record, r)
+}
+
+/// The audit leg: a sampled stretch audit of `report`'s spanner against
+/// its base graph on the process-wide pool (flat distance plane, per-lane
+/// reused scratch). This is the leg PR 2 had to cap at `n / 10`; the flat
+/// plane runs it at the full `n`.
+fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: usize) -> Record {
+    let n = g.num_vertices();
+    // Mirror stretch_audit_sampled's clamp so the recorded sample count
+    // (and the throughput derived from it) reflects what actually ran.
+    let samples = samples.min(n).max(1);
+    let h = report.to_graph();
+    let t = Instant::now();
+    let audit = stretch_audit_sampled(g, &h, report.params.eps, samples);
+    let wall = t.elapsed();
+    assert_eq!(
+        audit.disconnected_pairs, 0,
+        "{name}: spanner lost connectivity"
+    );
+    let mvert_per_s = (2 * samples * n) as f64 / wall.as_secs_f64() / 1e6;
+    println!(
+        "audit    | {name:<28} | n={n:>8} m={:>8} | threads={threads} | samples={samples:>4} pairs={:>9} | stretch={:.2} beta={:.1} | {:>9.3?} ({mvert_per_s:.2} Mvert/s) | peak_rss={:.0} MiB",
+        g.num_edges(),
+        audit.pairs,
+        audit.max_stretch,
+        audit.effective_beta,
+        wall,
+        peak_rss_mib().unwrap_or(f64::NAN),
+    );
+    Record {
+        protocol: "audit",
+        workload: name.to_string(),
+        n,
+        m: g.num_edges(),
+        threads,
+        backend: "flat-distance-plane",
+        rounds: 0,
+        messages: 0,
+        busiest_round_messages: 0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mmsg_per_s: 0.0,
+        peak_rss_process_mib: peak_rss_mib(),
+        audit: Some(AuditInfo {
+            samples,
+            pairs: audit.pairs,
+            mvert_per_s,
+            max_stretch: audit.max_stretch,
+            effective_beta: audit.effective_beta,
+        }),
     }
 }
 
@@ -191,11 +281,12 @@ fn main() {
     let cli = BenchCli::parse();
     let smoke = cli.smoke();
     let n = cli.n(if smoke { 100_000 } else { 1_000_000 });
-    let spanner_n = if cli.flag("--full-spanner") {
-        n
-    } else {
-        n / 10
-    };
+    // The spanner + audit leg runs at the full n by default (the PR-2-era
+    // n/10 cap is lifted); --smoke keeps the CI-sized reduction.
+    let spanner_n = cli
+        .opt_usize("--spanner-n")
+        .unwrap_or(if smoke { n / 10 } else { n });
+    let audit_samples = cli.opt_usize("--audit-samples").unwrap_or(64);
     // One pool for everything: init_pool() sizes the process-wide pool to
     // --threads, and both legs (flood comparisons aside, which build their
     // own per-count pools) inherit it — see run_spanner.
@@ -258,7 +349,9 @@ fn main() {
             } else {
                 g
             };
-            records.push(run_spanner(&name, &g, threads));
+            let (record, report) = run_spanner(&name, &g, threads);
+            records.push(record);
+            records.push(run_audit(&name, &g, &report, threads, audit_samples));
         }
     }
 

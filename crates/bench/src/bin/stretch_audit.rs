@@ -2,11 +2,14 @@
 //! verification of the `(1+ε, β)` guarantee across the workload suite, with
 //! the measured effective β against the paper's worst-case envelope.
 //!
-//! Usage: `stretch_audit [--threads T] [--seed S]`
+//! Usage: `stretch_audit [--threads T] [--seed S] [--smoke]`
 //!
 //! `--threads` sizes the shared worker pool the audits fan their BFS runs
 //! out on (default: `NAS_THREADS` env, else available parallelism). The
-//! audit result is identical at every thread count.
+//! audit result is identical at every thread count. `--smoke` is the CI
+//! configuration: the same invariants at `n = 120` (seconds, not minutes)
+//! — CI runs it at `NAS_THREADS=1` and `4` so both the sequential and the
+//! sharded audit paths are exercised on every push.
 
 use nas_bench::{default_params, run_ours, workloads, BenchCli};
 use nas_metrics::{tables::fmt_f64, TableBuilder};
@@ -17,6 +20,7 @@ fn main() {
     // first use.
     let threads = cli.init_pool();
     println!("stretch audits on {threads} worker-pool lane(s)");
+    let n = cli.n(if cli.smoke() { 120 } else { 300 });
 
     let params = default_params();
     let mut t = TableBuilder::new(vec![
@@ -28,7 +32,7 @@ fn main() {
         "β envelope (worst case)",
         "within bound",
     ]);
-    for (name, g) in workloads(300, cli.seed(11)) {
+    for (name, g) in workloads(n, cli.seed(11)) {
         let r = run_ours(&name, &g, params);
         let (alpha_env, env) = r.result.schedule.stretch_envelope();
         let ok = r.audit.satisfies(alpha_env - 1.0, env)

@@ -76,7 +76,7 @@ impl NodeProgram for Flood {
 mod tests {
     use super::*;
     use crate::Simulator;
-    use nas_graph::{bfs, generators};
+    use nas_graph::generators;
 
     #[test]
     fn network_constructor_marks_sources() {
@@ -90,9 +90,9 @@ mod tests {
         let sources = [0usize, 37];
         let mut sim = Simulator::new(&g, Flood::network(40, &sources));
         assert!(sim.run_until_quiet(1000).quiescent);
-        let want = bfs::multi_source_distances(&g, sources.iter().copied());
-        for (v, want_d) in want.iter().enumerate() {
-            assert_eq!(sim.programs()[v].dist, want_d.map(|d| d as u64));
+        let want = nas_graph::DistanceMap::from_sources(&g, sources.iter().copied());
+        for v in 0..want.len() {
+            assert_eq!(sim.programs()[v].dist, want.get(v).map(|d| d as u64));
         }
     }
 }

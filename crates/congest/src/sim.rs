@@ -1083,7 +1083,7 @@ mod tests {
     use super::*;
     use crate::msg::Msg;
     use crate::programs::Flood;
-    use nas_graph::{bfs, generators};
+    use nas_graph::generators;
 
     fn flood(g: &nas_graph::Graph, sources: &[usize]) -> Vec<Option<u64>> {
         let programs: Vec<Flood> = (0..g.num_vertices())
@@ -1101,9 +1101,9 @@ mod tests {
     fn flood_matches_bfs_on_grid() {
         let g = generators::grid2d(6, 7);
         let got = flood(&g, &[0]);
-        let want = bfs::distances(&g, 0);
-        for v in 0..g.num_vertices() {
-            assert_eq!(got[v], want[v].map(|d| d as u64), "vertex {v}");
+        let want = nas_graph::DistanceMap::from_source(&g, 0);
+        for (v, &got_d) in got.iter().enumerate() {
+            assert_eq!(got_d, want.get(v).map(|d| d as u64), "vertex {v}");
         }
     }
 
@@ -1112,9 +1112,9 @@ mod tests {
         let g = generators::gnp(80, 0.06, 17);
         let sources = [3, 41, 77];
         let got = flood(&g, &sources);
-        let want = bfs::multi_source_distances(&g, sources.iter().copied());
-        for v in 0..g.num_vertices() {
-            assert_eq!(got[v], want[v].map(|d| d as u64), "vertex {v}");
+        let want = nas_graph::DistanceMap::from_sources(&g, sources.iter().copied());
+        for (v, &got_d) in got.iter().enumerate() {
+            assert_eq!(got_d, want.get(v).map(|d| d as u64), "vertex {v}");
         }
     }
 

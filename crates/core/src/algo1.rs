@@ -421,7 +421,7 @@ pub fn algo1_distributed_hooked(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nas_graph::{bfs, generators};
+    use nas_graph::generators;
 
     fn all_centers(n: usize) -> Vec<bool> {
         vec![true; n]
@@ -457,13 +457,13 @@ mod tests {
         let delta = 4;
         let info = algo1_centralized(&g, &all_centers(25), deg, delta);
         for v in 0..25 {
-            let d = bfs::distances(&g, v);
+            let d = nas_graph::DistanceMap::from_source(&g, v);
             for (&c, e) in &info.knowledge[v] {
-                assert_eq!(e.dist, d[c as usize].unwrap(), "vertex {v} center {c}");
+                assert_eq!(e.dist, d.get(c as usize).unwrap(), "vertex {v} center {c}");
             }
             // And it knows *all* centers within δ.
             let within = (0..25)
-                .filter(|&u| u != v && d[u].unwrap() <= delta as u32)
+                .filter(|&u| u != v && d.get(u).unwrap() <= delta as u32)
                 .count();
             assert_eq!(info.knowledge[v].len(), within);
         }
@@ -474,11 +474,11 @@ mod tests {
         let g = generators::grid2d(4, 6);
         // Vertex 23 is at distance 8 from vertex 0 (grid corner to corner).
         let info = algo1_centralized(&g, &all_centers(24), 1000, 8);
-        let d = bfs::distances(&g, 23);
+        let d = nas_graph::DistanceMap::from_source(&g, 23);
         let path = info.trace_path(0, 23);
         assert_eq!(path[0], 0);
         assert_eq!(*path.last().unwrap(), 23);
-        assert_eq!(path.len() as u32 - 1, d[0].unwrap());
+        assert_eq!(path.len() as u32 - 1, d.get(0).unwrap());
         for w in path.windows(2) {
             assert!(g.has_edge(w[0], w[1]));
         }

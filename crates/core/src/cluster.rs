@@ -1,6 +1,6 @@
 //! Clusterings `P_i` and the bookkeeping the analysis lemmas talk about.
 
-use nas_graph::{bfs, EdgeSet};
+use nas_graph::{BfsScratch, DistanceMap, EdgeSet};
 
 /// One collection of clusters `P_i`: a set of disjoint, centered clusters
 /// covering a subset of `V`.
@@ -103,11 +103,15 @@ impl Clustering {
     pub fn radius_in(&self, h: &EdgeSet) -> u64 {
         let hg = h.to_graph();
         let mut worst = 0u64;
+        // One flat row + scratch reused across all centers.
+        let mut d = DistanceMap::new();
+        let mut scratch = BfsScratch::new();
         for &r in &self.centers {
-            let d = bfs::distances(&hg, r);
+            d.fill(&hg, [r], &mut scratch);
             for (v, &c) in self.center_of.iter().enumerate() {
                 if c == Some(r as u32) {
-                    let dv = d[v]
+                    let dv = d
+                        .get(v)
                         .unwrap_or_else(|| panic!("vertex {v} cannot reach its center {r} in H"));
                     worst = worst.max(dv as u64);
                 }

@@ -413,7 +413,8 @@ mod tests {
         let h = r.to_graph();
         for v in 0..50 {
             let (phase, center) = r.settled[v].unwrap();
-            let d = nas_graph::bfs::distances(&h, v)[center as usize]
+            let d = nas_graph::DistanceMap::from_source(&h, v)
+                .get(center as usize)
                 .expect("vertex connected to its settled center in H");
             assert!(
                 (d as u64) <= r.schedule.r_bound[phase],

@@ -241,7 +241,7 @@ pub fn interconnect_distributed_hooked(
 mod tests {
     use super::*;
     use crate::algo1::algo1_centralized;
-    use nas_graph::{bfs, generators};
+    use nas_graph::{generators, DistanceMap};
 
     /// Shared check: both implementations add the same edge set, and every
     /// initiator can reach each known center in the added edges at the exact
@@ -272,13 +272,13 @@ mod tests {
 
         let h = a.edges.to_graph();
         for &rc in initiators {
-            let dg = bfs::distances(g, rc);
-            let dh = bfs::distances(&h, rc);
+            let dg = DistanceMap::from_source(g, rc);
+            let dh = DistanceMap::from_source(&h, rc);
             for (&c, e) in &info.knowledge[rc] {
                 let c = c as usize;
-                assert_eq!(e.dist, dg[c].unwrap(), "algo1 distance must be exact");
+                assert_eq!(e.dist, dg.get(c).unwrap(), "algo1 distance must be exact");
                 assert_eq!(
-                    dh[c],
+                    dh.get(c),
                     Some(e.dist),
                     "initiator {rc} must reach {c} in H at the graph distance"
                 );

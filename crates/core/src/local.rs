@@ -203,16 +203,19 @@ mod tests {
     /// Minimal local stretch check to avoid a dev-dependency cycle with
     /// nas-metrics (which depends on nas-core).
     mod nas_metrics_shim {
-        use nas_graph::{bfs, Graph};
+        use nas_graph::{BfsScratch, DistanceMap, Graph};
 
         pub fn stretch_ok(g: &Graph, h: &Graph, alpha: f64, beta: f64) -> bool {
             let n = g.num_vertices();
+            let mut dg = DistanceMap::new();
+            let mut dh = DistanceMap::new();
+            let mut scratch = BfsScratch::new();
             for s in 0..n {
-                let dg = bfs::distances(g, s);
-                let dh = bfs::distances(h, s);
+                dg.fill(g, [s], &mut scratch);
+                dh.fill(h, [s], &mut scratch);
                 for v in 0..n {
-                    if let Some(d) = dg[v] {
-                        match dh[v] {
+                    if let Some(d) = dg.get(v) {
+                        match dh.get(v) {
                             None => return false,
                             Some(x) => {
                                 if x as f64 > alpha * d as f64 + beta {

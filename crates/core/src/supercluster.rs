@@ -360,12 +360,9 @@ mod tests {
             if c == r {
                 continue;
             }
-            let d = bfs::distances(&h, c);
-            assert!(
-                d[r].is_some(),
-                "center {c} cannot reach root {r} in H-paths"
-            );
-            assert!(d[r].unwrap() <= 3);
+            let d = nas_graph::DistanceMap::from_source(&h, c);
+            assert!(d.reached(r), "center {c} cannot reach root {r} in H-paths");
+            assert!(d.get(r).unwrap() <= 3);
         }
     }
 

@@ -2,7 +2,7 @@
 //! Theorem 2.1 on random graphs, center sets and thresholds.
 
 use nas_core::algo1::{algo1_centralized, algo1_distributed};
-use nas_graph::{bfs, generators};
+use nas_graph::{generators, DistanceMap};
 use proptest::prelude::*;
 
 proptest! {
@@ -25,10 +25,10 @@ proptest! {
         let is_center: Vec<bool> = (0..n).map(|v| v % center_mod == 0).collect();
         let info = algo1_centralized(&g, &is_center, deg, delta);
         for u in 0..n {
-            let d = bfs::distances(&g, u);
+            let d = DistanceMap::from_source(&g, u);
             let within = (0..n)
                 .filter(|&c| c != u && is_center[c])
-                .filter(|&c| d[c].is_some_and(|x| x as u64 <= delta))
+                .filter(|&c| d.get(c).is_some_and(|x| x as u64 <= delta))
                 .count();
             prop_assert!(
                 info.knowledge[u].len() >= within.min(deg),
@@ -36,7 +36,7 @@ proptest! {
                 info.knowledge[u].len()
             );
             for (&c, e) in &info.knowledge[u] {
-                let true_d = d[c as usize].expect("known center must be reachable");
+                let true_d = d.get(c as usize).expect("known center must be reachable");
                 prop_assert!(e.dist >= true_d, "recorded below true distance");
                 prop_assert!(e.dist as u64 <= delta, "knowledge beyond δ");
                 prop_assert!(is_center[c as usize]);
@@ -61,10 +61,10 @@ proptest! {
             if info.is_popular(u) {
                 continue;
             }
-            let d = bfs::distances(&g, u);
-            for (c, &dc) in d.iter().enumerate() {
+            let d = DistanceMap::from_source(&g, u);
+            for c in 0..n {
                 if c == u { continue; }
-                if let Some(dc) = dc {
+                if let Some(dc) = d.get(c) {
                     if dc as u64 <= delta {
                         let e = info.knowledge[u].get(&(c as u32));
                         prop_assert!(e.is_some(), "unpopular {u} misses center {c}");
@@ -113,9 +113,9 @@ proptest! {
         let is_center = vec![true; n];
         let info = algo1_centralized(&g, &is_center, deg, delta);
         for u in 0..n {
-            let d = bfs::distances(&g, u);
+            let d = DistanceMap::from_source(&g, u);
             let within = (0..n)
-                .filter(|&c| c != u && d[c].is_some_and(|x| x as u64 <= delta))
+                .filter(|&c| c != u && d.get(c).is_some_and(|x| x as u64 <= delta))
                 .count();
             prop_assert_eq!(
                 info.is_popular(u),

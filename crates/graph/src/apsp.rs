@@ -1,15 +1,17 @@
 //! Exact all-pairs shortest paths, used as ground truth by the stretch audits.
 
-use crate::bfs;
+use crate::dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap};
 use crate::graph::Graph;
+use nas_par::WorkerPool;
 
-/// Sentinel stored in [`DistanceMatrix`] for unreachable pairs.
-pub const UNREACHABLE: u32 = u32::MAX;
+/// Sentinel stored in [`DistanceMatrix`] for unreachable pairs — the same
+/// sentinel as the whole flat distance plane ([`crate::dist::UNREACHED`]).
+pub const UNREACHABLE: u32 = crate::dist::UNREACHED;
 
 /// A dense `n × n` matrix of exact hop distances.
 ///
 /// Memory is `4 n²` bytes — fine for the experiment sizes (`n ≤ ~8192`);
-/// use [`crate::bfs::distances`] per-source for anything larger.
+/// use [`crate::dist::DistanceMap`] per-source for anything larger.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
@@ -17,19 +19,34 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Exact distance matrix of `g`, by `n` breadth-first searches.
+    /// Exact distance matrix of `g`, by `n` breadth-first searches — all
+    /// rows written in place into one flat allocation, one reused scratch
+    /// (no per-source heap traffic).
     pub fn exact(g: &Graph) -> Self {
         let n = g.num_vertices();
         let mut data = vec![UNREACHABLE; n * n];
-        for s in 0..n {
-            let d = bfs::distances(g, s);
-            for (v, dv) in d.into_iter().enumerate() {
-                if let Some(dv) = dv {
-                    data[s * n + v] = dv;
-                }
-            }
+        let mut scratch = BfsScratch::new();
+        let mut row = DistanceMap::new();
+        for (s, out) in data.chunks_exact_mut(n.max(1)).enumerate() {
+            row.fill(g, [s], &mut scratch);
+            out.copy_from_slice(row.raw());
         }
         DistanceMatrix { n, data }
+    }
+
+    /// [`exact`](DistanceMatrix::exact) with the `n` BFS runs sharded over
+    /// `pool` (byte-identical to the sequential version at every thread
+    /// count).
+    pub fn exact_with_pool(g: &Graph, pool: &WorkerPool) -> Self {
+        let n = g.num_vertices();
+        let sources: Vec<usize> = (0..n).collect();
+        let mut batch = DistanceBatch::new();
+        let mut scratch = BatchScratch::new();
+        batch.fill(g, &sources, &mut scratch, pool);
+        DistanceMatrix {
+            n,
+            data: batch.into_data(),
+        }
     }
 
     /// Number of vertices.
@@ -44,6 +61,7 @@ impl DistanceMatrix {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn get(&self, u: usize, v: usize) -> Option<u32> {
+        assert!(v < self.n, "vertex {v} out of range");
         let d = self.data[u * self.n + v];
         (d != UNREACHABLE).then_some(d)
     }
@@ -139,5 +157,24 @@ mod tests {
         let g = generators::torus2d(4, 4);
         let m = DistanceMatrix::exact(&g);
         assert_eq!(m.diameter(), Some(4)); // 2 + 2 wraparound
+    }
+
+    #[test]
+    fn pooled_matrix_matches_sequential() {
+        let g = generators::connected_gnp(70, 0.06, 8);
+        let want = DistanceMatrix::exact(&g);
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(
+                DistanceMatrix::exact_with_pool(&g, &pool),
+                want,
+                "threads = {threads}"
+            );
+        }
+        // Empty graph edge case.
+        let empty = crate::GraphBuilder::new(0).build();
+        let m = DistanceMatrix::exact_with_pool(&empty, &WorkerPool::new(2));
+        assert_eq!(m.num_vertices(), 0);
+        assert_eq!(m.diameter(), None);
     }
 }

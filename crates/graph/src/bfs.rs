@@ -1,23 +1,32 @@
 //! Breadth-first search in the flavors the spanner algorithms need.
 //!
-//! The batched entry points ([`par_distances`],
-//! [`par_multi_source_distances`]) fan independent BFS runs out over a
-//! `nas-par` worker pool with static contiguous sharding, so the returned
-//! rows are byte-identical to running the sequential functions in a loop —
-//! they back the metrics crate's distance oracle and the Baswana–Sen/EN17
-//! baseline stretch evaluations.
+//! The distance-returning surface lives on the flat distance plane
+//! ([`crate::dist`]): [`DistanceMap`] for single rows, [`DistanceBatch`]
+//! for batched/pooled fan-out, both with reusable scratch and the
+//! [`crate::dist::UNREACHED`] sentinel instead of `Option`. The historical
+//! `Vec<Option<u32>>` entry points remain below as deprecated thin
+//! adapters (one release), pinned bit-equivalent to the flat plane by the
+//! differential tests in `tests/proptest_dist.rs`.
+//!
+//! [`bfs_forest`] (parent/root tracking for the superclustering step) and
+//! [`eccentricity`] are unchanged in shape.
 
+use crate::dist::{BatchScratch, DistanceBatch, DistanceMap};
 use crate::graph::Graph;
 use nas_par::WorkerPool;
-use std::collections::VecDeque;
 
 /// Distances from `source` to every vertex; `None` for unreachable vertices.
 ///
 /// # Panics
 ///
 /// Panics if `source` is out of range.
+#[deprecated(
+    since = "0.2.0",
+    note = "allocates an Option row per call; use nas_graph::dist::DistanceMap::from_source \
+            (or DistanceMap::fill with a scratch on hot paths)"
+)]
 pub fn distances(g: &Graph, source: usize) -> Vec<Option<u32>> {
-    multi_source_distances(g, std::iter::once(source))
+    DistanceMap::from_source(g, source).to_options()
 }
 
 /// Distances from the nearest of several `sources` (multi-source BFS).
@@ -25,64 +34,66 @@ pub fn distances(g: &Graph, source: usize) -> Vec<Option<u32>> {
 /// # Panics
 ///
 /// Panics if any source is out of range.
+#[deprecated(
+    since = "0.2.0",
+    note = "allocates an Option row per call; use nas_graph::dist::DistanceMap::from_sources \
+            (or DistanceMap::fill with a scratch on hot paths)"
+)]
 pub fn multi_source_distances<I: IntoIterator<Item = usize>>(
     g: &Graph,
     sources: I,
 ) -> Vec<Option<u32>> {
-    let n = g.num_vertices();
-    let mut dist = vec![None; n];
-    let mut queue = VecDeque::new();
-    for s in sources {
-        assert!(s < n, "source {s} out of range");
-        if dist[s].is_none() {
-            dist[s] = Some(0);
-            queue.push_back(s);
-        }
-    }
-    while let Some(v) = queue.pop_front() {
-        let dv = dist[v].expect("queued vertex has distance");
-        for &u in g.neighbors(v) {
-            let u = u as usize;
-            if dist[u].is_none() {
-                dist[u] = Some(dv + 1);
-                queue.push_back(u);
-            }
-        }
-    }
-    dist
+    DistanceMap::from_sources(g, sources).to_options()
 }
 
-/// Batched single-source BFS: one [`distances`] row per entry of `sources`,
-/// computed in parallel on `pool` with contiguous sharding (row `i` of the
-/// result always corresponds to `sources[i]`, identical to the sequential
-/// loop).
+/// Batched single-source BFS: one `Option` row per entry of `sources`,
+/// computed in parallel on `pool` (row `i` corresponds to `sources[i]`,
+/// identical to the sequential loop).
+#[deprecated(
+    since = "0.2.0",
+    note = "allocates a row-of-rows; use nas_graph::dist::DistanceBatch::from_sources \
+            (or DistanceBatch::fill with a scratch on hot paths)"
+)]
 pub fn par_distances(g: &Graph, sources: &[usize], pool: &WorkerPool) -> Vec<Vec<Option<u32>>> {
-    let mut rows: Vec<Vec<Option<u32>>> = vec![Vec::new(); sources.len()];
-    let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
-    nas_par::for_each_part_mut(pool, &mut rows, &cuts, |i, part| {
-        for (k, row) in part.iter_mut().enumerate() {
-            *row = distances(g, sources[cuts[i] + k]);
-        }
-    });
-    rows
+    let batch = DistanceBatch::from_sources(g, sources, pool);
+    option_rows(&batch, sources.len())
 }
 
-/// Batched multi-source BFS: one [`multi_source_distances`] row (distance to
-/// the nearest source of the set) per entry of `source_sets`, computed in
-/// parallel on `pool`.
+/// Batched multi-source BFS: one `Option` row (distance to the nearest
+/// source of the set) per entry of `source_sets`, computed in parallel on
+/// `pool`.
+#[deprecated(
+    since = "0.2.0",
+    note = "allocates a row-of-rows; use nas_graph::dist::DistanceBatch::fill_multi"
+)]
 pub fn par_multi_source_distances(
     g: &Graph,
     source_sets: &[&[usize]],
     pool: &WorkerPool,
 ) -> Vec<Vec<Option<u32>>> {
-    let mut rows: Vec<Vec<Option<u32>>> = vec![Vec::new(); source_sets.len()];
-    let cuts = nas_par::balanced_cuts(source_sets.len(), pool.threads());
-    nas_par::for_each_part_mut(pool, &mut rows, &cuts, |i, part| {
-        for (k, row) in part.iter_mut().enumerate() {
-            *row = multi_source_distances(g, source_sets[cuts[i] + k].iter().copied());
-        }
-    });
-    rows
+    let mut batch = DistanceBatch::new();
+    let mut scratch = BatchScratch::new();
+    batch.fill_multi(g, source_sets, &mut scratch, pool);
+    option_rows(&batch, source_sets.len())
+}
+
+/// Expands a flat batch back into the historical row-of-rows shape.
+/// `rows` disambiguates the zero-width case (an `n == 0` graph still has
+/// one empty row per source).
+fn option_rows(batch: &DistanceBatch, rows: usize) -> Vec<Vec<Option<u32>>> {
+    (0..rows)
+        .map(|i| {
+            if batch.width() == 0 {
+                Vec::new()
+            } else {
+                batch
+                    .row(i)
+                    .iter()
+                    .map(|&d| (d != crate::dist::UNREACHED).then_some(d))
+                    .collect()
+            }
+        })
+        .collect()
 }
 
 /// Result of a BFS that also records the forest structure.
@@ -196,10 +207,8 @@ pub fn bfs_forest<I: IntoIterator<Item = usize>>(
 ///
 /// Panics if `source` is out of range.
 pub fn eccentricity(g: &Graph, source: usize) -> u32 {
-    distances(g, source)
-        .into_iter()
-        .flatten()
-        .max()
+    DistanceMap::from_source(g, source)
+        .max_finite()
         .unwrap_or(0)
 }
 
@@ -207,33 +216,6 @@ pub fn eccentricity(g: &Graph, source: usize) -> u32 {
 mod tests {
     use super::*;
     use crate::generators;
-
-    #[test]
-    fn path_distances() {
-        let g = generators::path(6);
-        let d = distances(&g, 0);
-        assert_eq!(d, (0..6).map(|i| Some(i as u32)).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn unreachable_is_none() {
-        let mut b = crate::GraphBuilder::new(4);
-        b.add_edge(0, 1);
-        let g = b.build();
-        let d = distances(&g, 0);
-        assert_eq!(d[1], Some(1));
-        assert_eq!(d[2], None);
-        assert_eq!(d[3], None);
-    }
-
-    #[test]
-    fn multi_source_takes_nearest() {
-        let g = generators::path(10);
-        let d = multi_source_distances(&g, [0, 9]);
-        assert_eq!(d[4], Some(4));
-        assert_eq!(d[5], Some(4));
-        assert_eq!(d[7], Some(2));
-    }
 
     #[test]
     fn forest_paths_are_shortest() {
@@ -285,31 +267,9 @@ mod tests {
     }
 
     #[test]
-    fn par_distances_matches_sequential_loop() {
-        let g = generators::gnp(70, 0.08, 9);
-        let sources: Vec<usize> = (0..30).map(|i| (i * 7) % 70).collect();
-        let want: Vec<_> = sources.iter().map(|&s| distances(&g, s)).collect();
-        for threads in [1, 2, 3, 8] {
-            let pool = nas_par::WorkerPool::new(threads);
-            let got = par_distances(&g, &sources, &pool);
-            assert_eq!(got, want, "threads = {threads}");
-        }
-        // Fewer sources than lanes, and the empty batch.
-        let pool = nas_par::WorkerPool::new(8);
-        assert_eq!(par_distances(&g, &sources[..2], &pool), want[..2].to_vec());
-        assert!(par_distances(&g, &[], &pool).is_empty());
-    }
-
-    #[test]
-    fn par_multi_source_matches_sequential_loop() {
-        let g = generators::grid2d(9, 8);
-        let sets: Vec<&[usize]> = vec![&[0], &[3, 70], &[1, 2, 3], &[71]];
-        let want: Vec<_> = sets
-            .iter()
-            .map(|s| multi_source_distances(&g, s.iter().copied()))
-            .collect();
-        let pool = nas_par::WorkerPool::new(3);
-        assert_eq!(par_multi_source_distances(&g, &sets, &pool), want);
+    fn eccentricity_of_isolated_vertex_is_zero() {
+        let g = crate::GraphBuilder::new(3).build();
+        assert_eq!(eccentricity(&g, 1), 0);
     }
 
     #[test]
@@ -319,5 +279,35 @@ mod tests {
         let b = bfs_forest(&g, [4, 0], None);
         assert_eq!(a.root, b.root);
         assert_eq!(a.parent, b.parent);
+    }
+
+    /// The deprecated Option-row adapters stay bit-equivalent to the flat
+    /// plane they delegate to (the cross-implementation differential lives
+    /// in `tests/proptest_dist.rs`).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_adapters_match_flat_plane() {
+        let g = generators::gnp(50, 0.07, 9);
+        let d = distances(&g, 3);
+        assert_eq!(d, DistanceMap::from_source(&g, 3).to_options());
+
+        let m = multi_source_distances(&g, [1, 40]);
+        assert_eq!(m, DistanceMap::from_sources(&g, [1, 40]).to_options());
+
+        let pool = WorkerPool::new(3);
+        let sources = [0usize, 7, 7, 13];
+        let rows = par_distances(&g, &sources, &pool);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i], DistanceMap::from_source(&g, s).to_options());
+        }
+
+        let sets: Vec<&[usize]> = vec![&[0], &[3, 9]];
+        let rows = par_multi_source_distances(&g, &sets, &pool);
+        assert_eq!(rows[1], DistanceMap::from_sources(&g, [3, 9]).to_options());
+
+        // Zero-vertex graph: one empty row per source set.
+        let empty = crate::GraphBuilder::new(0).build();
+        let rows = par_multi_source_distances(&empty, &[&[]], &pool);
+        assert_eq!(rows, vec![Vec::<Option<u32>>::new()]);
     }
 }

@@ -12,8 +12,15 @@
 //!   experiments (paths, grids, tori, hypercubes, random graphs, preferential
 //!   attachment, …) — all randomness is driven by an explicit seed through a
 //!   local [`rng::SplitMix64`] so results are reproducible across platforms;
-//! * breadth-first search in several flavors ([`bfs`]): single source,
-//!   multi-source, depth-limited, with parent tracking;
+//! * the flat distance plane ([`dist`]): dense `u32` [`DistanceMap`] rows
+//!   with the [`dist::UNREACHED`] sentinel, reusable BFS scratch, and
+//!   batched/pooled multi-row fills — the allocation-free substrate every
+//!   stretch audit and oracle runs on (see the [`dist`] module docs for the
+//!   sentinel convention, the scratch-reuse contract, and the
+//!   determinism-under-parallelism argument);
+//! * breadth-first search in several flavors ([`bfs`]): depth-limited
+//!   forests with parent tracking, eccentricity, plus the deprecated
+//!   `Option`-row adapters of the historical distance surface;
 //! * exact all-pairs shortest paths ([`apsp`]) used by the stretch audits;
 //! * connectivity utilities ([`connectivity`]);
 //! * an [`EdgeSet`] for accumulating spanner edges and turning them back into
@@ -22,12 +29,12 @@
 //! # Example
 //!
 //! ```
-//! use nas_graph::{generators, bfs};
+//! use nas_graph::{generators, DistanceMap};
 //!
 //! let g = generators::grid2d(4, 5);
 //! assert_eq!(g.num_vertices(), 20);
-//! let dist = bfs::distances(&g, 0);
-//! assert_eq!(dist[19], Some(3 + 4)); // Manhattan distance across the grid
+//! let dist = DistanceMap::from_source(&g, 0);
+//! assert_eq!(dist.get(19), Some(3 + 4)); // Manhattan distance across the grid
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,6 +44,7 @@ pub mod apsp;
 pub mod bfs;
 pub mod builder;
 pub mod connectivity;
+pub mod dist;
 pub mod edgeset;
 pub mod generators;
 pub mod graph;
@@ -44,5 +52,6 @@ pub mod io;
 pub mod rng;
 
 pub use builder::GraphBuilder;
+pub use dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap, EpochMarks};
 pub use edgeset::EdgeSet;
 pub use graph::{Graph, GraphError};

@@ -2,7 +2,7 @@
 //! correctness against a reference implementation, generator determinism,
 //! and I/O round-trips.
 
-use nas_graph::{bfs, generators, io, GraphBuilder};
+use nas_graph::{generators, io, DistanceMap, GraphBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -46,10 +46,10 @@ proptest! {
     ) {
         let g = generators::gnp(n, p, seed);
         let s = source % n;
-        let d = bfs::distances(&g, s);
-        prop_assert_eq!(d[s], Some(0));
+        let d = DistanceMap::from_source(&g, s);
+        prop_assert_eq!(d.get(s), Some(0));
         for (u, v) in g.edges() {
-            match (d[u], d[v]) {
+            match (d.get(u), d.get(v)) {
                 (Some(a), Some(b)) => {
                     prop_assert!(a.abs_diff(b) <= 1, "edge ({u},{v}): {a} vs {b}")
                 }
@@ -58,12 +58,12 @@ proptest! {
             }
         }
         for v in 0..n {
-            if let Some(dv) = d[v] {
+            if let Some(dv) = d.get(v) {
                 if dv > 0 {
                     let has_tight = g
                         .neighbors(v)
                         .iter()
-                        .any(|&u| d[u as usize] == Some(dv - 1));
+                        .any(|&u| d.get(u as usize) == Some(dv - 1));
                     prop_assert!(has_tight, "vertex {v} lacks a tight predecessor");
                 }
             }
@@ -99,11 +99,14 @@ proptest! {
     ) {
         let g = generators::gnp(n, p, seed);
         let sources = [0usize, n / 2, n - 1];
-        let multi = bfs::multi_source_distances(&g, sources.iter().copied());
-        let singles: Vec<_> = sources.iter().map(|&s| bfs::distances(&g, s)).collect();
+        let multi = DistanceMap::from_sources(&g, sources.iter().copied());
+        let singles: Vec<_> = sources
+            .iter()
+            .map(|&s| DistanceMap::from_source(&g, s))
+            .collect();
         for v in 0..n {
-            let want = singles.iter().filter_map(|d| d[v]).min();
-            prop_assert_eq!(multi[v], want, "vertex {}", v);
+            let want = singles.iter().filter_map(|d| d.get(v)).min();
+            prop_assert_eq!(multi.get(v), want, "vertex {}", v);
         }
     }
 }

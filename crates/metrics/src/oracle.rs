@@ -2,21 +2,35 @@
 //!
 //! A downstream user of a spanner usually wants approximate distances
 //! without storing the original graph. [`SpannerOracle`] wraps a spanner
-//! graph and answers queries by bounded BFS with an LRU-less single-row
-//! cache; [`compare`] measures the approximation quality pair-by-pair.
+//! graph and answers queries by BFS on the flat distance plane
+//! ([`nas_graph::dist`]): point queries hit a single cached
+//! [`DistanceMap`] row, batched queries fill a flat [`DistanceBatch`]
+//! sharded over a worker pool, and every traversal reuses the oracle's own
+//! scratch — after one warmup batch, repeated batch audits allocate
+//! nothing (pinned by `tests/zero_alloc_audit.rs`). [`compare`] measures
+//! the approximation quality pair-by-pair.
 
-use nas_graph::{bfs, Graph};
+use nas_graph::dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap};
+use nas_graph::Graph;
+use nas_par::WorkerPool;
 
 /// Distance oracle over a spanner `H`.
 ///
-/// Queries run BFS from the source on demand; rows are cached, so batched
-/// queries from few sources are cheap. For an all-pairs audit use
-/// [`crate::stretch_audit`] instead.
+/// Point queries run BFS from the source on demand; the row is cached, so
+/// repeated queries from (or into — the graph is undirected) one source
+/// are cheap. For many sources use
+/// [`distances_batch_into`](SpannerOracle::distances_batch_into); for an
+/// all-pairs audit use [`crate::stretch_audit`] instead.
 #[derive(Debug, Clone)]
 pub struct SpannerOracle {
     spanner: Graph,
     cache_source: Option<usize>,
-    cache_row: Vec<Option<u32>>,
+    cache_row: DistanceMap,
+    scratch: BfsScratch,
+    batch_scratch: BatchScratch,
+    /// Lazily materialized `Option` row for the deprecated
+    /// [`distances_from`](SpannerOracle::distances_from) shim.
+    legacy_row: Vec<Option<u32>>,
     bfs_runs: u64,
 }
 
@@ -26,7 +40,10 @@ impl SpannerOracle {
         SpannerOracle {
             spanner,
             cache_source: None,
-            cache_row: Vec::new(),
+            cache_row: DistanceMap::new(),
+            scratch: BfsScratch::new(),
+            batch_scratch: BatchScratch::new(),
+            legacy_row: Vec::new(),
             bfs_runs: 0,
         }
     }
@@ -54,48 +71,84 @@ impl SpannerOracle {
         let n = self.spanner.num_vertices();
         assert!(u < n && v < n, "query out of range");
         if self.cache_source == Some(u) {
-            return self.cache_row[v];
+            return self.cache_row.get(v);
         }
         if self.cache_source == Some(v) {
-            return self.cache_row[u];
+            return self.cache_row.get(u);
         }
-        self.cache_row = bfs::distances(&self.spanner, u);
-        self.cache_source = Some(u);
-        self.bfs_runs += 1;
-        self.cache_row[v]
+        self.refill_cache(u);
+        self.cache_row.get(v)
     }
 
-    /// Batched distances from one source (one BFS).
-    pub fn distances_from(&mut self, u: usize) -> &[Option<u32>] {
+    fn refill_cache(&mut self, u: usize) {
+        self.cache_row.fill(&self.spanner, [u], &mut self.scratch);
+        self.cache_source = Some(u);
+        self.bfs_runs += 1;
+    }
+
+    /// Batched distances from one source (one BFS, cached): the flat row.
+    pub fn distance_map_from(&mut self, u: usize) -> &DistanceMap {
         if self.cache_source != Some(u) {
-            self.cache_row = bfs::distances(&self.spanner, u);
-            self.cache_source = Some(u);
-            self.bfs_runs += 1;
+            self.refill_cache(u);
         }
         &self.cache_row
     }
 
-    /// Batched distances from many sources: one BFS per source, fanned out
-    /// over `pool` via [`bfs::par_distances`]. Row `i` corresponds to
-    /// `sources[i]`, byte-identical to calling
-    /// [`distances_from`](SpannerOracle::distances_from) in a loop at any
+    /// Batched distances from one source as an `Option` row.
+    #[deprecated(
+        since = "0.2.0",
+        note = "materializes an Option row per source; use distance_map_from (flat, cached) or \
+                distances_batch_into (many sources, pooled)"
+    )]
+    pub fn distances_from(&mut self, u: usize) -> &[Option<u32>] {
+        if self.cache_source != Some(u) {
+            self.refill_cache(u);
+        }
+        self.legacy_row.clear();
+        self.legacy_row.extend(
+            self.cache_row
+                .raw()
+                .iter()
+                .map(|&d| (d != nas_graph::dist::UNREACHED).then_some(d)),
+        );
+        &self.legacy_row
+    }
+
+    /// Batched distances from many sources into a reusable flat batch: one
+    /// BFS per source, sharded over `pool`. Row `i` corresponds to
+    /// `sources[i]`, byte-identical to a sequential
+    /// [`distance_map_from`](SpannerOracle::distance_map_from) loop at any
     /// thread count.
     ///
+    /// Reuses `out` and the oracle's internal per-lane scratch: after one
+    /// warmup call, repeated batches of the same shape allocate nothing.
     /// Counts one BFS per source in [`bfs_runs`](SpannerOracle::bfs_runs)
     /// and leaves the single-row cache holding the *last* source's row, so
     /// follow-up point queries anchored there stay free.
-    pub fn distances_batch(
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is out of range.
+    pub fn distances_batch_into(
         &mut self,
         sources: &[usize],
-        pool: &nas_par::WorkerPool,
-    ) -> Vec<Vec<Option<u32>>> {
-        let rows = bfs::par_distances(&self.spanner, sources, pool);
+        out: &mut DistanceBatch,
+        pool: &WorkerPool,
+    ) {
+        out.fill(&self.spanner, sources, &mut self.batch_scratch, pool);
         self.bfs_runs += sources.len() as u64;
-        if let (Some(&s), Some(row)) = (sources.last(), rows.last()) {
+        if let Some(&s) = sources.last() {
             self.cache_source = Some(s);
-            self.cache_row.clone_from(row);
+            self.cache_row.copy_row(out.row(sources.len() - 1));
         }
-        rows
+    }
+
+    /// [`distances_batch_into`](SpannerOracle::distances_batch_into) with a
+    /// freshly allocated batch — the convenience form for one-shot callers.
+    pub fn distances_batch(&mut self, sources: &[usize], pool: &WorkerPool) -> DistanceBatch {
+        let mut out = DistanceBatch::new();
+        self.distances_batch_into(sources, &mut out, pool);
+        out
     }
 }
 
@@ -126,13 +179,14 @@ pub fn compare(
     assert_eq!(g.num_vertices(), oracle.graph().num_vertices());
     let mut out = Vec::with_capacity(pairs.len());
     let mut g_cache_source = usize::MAX;
-    let mut g_row: Vec<Option<u32>> = Vec::new();
+    let mut g_row = DistanceMap::new();
+    let mut g_scratch = BfsScratch::new();
     for &(u, v) in pairs {
         if g_cache_source != u {
-            g_row = bfs::distances(g, u);
+            g_row.fill(g, [u], &mut g_scratch);
             g_cache_source = u;
         }
-        match g_row[v] {
+        match g_row.get(v) {
             None => out.push(None),
             Some(exact) => {
                 let approx = oracle
@@ -200,12 +254,58 @@ mod tests {
 
         let mut pointwise = SpannerOracle::new(g.clone());
         for (i, &s) in sources.iter().enumerate() {
-            assert_eq!(rows[i], pointwise.distances_from(s).to_vec(), "source {s}");
+            assert_eq!(
+                rows.row(i),
+                pointwise.distance_map_from(s).raw(),
+                "source {s}"
+            );
         }
         // The cache holds the last batched row: anchored queries are free.
         let runs = batched.bfs_runs();
-        assert_eq!(batched.distance(13, 40), rows[4][40]);
+        assert_eq!(batched.distance(13, 40), rows.get(4, 40));
         assert_eq!(batched.bfs_runs(), runs);
+    }
+
+    /// The batch path reuses `out` and the oracle scratch across calls and
+    /// stays identical to the point path at every thread count.
+    #[test]
+    fn batch_into_is_reusable_and_thread_invariant() {
+        let g = generators::connected_gnp(60, 0.08, 5);
+        let sources = [3usize, 41, 0, 59];
+        let want: Vec<Vec<u32>> = {
+            let mut o = SpannerOracle::new(g.clone());
+            sources
+                .iter()
+                .map(|&s| o.distance_map_from(s).raw().to_vec())
+                .collect()
+        };
+        for threads in [1usize, 2, 4] {
+            let pool = nas_par::WorkerPool::new(threads);
+            let mut o = SpannerOracle::new(g.clone());
+            let mut out = nas_graph::DistanceBatch::new();
+            for round in 0..3 {
+                o.distances_batch_into(&sources, &mut out, &pool);
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(
+                        out.row(i),
+                        &w[..],
+                        "row {i} round {round} threads {threads}"
+                    );
+                }
+            }
+            assert_eq!(o.bfs_runs(), 3 * sources.len() as u64);
+        }
+    }
+
+    /// The deprecated per-source Option-row path still matches the flat row.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_distances_from_matches_flat() {
+        let g = generators::grid2d(5, 5);
+        let mut o = SpannerOracle::new(g.clone());
+        let legacy = o.distances_from(7).to_vec();
+        assert_eq!(legacy, o.distance_map_from(7).to_options());
+        assert_eq!(o.bfs_runs(), 1, "shared cache between the two paths");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! breakdown — the measurable analogue of the paper's Figures 6–8 and the
 //! "near-additive spanners preserve large distances faithfully" message.
 
-use nas_graph::{bfs, Graph};
+use nas_graph::dist::{BfsScratch, DistanceMap, UNREACHED};
+use nas_graph::Graph;
 use nas_par::WorkerPool;
 
 /// Aggregated stretch statistics for one distance value `d = d_G(u,v)`.
@@ -84,10 +85,14 @@ impl Partial {
     /// `v > source` count (the all-pairs audit, where each unordered pair
     /// must count once); otherwise every `v != source` counts (the sampled
     /// audit, where sources are a sample).
+    ///
+    /// `dg`/`dh` are flat sentinel rows ([`UNREACHED`] marks unreachable) —
+    /// the audit's innermost loop scans them branch-lean, with no `Option`
+    /// discriminants in the way.
     fn absorb_source(
         &mut self,
-        dg: &[Option<u32>],
-        dh: &[Option<u32>],
+        dg: &[u32],
+        dh: &[u32],
         source: usize,
         targets_after_source_only: bool,
     ) {
@@ -100,14 +105,15 @@ impl Partial {
             if v == source {
                 continue;
             }
-            let Some(d) = dg[v] else { continue };
-            if d == 0 {
+            let d = dg[v];
+            if d == 0 || d == UNREACHED {
                 continue;
             }
-            let Some(s) = dh[v] else {
+            let s = dh[v];
+            if s == UNREACHED {
                 self.disconnected += 1;
                 continue;
-            };
+            }
             let d = d as usize;
             if self.buckets.len() <= d {
                 self.buckets.resize(
@@ -134,6 +140,12 @@ impl Partial {
 /// shards, one per pool lane, each lane accumulating into its own
 /// [`Partial`]), then a lane-ordered merge. No locks, no atomics; a lane
 /// panic propagates through the pool instead of poisoning an accumulator.
+///
+/// Each lane owns one pair of flat [`DistanceMap`] rows and one
+/// [`BfsScratch`], reused across all of its sources — the per-source heap
+/// churn of the old `Vec<Option<u32>>` plane (two fresh rows plus a
+/// `VecDeque` per source) is gone, which is what makes the million-node
+/// sampled audit run at full `n`.
 fn audit_sources(
     g: &Graph,
     h: &Graph,
@@ -145,10 +157,13 @@ fn audit_sources(
     let mut partials: Vec<Partial> = (0..pool.threads()).map(|_| Partial::default()).collect();
     let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
     nas_par::for_each_worker(pool, &mut partials, |i, part| {
+        let mut dg = DistanceMap::new();
+        let mut dh = DistanceMap::new();
+        let mut scratch = BfsScratch::new();
         for &s in &sources[cuts[i]..cuts[i + 1]] {
-            let dg = bfs::distances(g, s);
-            let dh = bfs::distances(h, s);
-            part.absorb_source(&dg, &dh, s, targets_after_source_only);
+            dg.fill(g, [s], &mut scratch);
+            dh.fill(h, [s], &mut scratch);
+            part.absorb_source(dg.raw(), dh.raw(), s, targets_after_source_only);
         }
     });
 

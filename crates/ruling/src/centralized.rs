@@ -7,8 +7,7 @@
 
 use crate::digits::DigitPlan;
 use crate::result::{RulingParams, RulingSet};
-use nas_graph::Graph;
-use std::collections::VecDeque;
+use nas_graph::{EpochMarks, Graph};
 
 /// Computes a `(q+1, cq)`-ruling set for `w` in `g` (centralized).
 ///
@@ -39,59 +38,56 @@ pub fn ruling_set_centralized(g: &Graph, w: &[usize], params: RulingParams) -> R
     // killer[v]: the wave origin that deactivated v.
     let mut killer: Vec<Option<u32>> = vec![None; n];
 
-    // Scratch for the per-sub-phase BFS.
-    let mut dist: Vec<u32> = vec![u32::MAX; n];
-    let mut origin: Vec<u32> = vec![u32::MAX; n];
-    let mut touched: Vec<usize> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    // Scratch for the per-sub-phase kill wave, on the flat distance plane:
+    // an epoch-marked visited set (O(1) logical clear between waves — no
+    // touched-list rewind) plus swap frontiers carrying `(vertex, origin)`
+    // pairs, so no dense distance or origin table is needed at all. Zero
+    // allocation at steady state once the buffers hit their high-water
+    // mark.
+    let mut visited = EpochMarks::new();
+    let mut frontier: Vec<(u32, u32)> = Vec::new();
+    let mut next: Vec<(u32, u32)> = Vec::new();
+    let mut sources: Vec<usize> = Vec::new();
 
     for i in 0..params.c {
         for b in 0..plan.base() {
             // Sources: active vertices whose i-th digit is b.
             // (Ascending id order ⇒ min-id origin wins ties, deterministic.)
-            let sources: Vec<usize> = (0..n)
-                .filter(|&v| active[v] && plan.digit(v as u64, i) == b)
-                .collect();
+            sources.clear();
+            sources.extend((0..n).filter(|&v| active[v] && plan.digit(v as u64, i) == b));
             if sources.is_empty() {
                 continue; // schedule-equivalent: an empty wave kills nobody
             }
-            // Depth-q multi-source BFS through the whole graph.
+            // Depth-q multi-source wave. Level-by-level expansion visits
+            // vertices in the same order as the historical FIFO BFS, so the
+            // min-id origin claims each vertex identically; kills are
+            // applied at visit time (wave propagation never reads
+            // `active`, so inline kills match the old post-wave sweep).
+            visited.begin(n);
+            frontier.clear();
             for &s in &sources {
-                dist[s] = 0;
-                origin[s] = s as u32;
-                touched.push(s);
-                queue.push_back(s);
+                visited.mark(s);
+                frontier.push((s as u32, s as u32));
             }
-            while let Some(v) = queue.pop_front() {
-                let dv = dist[v];
-                if dv == q {
-                    continue;
+            for _depth in 0..q {
+                if frontier.is_empty() {
+                    break;
                 }
-                for &u in g.neighbors(v) {
-                    let u = u as usize;
-                    if dist[u] == u32::MAX {
-                        dist[u] = dv + 1;
-                        origin[u] = origin[v];
-                        touched.push(u);
-                        queue.push_back(u);
+                next.clear();
+                for &(v, origin) in &frontier {
+                    for &u in g.neighbors(v as usize) {
+                        let u = u as usize;
+                        if visited.mark(u) {
+                            if active[u] && plan.digit(u as u64, i) > b {
+                                active[u] = false;
+                                killer[u] = Some(origin);
+                            }
+                            next.push((u as u32, origin));
+                        }
                     }
                 }
+                std::mem::swap(&mut frontier, &mut next);
             }
-            // Kills: active vertices with a later digit in this iteration,
-            // reached within depth q.
-            for &v in &touched {
-                if active[v] && plan.digit(v as u64, i) > b {
-                    active[v] = false;
-                    killer[v] = Some(origin[v]);
-                }
-            }
-            // Reset scratch.
-            for &v in &touched {
-                dist[v] = u32::MAX;
-                origin[v] = u32::MAX;
-            }
-            touched.clear();
-            queue.clear();
         }
     }
 
@@ -130,7 +126,7 @@ pub(crate) fn assemble(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nas_graph::{bfs, generators};
+    use nas_graph::{generators, DistanceMap};
 
     fn verify(g: &Graph, w: &[usize], params: RulingParams, rs: &RulingSet) {
         // A ⊆ W.
@@ -139,9 +135,9 @@ mod tests {
         }
         // Separation ≥ q+1.
         for (idx, &a) in rs.members.iter().enumerate() {
-            let d = bfs::distances(g, a);
+            let d = DistanceMap::from_source(g, a);
             for &b in &rs.members[idx + 1..] {
-                let dab = d[b].expect("members must be connected in tests");
+                let dab = d.get(b).expect("members must be connected in tests");
                 assert!(
                     dab >= params.separation(),
                     "members {a},{b} at distance {dab} < {}",
@@ -153,7 +149,9 @@ mod tests {
         for &v in w {
             let r = rs.ruler[v].expect("W vertex must have a ruler") as usize;
             assert!(rs.is_member(r));
-            let d = bfs::distances(g, v)[r].expect("ruler reachable");
+            let d = DistanceMap::from_source(g, v)
+                .get(r)
+                .expect("ruler reachable");
             assert!(
                 d <= params.domination_radius(),
                 "vertex {v} ruled by {r} at distance {d} > {}",

@@ -213,20 +213,22 @@ pub fn ruling_set_distributed_hooked(
 mod tests {
     use super::*;
     use crate::centralized::ruling_set_centralized;
-    use nas_graph::{bfs, generators};
+    use nas_graph::{generators, DistanceMap};
 
     fn assert_valid(g: &Graph, w: &[usize], params: RulingParams, rs: &RulingSet) {
         for (idx, &a) in rs.members.iter().enumerate() {
-            let d = bfs::distances(g, a);
+            let d = DistanceMap::from_source(g, a);
             for &b in &rs.members[idx + 1..] {
-                if let Some(dab) = d[b] {
+                if let Some(dab) = d.get(b) {
                     assert!(dab >= params.separation(), "sep violated: {a},{b} at {dab}");
                 }
             }
         }
         for &v in w {
             let r = rs.ruler[v].expect("ruler") as usize;
-            let d = bfs::distances(g, v)[r].expect("reachable ruler");
+            let d = DistanceMap::from_source(g, v)
+                .get(r)
+                .expect("reachable ruler");
             assert!(d <= params.domination_radius());
         }
     }

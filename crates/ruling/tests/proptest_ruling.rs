@@ -2,7 +2,7 @@
 //! random graphs with random parameters, and the distributed protocol agrees
 //! with the centralized reference.
 
-use nas_graph::{bfs, generators, Graph};
+use nas_graph::{generators, DistanceMap, Graph};
 use nas_ruling::{ruling_set_centralized, ruling_set_distributed, RulingParams};
 use proptest::prelude::*;
 
@@ -15,9 +15,9 @@ fn check_guarantees(g: &Graph, w: &[usize], params: RulingParams) {
     }
     // Separation ≥ q+1 (only meaningful for pairs in the same component).
     for (i, &a) in rs.members.iter().enumerate() {
-        let d = bfs::distances(g, a);
+        let d = DistanceMap::from_source(g, a);
         for &b in &rs.members[i + 1..] {
-            if let Some(dab) = d[b] {
+            if let Some(dab) = d.get(b) {
                 assert!(
                     dab >= params.separation(),
                     "separation violated: {a} and {b} at distance {dab}"
@@ -29,7 +29,9 @@ fn check_guarantees(g: &Graph, w: &[usize], params: RulingParams) {
     for &v in w {
         let r = rs.ruler[v].expect("every W vertex has a ruler") as usize;
         assert!(rs.is_member(r));
-        let d = bfs::distances(g, v)[r].expect("ruler is reachable");
+        let d = DistanceMap::from_source(g, v)
+            .get(r)
+            .expect("ruler is reachable");
         assert!(
             d <= params.domination_radius(),
             "domination violated: {v} -> {r} at distance {d}"

@@ -4,7 +4,9 @@
 //! Re-exports every workspace member under one roof so downstream users can
 //! depend on a single crate:
 //!
-//! * [`graph`] — CSR graphs, deterministic generators, BFS/APSP, I/O;
+//! * [`graph`] — CSR graphs, deterministic generators, the flat distance
+//!   plane ([`graph::dist`]: dense `u32` rows, reusable scratch, pooled
+//!   batch BFS), APSP, I/O;
 //! * [`congest`] — the synchronous CONGEST-model simulator;
 //! * [`ruling`] — deterministic `(q+1, cq)`-ruling sets (Theorem 2.2);
 //! * [`core`] — the spanner construction itself (three backends plus a

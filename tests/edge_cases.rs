@@ -54,7 +54,9 @@ fn isolated_vertices_next_to_a_clique() {
     let h = r.to_graph();
     for u in 0..10 {
         for v in (u + 1)..10 {
-            let d = nas_graph::bfs::distances(&h, u)[v].expect("clique stays connected");
+            let d = nas_graph::DistanceMap::from_source(&h, u)
+                .get(v)
+                .expect("clique stays connected");
             let (alpha, beta) = r.schedule.stretch_envelope();
             assert!((d as f64) <= alpha + beta);
         }

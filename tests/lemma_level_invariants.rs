@@ -15,7 +15,7 @@
 #![allow(deprecated)]
 
 use nas_core::{build_centralized, Params};
-use nas_graph::{bfs, generators, Graph};
+use nas_graph::{generators, DistanceMap, Graph};
 
 fn build(g: &Graph) -> nas_core::SpannerResult {
     build_centralized(g, Params::practical(0.5, 4, 0.45)).unwrap()
@@ -35,7 +35,7 @@ fn lemma_2_15_neighboring_cluster_detour() {
         let h = r.to_graph();
         let rmax = r.schedule.r_bound[r.schedule.ell];
         // Distances in H from every settled center, computed lazily.
-        let mut dist_cache: std::collections::HashMap<u32, Vec<Option<u32>>> =
+        let mut dist_cache: std::collections::HashMap<u32, DistanceMap> =
             std::collections::HashMap::new();
         for (z, zp) in g.edges() {
             let (pj, cj) = r.settled[z].unwrap();
@@ -48,8 +48,9 @@ fn lemma_2_15_neighboring_cluster_detour() {
             for (w, rc) in [(z, ci), (zp, cj)] {
                 let d = dist_cache
                     .entry(rc)
-                    .or_insert_with(|| bfs::distances(&h, rc as usize));
-                let dw = d[w]
+                    .or_insert_with(|| DistanceMap::from_source(&h, rc as usize));
+                let dw = d
+                    .get(w)
                     .unwrap_or_else(|| panic!("{name}: vertex {w} cannot reach center {rc} in H"));
                 assert!(
                     dw as u64 <= 2 * rmax + 1,
@@ -77,8 +78,8 @@ fn lemma_2_14_close_settled_clusters_have_exact_center_paths() {
     for (&phase, centers) in &by_phase {
         let delta = r.schedule.delta[phase];
         for &rc in centers {
-            let dg = bfs::distances(&g, rc as usize);
-            let dh = bfs::distances(&h, rc as usize);
+            let dg = DistanceMap::from_source(&g, rc as usize);
+            let dh = DistanceMap::from_source(&h, rc as usize);
             // Every *center of the same phase's P_i* within δ_i must be
             // reachable in H at the exact graph distance. Settled centers of
             // the same phase are in P_i and close ⟹ covered by Lemma 2.14.
@@ -86,10 +87,10 @@ fn lemma_2_14_close_settled_clusters_have_exact_center_paths() {
                 if other == rc {
                     continue;
                 }
-                if let Some(d) = dg[other as usize] {
+                if let Some(d) = dg.get(other as usize) {
                     if (d as u64) <= delta {
                         assert_eq!(
-                            dh[other as usize],
+                            dh.get(other as usize),
                             Some(d),
                             "phase {phase}: centers {rc},{other} at graph distance {d} \
                              lack a shortest path in H"

@@ -142,7 +142,8 @@ fn radius_invariant_holds_on_corpus() {
         let h = r.to_graph();
         for v in 0..g.num_vertices() {
             let (phase, center) = r.settled[v].unwrap();
-            let d = nas_graph::bfs::distances(&h, v)[center as usize]
+            let d = nas_graph::DistanceMap::from_source(&h, v)
+                .get(center as usize)
                 .unwrap_or_else(|| panic!("{name}: {v} cut off from its center"));
             assert!(
                 d as u64 <= r.schedule.r_bound[phase],
