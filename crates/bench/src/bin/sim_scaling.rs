@@ -23,15 +23,20 @@
 //!
 //! Usage: `sim_scaling [--n N] [--threads T] [--compare-threads A,B,..]
 //!                     [--smoke] [--spanner-n N] [--audit-samples K]
-//!                     [--skip-spanner]`
+//!                     [--skip-spanner] [--workloads A,B,..]`
 //!
 //! `--threads` sets the worker-pool lane count (default: `NAS_THREADS` env,
 //! else available parallelism); `--threads 1` runs the pure sequential path
 //! with no pool attached. `--compare-threads 1,4` runs the flood suite once
 //! per listed lane count — transcripts are bit-identical across counts, so
-//! the runs differ only in wall clock. Every run appends a machine-readable
-//! record to `BENCH_sim.json` (written at exit), the start of the perf
-//! trajectory the harness tracks.
+//! the runs differ only in wall clock. `--workloads pref_attach,gnp`
+//! restricts every leg (flood, spanner, audit) to the workloads whose
+//! generator-slug name starts with one of the listed prefixes; the default
+//! runs all of them. Every run appends a machine-readable record to
+//! `BENCH_sim.json` (written at exit), the start of the perf trajectory the
+//! harness tracks. Spanner records carry a `phases` array (name, rounds,
+//! wall_ms per protocol phase); audit records report `null` for the
+//! round/message fields that do not apply to a centralized audit.
 //!
 //! `--smoke` is the CI configuration: `n = 10^5`, spanner + audit at
 //! `10^4`, asserting the same invariants at a size that finishes in
@@ -63,11 +68,14 @@ struct Record {
     m: usize,
     threads: usize,
     backend: &'static str,
-    rounds: u64,
-    messages: u64,
-    busiest_round_messages: u64,
+    /// `None` for legs where CONGEST accounting does not apply (the audit
+    /// is a centralized distance scan) — serialized as JSON `null` rather
+    /// than a fake `0`.
+    rounds: Option<u64>,
+    messages: Option<u64>,
+    busiest_round_messages: Option<u64>,
     wall_ms: f64,
-    mmsg_per_s: f64,
+    mmsg_per_s: Option<f64>,
     /// Process-lifetime RSS high-water mark (VmHWM) *at record time* — the
     /// kernel counter never decreases, so this is an upper bound inherited
     /// from the largest workload run so far in the process, not a
@@ -76,6 +84,9 @@ struct Record {
     peak_rss_process_mib: Option<f64>,
     /// Audit-leg extras (`protocol == "audit"` records only).
     audit: Option<AuditInfo>,
+    /// Per-phase breakdown (`protocol == "spanner"` records only):
+    /// `(name, CONGEST rounds, wall ms)` per protocol phase.
+    phases: Vec<(String, u64, f64)>,
 }
 
 /// Extra fields of an audit record.
@@ -94,11 +105,19 @@ struct AuditInfo {
     effective_beta: f64,
 }
 
+fn json_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
 impl Record {
     fn to_json(&self) -> String {
         let rss = match self.peak_rss_process_mib {
             Some(v) if v.is_finite() => format!("{v:.1}"),
             _ => "null".to_string(),
+        };
+        let mmsg = match self.mmsg_per_s {
+            Some(v) => format!("{v:.3}"),
+            None => "null".to_string(),
         };
         let audit = match &self.audit {
             Some(a) => format!(
@@ -108,23 +127,34 @@ impl Record {
             ),
             None => String::new(),
         };
+        let phases = if self.phases.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(name, rounds, wall_ms)| {
+                    format!("{{\"name\":\"{name}\",\"rounds\":{rounds},\"wall_ms\":{wall_ms:.3}}}")
+                })
+                .collect();
+            format!(",\"phases\":[{}]", body.join(","))
+        };
         // The workload names are generator slugs (alphanumerics, '(', ')',
         // ',', '.', '-') — no JSON escaping needed beyond quoting.
         format!(
             "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
              \"backend\":\"{}\",\"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
-             \"wall_ms\":{:.3},\"mmsg_per_s\":{:.3},\"peak_rss_process_mib\":{rss}{audit}}}",
+             \"wall_ms\":{:.3},\"mmsg_per_s\":{mmsg},\"peak_rss_process_mib\":{rss}{audit}{phases}}}",
             self.protocol,
             self.workload,
             self.n,
             self.m,
             self.threads,
             self.backend,
-            self.rounds,
-            self.messages,
-            self.busiest_round_messages,
+            json_u64(self.rounds),
+            json_u64(self.messages),
+            json_u64(self.busiest_round_messages),
             self.wall_ms,
-            self.mmsg_per_s,
         )
     }
 }
@@ -175,13 +205,14 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
         } else {
             "congest-arena"
         },
-        rounds: s.rounds,
-        messages: s.messages,
-        busiest_round_messages: s.busiest_round_messages,
+        rounds: Some(s.rounds),
+        messages: Some(s.messages),
+        busiest_round_messages: Some(s.busiest_round_messages),
         wall_ms: wall.as_secs_f64() * 1e3,
-        mmsg_per_s: s.messages as f64 / wall.as_secs_f64() / 1e6,
+        mmsg_per_s: Some(s.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
         audit: None,
+        phases: Vec::new(),
     }
 }
 
@@ -209,6 +240,14 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
         peak_rss_mib().unwrap_or(f64::NAN),
     );
+    // Per-phase breakdown: Report.phases and Report.phase_wall are parallel
+    // (one entry per protocol phase, in execution order).
+    let phases: Vec<(String, u64, f64)> = r
+        .phases
+        .iter()
+        .zip(&r.phase_wall)
+        .map(|(p, w)| (format!("phase{}", p.phase), p.rounds, w.as_secs_f64() * 1e3))
+        .collect();
     let record = Record {
         protocol: "spanner",
         workload: name.to_string(),
@@ -216,13 +255,14 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         m: g.num_edges(),
         threads,
         backend: "congest-engine",
-        rounds: r.stats.rounds,
-        messages: r.stats.messages,
-        busiest_round_messages: r.stats.busiest_round_messages,
+        rounds: Some(r.stats.rounds),
+        messages: Some(r.stats.messages),
+        busiest_round_messages: Some(r.stats.busiest_round_messages),
         wall_ms: wall.as_secs_f64() * 1e3,
-        mmsg_per_s: r.stats.messages as f64 / wall.as_secs_f64() / 1e6,
+        mmsg_per_s: Some(r.stats.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
         audit: None,
+        phases,
     };
     (record, r)
 }
@@ -261,11 +301,13 @@ fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: us
         m: g.num_edges(),
         threads,
         backend: "flat-distance-plane",
-        rounds: 0,
-        messages: 0,
-        busiest_round_messages: 0,
+        // The audit is a centralized distance scan: CONGEST rounds and
+        // message counts do not apply, and `null` says so honestly.
+        rounds: None,
+        messages: None,
+        busiest_round_messages: None,
         wall_ms: wall.as_secs_f64() * 1e3,
-        mmsg_per_s: 0.0,
+        mmsg_per_s: None,
         peak_rss_process_mib: peak_rss_mib(),
         audit: Some(AuditInfo {
             samples,
@@ -274,6 +316,7 @@ fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: us
             max_stretch: audit.max_stretch,
             effective_beta: audit.effective_beta,
         }),
+        phases: Vec::new(),
     }
 }
 
@@ -299,6 +342,19 @@ fn main() {
         None => vec![threads],
     };
     let seed = cli.seed(42);
+    // `--workloads pref_attach,gnp` keeps the workloads whose name starts
+    // with one of the listed prefixes; the default keeps everything.
+    let workload_filter: Option<Vec<String>> = cli.opt_str("--workloads").map(|list| {
+        list.split(',')
+            .map(|w| w.trim().to_string())
+            .filter(|w| !w.is_empty())
+            .collect()
+    });
+    let keep = |name: &str| -> bool {
+        workload_filter
+            .as_ref()
+            .is_none_or(|f| f.iter().any(|w| name.starts_with(w.as_str())))
+    };
 
     println!(
         "== sim_scaling: flood at n={n} (threads {flood_thread_counts:?}), spanner at n={spanner_n} (threads {threads}) =="
@@ -308,7 +364,10 @@ fn main() {
 
     // Generate the graphs once; at n = 10^6 the four generators are the
     // dominant non-measured cost of a multi-thread-count comparison.
-    let flood_suite = nas_bench::large_scale(n, 8, seed);
+    let flood_suite: Vec<(String, Graph)> = nas_bench::large_scale(n, 8, seed)
+        .into_iter()
+        .filter(|(name, _)| keep(name))
+        .collect();
     for &t in &flood_thread_counts {
         let pool = (t > 1).then(|| Arc::new(WorkerPool::new(t)));
         for (name, g) in &flood_suite {
@@ -340,7 +399,10 @@ fn main() {
     if cli.flag("--skip-spanner") {
         println!("spanner  | (skipped)");
     } else {
-        for (name, g) in nas_bench::large_scale(spanner_n, 8, seed) {
+        for (name, g) in nas_bench::large_scale(spanner_n, 8, seed)
+            .into_iter()
+            .filter(|(name, _)| keep(name))
+        {
             // The spanner needs a connected input to be meaningful; the
             // G(n,p) family at deg≈8 has a small disconnected remainder, so
             // swap in the connected variant at the same density.

@@ -45,12 +45,41 @@
 //!   [`Simulator::step`] performs **zero heap allocation** (pinned by the
 //!   `zero_alloc` integration test).
 //!
+//! # Message combining and broadcast records
+//!
+//! Two optimizations target high-skew graphs, where a hub with `10^5`
+//! neighbors would otherwise dominate every round:
+//!
+//! * **Sender-side combining.** A protocol may tag a [`Msg`] with a
+//!   commutative [`Merge`] class (`Min`, `Dedup`, `Or` — see the
+//!   [`msg`] module docs for the commutativity contract). After the
+//!   scatter pass, every inbox whose messages all share one class is
+//!   collapsed in place — a hub that was sent `10^5` copies of the same
+//!   wave absorbs one merged message. Sends are still counted in full
+//!   ([`RunStats`] stays send-attributed; [`RunStats::merged_messages`]
+//!   counts the eliminated slots), bandwidth enforcement is unchanged,
+//!   and merging never empties an inbox, so quiescence detection is
+//!   unaffected. Delivery for *merged* classes legitimately differs from
+//!   the unmerged baseline (fewer inbox entries), which is exactly why
+//!   [`mod@reference`] never merges: differential tests pin the final
+//!   protocol outputs, not the wire format, against it.
+//! * **Broadcast records.** [`RoundCtx::send_all`] from a node whose
+//!   degree is at least the broadcast threshold
+//!   ([`Simulator::set_bcast_threshold`], default
+//!   [`DEFAULT_BCAST_THRESHOLD`]) stages one broadcast record instead of
+//!   `deg` copies; the counting and scatter passes expand it against the
+//!   sender's sorted adjacency slice — per receiver-range on the
+//!   parallel path, forming a degree-bucketed broadcast tree. Expansion
+//!   happens at the record's staged position, so delivery order, stats,
+//!   digests, and transcripts are bit-identical to the per-port loop.
+//!
 //! # The active-set scheduler
 //!
 //! A round visits only the nodes that can possibly do anything:
 //!
-//! * nodes whose inbox is non-empty this round, and
+//! * nodes whose inbox is non-empty this round,
 //! * nodes that reported `!is_idle()` after their previous visit,
+//! * nodes whose timed wake-up ([`NodeProgram::next_wake`]) is due,
 //! * plus every node on the very first round (and after
 //!   [`Simulator::programs_mut`], which may change state behind the
 //!   scheduler's back).
@@ -61,10 +90,20 @@
 //! call is unobservable — provided the program honors the activity contract
 //! documented on [`NodeProgram`]: `is_idle` is a pure function of state, and
 //! any program that acts *spontaneously* (sends based on the round number
-//! alone) reports non-idle until its schedule completes. Purely
-//! message-driven programs need no override. Quiescence detection
-//! ([`Simulator::run_until_quiet`]) reads the same bookkeeping and is
-//! O(active set) instead of O(n) per round.
+//! alone) either reports non-idle until its schedule completes or books the
+//! round of its next spontaneous act as a timed wake-up. Purely
+//! message-driven programs need no override. Wake-ups are kept in a timer
+//! wheel (a `BTreeMap` keyed by round, with an O(1) per-node armed-round
+//! slot suppressing duplicate registrations) and merged into the sorted
+//! visit list when due; a program that sleeps for hundreds of rounds
+//! between its scheduled sends — an Algorithm-1 node waiting for a future
+//! phase, a ruling-set source between launch sub-phases, a supercluster
+//! center waiting for the confirm upcast — costs *zero* visits in between
+//! instead of one per round, which is what flattens the long tail of tiny
+//! rounds on skewed (hub-heavy) inputs. Quiescence detection
+//! ([`Simulator::run_until_quiet`]) reads the same bookkeeping — a node
+//! holding a pending wake-up counts as unfinished — and is O(active set)
+//! instead of O(n) per round.
 //!
 //! # Streaming observation
 //!
@@ -156,7 +195,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod msg;
+pub mod msg;
 pub mod observe;
 pub mod programs;
 pub mod reference;
@@ -164,9 +203,11 @@ mod sim;
 mod stats;
 pub mod trace;
 
-pub use msg::{Incoming, Msg, MAX_WORDS};
+pub use msg::{Incoming, Merge, Msg, MAX_WORDS};
 pub use observe::{NoopRoundObserver, RoundInfo, RoundObserver, RunHooks};
 pub use reference::ReferenceSimulator;
-pub use sim::{NodeProgram, QuietOutcome, RoundCtx, Simulator, DEFAULT_PAR_THRESHOLD};
+pub use sim::{
+    NodeProgram, QuietOutcome, RoundCtx, Simulator, DEFAULT_BCAST_THRESHOLD, DEFAULT_PAR_THRESHOLD,
+};
 pub use stats::RunStats;
 pub use trace::{RoundRecord, Transcript};

@@ -1,4 +1,46 @@
-//! CONGEST messages: `O(1)` machine words.
+//! CONGEST messages: `O(1)` machine words, with an optional commutative
+//! merge discipline.
+//!
+//! # The merge-commutativity contract
+//!
+//! A protocol may tag its messages with a [`Merge`] class. The simulator is
+//! then allowed to **collapse** a receiver's inbox before delivery: all
+//! same-class messages landing at one node in one round are folded by the
+//! class's combinator, so a hub receiving 10^5 duplicate cluster
+//! announcements sees one merged message instead of 10^5 inbox slots. This
+//! is the sender-side combining discipline of Elkin's near-optimal-message
+//! MST line (aggregate at congestion points instead of paying per-edge
+//! delivery), applied at the message plane.
+//!
+//! Tagging a message is a **promise** by the protocol:
+//!
+//! * [`Merge::Min`] — the receiver's behavior depends only on the
+//!   lexicographically smallest `(payload words, sender)` message of the
+//!   round (e.g. cluster-claim floods and ruling-set kill waves, which fold
+//!   their inbox with `min` anyway).
+//! * [`Merge::Dedup`] — the receiver treats same-payload messages as one,
+//!   attributing it to the smallest sender (e.g. duplicate center
+//!   announcements forwarded by many neighbors).
+//! * [`Merge::Or`] — the receiver only reads the bitwise OR of the payload
+//!   words (e.g. settled/confirm flags convergecast up a tree).
+//!
+//! # Determinism argument
+//!
+//! Every combinator is commutative and associative and breaks ties by the
+//! smallest port, so the merged inbox is a pure function of the *set* of
+//! staged messages — independent of staging order, shard boundaries, or
+//! thread count. `Min`/`Dedup` survivors are a subset of the unmerged inbox
+//! delivered in the same sender-ascending order the determinism contract
+//! promises; `Or` synthesizes a single message attributed to the smallest
+//! sender. Messages of different classes (or [`Merge::None`]) are never
+//! combined: a round's range is merged only when *all* its messages carry
+//! the same non-`None` class, so mixed traffic degrades to exact delivery
+//! rather than to a wrong merge.
+//!
+//! Merging changes the delivered transcript (that is the point), so golden
+//! transcripts are only pinned for unmerged protocols; spanner-output
+//! equivalence of the merged plane is proven differentially against the
+//! unmerged [`ReferenceSimulator`](crate::ReferenceSimulator).
 
 /// Maximum number of words a single message may carry.
 ///
@@ -6,6 +48,24 @@
 /// round; we fix the constant at 2, which is enough for every protocol in
 /// this repository (typically "a vertex id and a distance").
 pub const MAX_WORDS: usize = 2;
+
+/// How the simulator may combine same-class messages arriving at one node
+/// in one round. See the [module docs](self) for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Merge {
+    /// Never merged: every staged message is delivered verbatim (the
+    /// default, and the only class golden transcripts are pinned for).
+    #[default]
+    None = 0,
+    /// Keep only the lexicographically smallest `(payload, sender)` message.
+    Min = 1,
+    /// Collapse identical payloads, keeping the smallest sender for each.
+    Dedup = 2,
+    /// Bitwise-OR all payload words into one message attributed to the
+    /// smallest sender.
+    Or = 3,
+}
 
 /// A message of at most [`MAX_WORDS`] 64-bit words.
 ///
@@ -23,6 +83,7 @@ pub const MAX_WORDS: usize = 2;
 pub struct Msg {
     words: [u64; MAX_WORDS],
     len: u8,
+    merge: Merge,
 }
 
 impl Msg {
@@ -31,6 +92,7 @@ impl Msg {
         Msg {
             words: [w0, 0],
             len: 1,
+            merge: Merge::None,
         }
     }
 
@@ -39,7 +101,23 @@ impl Msg {
         Msg {
             words: [w0, w1],
             len: 2,
+            merge: Merge::None,
         }
+    }
+
+    /// Tags this message with a [`Merge`] class, promising the receiver's
+    /// behavior is invariant under that class's combining (see the
+    /// [module docs](self)).
+    #[must_use]
+    pub fn merged(mut self, merge: Merge) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// This message's merge class.
+    #[inline]
+    pub fn merge(&self) -> Merge {
+        self.merge
     }
 
     /// Number of words carried (1..=[`MAX_WORDS`]).
@@ -68,6 +146,20 @@ impl Msg {
     #[inline]
     pub fn words(&self) -> &[u64] {
         &self.words[..self.len as usize]
+    }
+
+    /// Crate-internal constructor for merge-pass synthesis (`Or` folding).
+    #[inline]
+    pub(crate) fn raw(words: [u64; MAX_WORDS], len: u8, merge: Merge) -> Self {
+        Msg { words, len, merge }
+    }
+
+    /// Crate-internal total order key for the merge pass: unused trailing
+    /// words are always zero, so comparing the full array plus the length is
+    /// the lexicographic payload order.
+    #[inline]
+    pub(crate) fn sort_key(&self) -> ([u64; MAX_WORDS], u8) {
+        (self.words, self.len)
     }
 }
 
@@ -116,5 +208,32 @@ mod tests {
     fn words_slice_matches_len() {
         assert_eq!(Msg::one(9).words(), &[9]);
         assert_eq!(Msg::two(3, 4).words(), &[3, 4]);
+    }
+
+    #[test]
+    fn merge_class_defaults_to_none() {
+        assert_eq!(Msg::one(1).merge(), Merge::None);
+        assert_eq!(Msg::two(1, 2).merge(), Merge::None);
+    }
+
+    #[test]
+    fn merged_builder_tags_without_touching_payload() {
+        let m = Msg::two(5, 6).merged(Merge::Min);
+        assert_eq!(m.merge(), Merge::Min);
+        assert_eq!(m.words(), &[5, 6]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_class_participates_in_equality() {
+        // Two messages that merge differently are different wire objects.
+        assert_ne!(Msg::one(1), Msg::one(1).merged(Merge::Dedup));
+    }
+
+    #[test]
+    fn sort_key_orders_by_payload_then_len() {
+        assert!(Msg::one(1).sort_key() < Msg::one(2).sort_key());
+        assert!(Msg::one(1).sort_key() < Msg::two(1, 0).sort_key());
+        assert!(Msg::two(1, 5).sort_key() < Msg::two(2, 0).sort_key());
     }
 }

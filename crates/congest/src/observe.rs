@@ -39,11 +39,13 @@ pub struct RoundInfo {
     pub round: u64,
     /// Messages sent during this round.
     pub messages: u64,
-    /// Nodes visited by this round (the active set, or `n` on a wake-up
-    /// round). `0` when the observer opted out of detail
-    /// ([`RoundObserver::wants_round_detail`]) — counting the active set
-    /// costs a sorted-list merge the pure-cancellation observers (round
-    /// budgets) should not pay.
+    /// Nodes visited by this round: message receivers, nodes that reported
+    /// non-idle, and nodes whose timed wake-up ([`NodeProgram::next_wake`])
+    /// came due (the union may double-count a node that is in more than one
+    /// of those sets), or `n` on a wake-up round. `0` when the observer
+    /// opted out of detail ([`RoundObserver::wants_round_detail`]) —
+    /// counting the active set costs a sorted-list merge the
+    /// pure-cancellation observers (round budgets) should not pay.
     pub active: usize,
 }
 

@@ -87,9 +87,15 @@ impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
         self.inboxes.iter().any(|i| !i.is_empty())
     }
 
-    /// Whether the network is quiet (full scan).
+    /// Whether the network is quiet (full scan). A node holding a timed
+    /// wake-up ([`NodeProgram::next_wake`]) counts as not finished, matching
+    /// the production simulator's timer-wheel bookkeeping.
     pub fn is_quiescent(&self) -> bool {
-        !self.has_pending_messages() && self.programs.iter().all(|p| p.is_idle())
+        !self.has_pending_messages()
+            && self
+                .programs
+                .iter()
+                .all(|p| p.is_idle() && p.next_wake().is_none())
     }
 
     /// Executes exactly one synchronous round, visiting every node.
@@ -115,7 +121,19 @@ impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
                 }
             }
 
-            let mut ctx = RoundCtx::new(v, n, self.round, neighbors, &inbox, &mut outbox, sent);
+            // `usize::MAX` disables broadcast records and (with no merge
+            // pass below) keeps this plane the *unmerged* baseline the
+            // differential tests compare the production plane against.
+            let mut ctx = RoundCtx::new(
+                v,
+                n,
+                self.round,
+                neighbors,
+                &inbox,
+                &mut outbox,
+                sent,
+                usize::MAX,
+            );
             self.programs[v].round(&mut ctx);
 
             let arc_base = self.arc_offsets[v];

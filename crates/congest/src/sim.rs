@@ -26,13 +26,32 @@
 //! a no-op by the [`NodeProgram`] contract. See the crate-level docs for the
 //! full invariant list.
 
-use crate::msg::{Incoming, Msg};
+use crate::msg::{Incoming, Merge, Msg, MAX_WORDS};
 use crate::observe::{NoopRoundObserver, RoundInfo, RoundObserver};
 use crate::stats::RunStats;
 use crate::trace::{RoundDigest, Transcript};
 use nas_graph::Graph;
 use nas_par::WorkerPool;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Sentinel port marking a staged local broadcast in an outbox (expanded to
+/// every incident edge by the routing passes). Never a real port: degrees
+/// are bounded by `n`, and node counts stay below `u32::MAX`.
+const BCAST_PORT: u32 = u32::MAX;
+
+/// Sentinel receiver marking a broadcast record in a staging stream; the
+/// record's `from_port` field carries the *sender id* instead.
+const BCAST_RECV: u32 = u32::MAX;
+
+/// Default [`Simulator::set_bcast_threshold`] value: a `send_all` from a
+/// node of at least this degree stages **one** broadcast record instead of
+/// `deg` per-port tuples; the counting/scatter passes expand it against the
+/// sender's CSR neighbor slice (per receiver range on the parallel path — a
+/// degree-bucketed broadcast tree). Delivery order, transcripts, and stats
+/// are identical either way; only the staging cost changes.
+pub const DEFAULT_BCAST_THRESHOLD: usize = 16;
 
 /// A protocol running at one vertex.
 ///
@@ -54,10 +73,14 @@ use std::sync::Arc;
 ///
 /// Consequently a program that wants to act *spontaneously* — send based on
 /// the global round number without having received anything — must report
-/// `is_idle() == false` until its schedule is complete. A program whose
-/// `round` is a no-op on an empty inbox needs no override. `is_idle` must be
-/// a pure function of the program's state (it is consulted at scheduling
-/// points, never mid-round).
+/// `is_idle() == false` until its schedule is complete, **or** name the
+/// round of its next spontaneous action via
+/// [`next_wake`](NodeProgram::next_wake) and go idle until then (a *timed
+/// wake-up*: the node is guaranteed a visit at that round, and sooner if a
+/// message arrives). A program whose `round` is a no-op on an empty inbox
+/// needs no override. Both `is_idle` and `next_wake` must be pure functions
+/// of the program's state (they are consulted at scheduling points, never
+/// mid-round).
 ///
 /// The same locality that makes idle-skipping sound also makes *parallel*
 /// execution sound: `round` sees only this node's state and inbox, so the
@@ -76,6 +99,28 @@ pub trait NodeProgram {
     fn is_idle(&self) -> bool {
         true
     }
+
+    /// The round at which this node next wants to be visited even if it is
+    /// idle and no message arrives — a **timed wake-up**, for programs
+    /// whose next spontaneous action is at a known future round (e.g. a
+    /// fixed phase schedule). `None` (the default) means "no appointment":
+    /// the node is revisited only on message arrival or while non-idle.
+    ///
+    /// Contract: must be a pure function of the program's state, and must
+    /// return either `None` or a round *strictly after* the visit at which
+    /// it is consulted — a value at or before the current round is ignored
+    /// (the node just ran). The wake is an *at-the-latest* guarantee, not
+    /// exclusive: the node may also be visited earlier (messages, other
+    /// stale wakes), and every visit re-consults this method, so a program
+    /// whose plans change simply returns the new round. Stale wake-ups fire
+    /// as ordinary visits of an idle node, which the activity contract
+    /// already makes no-ops.
+    ///
+    /// A node with a pending wake-up counts as *not finished* for
+    /// quiescence detection ([`Simulator::is_quiescent`]).
+    fn next_wake(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Everything a node may legally observe and do during one round.
@@ -92,6 +137,14 @@ pub struct RoundCtx<'a> {
     inbox: &'a [Incoming],
     outbox: &'a mut Vec<(u32, Msg)>,
     sent: &'a mut [bool],
+    /// Ports used so far this round (guards the broadcast fast path).
+    nsent: u32,
+    /// Whether a broadcast record was already staged this round.
+    broadcast: bool,
+    /// Minimum degree for [`RoundCtx::send_all`] to stage a broadcast
+    /// record (`usize::MAX` disables the path, e.g. on the reference
+    /// simulator).
+    bcast_min_deg: usize,
 }
 
 impl<'a> RoundCtx<'a> {
@@ -106,6 +159,7 @@ impl<'a> RoundCtx<'a> {
         inbox: &'a [Incoming],
         outbox: &'a mut Vec<(u32, Msg)>,
         sent: &'a mut [bool],
+        bcast_min_deg: usize,
     ) -> Self {
         RoundCtx {
             id,
@@ -115,6 +169,9 @@ impl<'a> RoundCtx<'a> {
             inbox,
             outbox,
             sent,
+            nsent: 0,
+            broadcast: false,
+            bcast_min_deg,
         }
     }
 
@@ -168,24 +225,126 @@ impl<'a> RoundCtx<'a> {
     pub fn send(&mut self, port: usize, msg: Msg) {
         assert!(port < self.neighbors.len(), "port {port} out of range");
         assert!(
-            !self.sent[port],
+            !self.broadcast && !self.sent[port],
             "CONGEST violation: node {} sent two messages over port {port} in round {}",
-            self.id, self.round
+            self.id,
+            self.round
         );
         self.sent[port] = true;
+        self.nsent += 1;
         self.outbox.push((port as u32, msg));
     }
 
     /// Sends `msg` over every incident edge (a local broadcast).
     ///
+    /// On the arena simulator, a broadcast from a node of degree at least
+    /// the broadcast threshold ([`Simulator::set_bcast_threshold`]) stages
+    /// one record instead of `deg` tuples; the routing passes expand it
+    /// against the sender's neighbor slice. Observable behavior (delivery
+    /// order, stats, transcripts) is identical either way.
+    ///
     /// # Panics
     ///
     /// Panics if any port was already used this round.
     pub fn send_all(&mut self, msg: Msg) {
-        for port in 0..self.neighbors.len() {
+        let deg = self.neighbors.len();
+        if self.nsent == 0 && !self.broadcast && deg >= self.bcast_min_deg.max(1) {
+            self.broadcast = true;
+            self.outbox.push((BCAST_PORT, msg));
+            return;
+        }
+        for port in 0..deg {
             self.send(port, msg);
         }
     }
+}
+
+/// Collapses one receiver's freshly scattered inbox range in place,
+/// according to the uniform [`Merge`] class of its messages, and returns
+/// the new length. Ranges with mixed classes (or any [`Merge::None`]
+/// message) are left untouched — mixed traffic degrades to exact delivery,
+/// never to a wrong merge.
+///
+/// `Min`/`Dedup` survivors keep the sender-ascending (= port-ascending)
+/// delivery order the determinism contract promises; `Or` synthesizes one
+/// message attributed to the smallest port. All three folds are commutative
+/// with smallest-port tie-breaks, so the result is independent of staging
+/// order and shard boundaries.
+fn merge_range(range: &mut [Incoming]) -> usize {
+    let len = range.len();
+    if len <= 1 {
+        return len;
+    }
+    let class = range[0].msg.merge();
+    if class == Merge::None || range[1..].iter().any(|i| i.msg.merge() != class) {
+        return len;
+    }
+    match class {
+        Merge::None => len,
+        Merge::Min => {
+            let best = *range
+                .iter()
+                .min_by_key(|i| (i.msg.sort_key(), i.from_port))
+                .expect("range is non-empty");
+            range[0] = best;
+            1
+        }
+        Merge::Dedup => {
+            range.sort_unstable_by_key(|i| (i.msg.sort_key(), i.from_port));
+            let mut w = 1;
+            for r in 1..len {
+                if range[r].msg.sort_key() != range[w - 1].msg.sort_key() {
+                    range[w] = range[r];
+                    w += 1;
+                }
+            }
+            // Restore sender-ascending delivery order for the survivors.
+            range[..w].sort_unstable_by_key(|i| i.from_port);
+            w
+        }
+        Merge::Or => {
+            let mut words = [0u64; MAX_WORDS];
+            let mut wlen = 0u8;
+            let mut port = u32::MAX;
+            for inc in range.iter() {
+                for (k, &w) in inc.msg.words().iter().enumerate() {
+                    words[k] |= w;
+                }
+                wlen = wlen.max(inc.msg.len() as u8);
+                port = port.min(inc.from_port);
+            }
+            range[0] = Incoming {
+                from_port: port,
+                msg: Msg::raw(words, wlen, class),
+            };
+            1
+        }
+    }
+}
+
+/// Appends the sorted-ascending union (duplicates collapsed) of two
+/// sorted-ascending, internally duplicate-free slices to `out`.
+fn merge_sorted(out: &mut Vec<u32>, a: &[u32], b: &[u32]) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Precomputes the routing maps both simulators share: the reverse port map
@@ -232,6 +391,11 @@ struct WorkerArena {
     sent: Vec<bool>,
     /// Non-idle nodes discovered by this lane, in visit (= id) order.
     nonidle: Vec<u32>,
+    /// Timed wake-ups requested by this lane's idle nodes, in visit order:
+    /// `(node, wake round)`. Registered into the shared timer wheel by the
+    /// sequential merge phase (lane order = id order, so registration order
+    /// matches the sequential path exactly).
+    wakes: Vec<(u32, u64)>,
     /// Words sent by this lane this round.
     words: u64,
     /// Messages staged by this lane this round.
@@ -322,6 +486,24 @@ pub struct Simulator<'g, P> {
     /// Visit all nodes next step (fresh simulator, or programs mutated from
     /// outside via [`Simulator::programs_mut`]).
     wake_all: bool,
+    /// Timer wheel: wake round → nodes with a registered timed wake-up
+    /// ([`NodeProgram::next_wake`]) at that round. Entries are popped into
+    /// the visit list when their round arrives. Each per-round list is a
+    /// concatenation of ascending runs (one per registering round), so
+    /// `build_visit` sorts + dedups the due nodes.
+    timers: BTreeMap<u64, Vec<u32>>,
+    /// `timer_armed[v]`: the wake round currently registered for `v`
+    /// (`u64::MAX` = none). Prevents a node that is visited repeatedly
+    /// while holding the same appointment from flooding the wheel with
+    /// duplicates. Never needs clearing: wake rounds only move forward, and
+    /// a fired round can never be re-registered (registration requires a
+    /// strictly future round).
+    timer_armed: Vec<u64>,
+    /// Scratch: nodes whose timers fire this round, sorted + deduped.
+    due: Vec<u32>,
+    /// Scratch: msg_active ∪ nonidle when `due` is non-empty (the 3-way
+    /// union is built as two 2-way merges).
+    visit_pre: Vec<u32>,
     /// Reverse port map, parallel to the CSR arc array: `rev_port[arc]` is
     /// the port of the arc's *source* in the *target*'s neighbor list.
     rev_port: Vec<u32>,
@@ -339,6 +521,9 @@ pub struct Simulator<'g, P> {
     /// Minimum visit-list length for a round to take the parallel path (see
     /// [`Simulator::set_par_threshold`]).
     par_threshold: usize,
+    /// Minimum degree for `send_all` to stage a broadcast record (see
+    /// [`Simulator::set_bcast_threshold`]).
+    bcast_threshold: usize,
 }
 
 /// Default [`Simulator::set_par_threshold`] value: rounds visiting fewer
@@ -374,6 +559,10 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             nonidle_next: Vec::new(),
             visit: Vec::new(),
             wake_all: true,
+            timers: BTreeMap::new(),
+            timer_armed: vec![u64::MAX; n],
+            due: Vec::new(),
+            visit_pre: Vec::new(),
             rev_port,
             arc_offsets,
             round: 0,
@@ -383,6 +572,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             transcript: None,
             par: None,
             par_threshold: DEFAULT_PAR_THRESHOLD,
+            bcast_threshold: DEFAULT_BCAST_THRESHOLD,
         }
     }
 
@@ -407,6 +597,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                 outbox: Vec::new(),
                 sent: vec![false; max_deg],
                 nonidle: Vec::new(),
+                wakes: Vec::new(),
                 words: 0,
                 staged: 0,
             })
@@ -444,6 +635,16 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         self.par_threshold = threshold;
     }
 
+    /// Sets the minimum degree at which [`RoundCtx::send_all`] stages a
+    /// broadcast record instead of per-port tuples (default
+    /// [`DEFAULT_BCAST_THRESHOLD`]; clamped to at least 1). Both paths are
+    /// delivery-identical, so this only ever affects wall clock — the
+    /// differential tests force it to `1` to exercise the record path on
+    /// every broadcast.
+    pub fn set_bcast_threshold(&mut self, threshold: usize) {
+        self.bcast_threshold = threshold;
+    }
+
     /// The attached worker pool, if any.
     pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
         self.par.as_ref().map(|p| &p.pool)
@@ -479,6 +680,11 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// [`step`](Simulator::step) visits every node.
     pub fn programs_mut(&mut self) -> &mut [P] {
         self.wake_all = true;
+        // Arbitrary state may change behind the scheduler's back, so any
+        // registered appointments are meaningless; the full wake-up
+        // revisits everyone, and still-relevant wakes re-register there.
+        self.timers.clear();
+        self.timer_armed.fill(u64::MAX);
         &mut self.programs
     }
 
@@ -504,6 +710,10 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     }
 
     /// Number of nodes the next [`step`](Simulator::step) will visit.
+    /// Timed wake-ups due next round are counted without dedup against the
+    /// other sets, so the value can overcount when a wake coincides with a
+    /// message arrival (exact whenever no protocol uses
+    /// [`NodeProgram::next_wake`]).
     pub fn active_nodes(&self) -> usize {
         if self.wake_all {
             return self.graph.num_vertices();
@@ -522,16 +732,21 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             }
             out += 1;
         }
-        out + (a.len() - i) + (b.len() - j)
+        let due: usize = self.timers.range(..=self.round).map(|(_, v)| v.len()).sum();
+        out + (a.len() - i) + (b.len() - j) + due
     }
 
-    /// Whether the network is quiet: no messages in flight and every program
-    /// idle. O(active set), except after [`Simulator::programs_mut`] (full
-    /// scan, since arbitrary state may have changed).
+    /// Whether the network is quiet: no messages in flight, every program
+    /// idle, and no timed wake-up pending. O(active set + timer wheel),
+    /// except after [`Simulator::programs_mut`] (full scan, since arbitrary
+    /// state may have changed).
     pub fn is_quiescent(&self) -> bool {
         self.inbox_data.is_empty()
+            && self.timers.is_empty()
             && if self.wake_all {
-                self.programs.iter().all(|p| p.is_idle())
+                self.programs
+                    .iter()
+                    .all(|p| p.is_idle() && p.next_wake().is_none())
             } else {
                 self.nonidle.is_empty()
             }
@@ -554,37 +769,38 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     }
 
     /// Builds this round's visit list: everyone on wake-up, otherwise the
-    /// union of message receivers and self-reported non-idle nodes, both
-    /// sorted ascending — receiver-ascending digest order is part of the
-    /// determinism contract.
+    /// union of message receivers, self-reported non-idle nodes, and nodes
+    /// whose timed wake-up is due, all sorted ascending —
+    /// receiver-ascending digest order is part of the determinism contract.
     fn build_visit(&mut self) {
         let n = self.graph.num_vertices();
         self.visit.clear();
+        // Pop every timer at or before this round (normally exactly this
+        // round: earlier keys were popped by earlier steps). Also done on a
+        // full wake-up, where the entries are redundant.
+        self.due.clear();
+        while let Some(entry) = self.timers.first_entry() {
+            if *entry.key() > self.round {
+                break;
+            }
+            self.due.extend_from_slice(&entry.remove());
+        }
         if self.wake_all {
             self.wake_all = false;
             self.visit.extend(0..n as u32);
+            return;
+        }
+        if self.due.is_empty() {
+            merge_sorted(&mut self.visit, &self.msg_active, &self.nonidle);
         } else {
-            let (a, b) = (&self.msg_active, &self.nonidle);
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < a.len() && j < b.len() {
-                match a[i].cmp(&b[j]) {
-                    std::cmp::Ordering::Less => {
-                        self.visit.push(a[i]);
-                        i += 1;
-                    }
-                    std::cmp::Ordering::Greater => {
-                        self.visit.push(b[j]);
-                        j += 1;
-                    }
-                    std::cmp::Ordering::Equal => {
-                        self.visit.push(a[i]);
-                        i += 1;
-                        j += 1;
-                    }
-                }
-            }
-            self.visit.extend_from_slice(&a[i..]);
-            self.visit.extend_from_slice(&b[j..]);
+            // Per-round timer lists are concatenations of ascending runs
+            // and may repeat a node across rounds; normalize, then fold the
+            // 3-way union as two 2-way merges.
+            self.due.sort_unstable();
+            self.due.dedup();
+            self.visit_pre.clear();
+            merge_sorted(&mut self.visit_pre, &self.msg_active, &self.nonidle);
+            merge_sorted(&mut self.visit, &self.visit_pre, &self.due);
         }
     }
 
@@ -592,6 +808,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     fn step_seq(&mut self) {
         let n = self.graph.num_vertices();
         let mut digest = self.transcript.is_some().then(RoundDigest::new);
+        let mut sent_this_round = 0u64;
 
         // 2. Visit: deliver, digest, run the program, stage its sends.
         for idx in 0..self.visit.len() {
@@ -625,24 +842,54 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                 inbox,
                 &mut self.outbox_scratch,
                 sent,
+                self.bcast_threshold,
             );
             self.programs[v].round(&mut ctx);
 
             // Stage the outbox; actual routing happens in the counting +
-            // scatter passes below.
+            // scatter passes below. A broadcast record counts against every
+            // neighbor here but stays one staged entry.
             let arc_base = self.arc_offsets[v];
             for &(port, msg) in self.outbox_scratch.iter() {
-                let u = neighbors[port as usize];
-                let from_port = self.rev_port[arc_base + port as usize];
-                if self.count[u as usize] == 0 {
-                    self.touched.push(u);
+                if port == BCAST_PORT {
+                    for &u in neighbors {
+                        if self.count[u as usize] == 0 {
+                            self.touched.push(u);
+                        }
+                        self.count[u as usize] += 1;
+                    }
+                    self.staged.push((
+                        BCAST_RECV,
+                        Incoming {
+                            from_port: v as u32,
+                            msg,
+                        },
+                    ));
+                    self.stats.words += (msg.len() * deg) as u64;
+                    sent_this_round += deg as u64;
+                } else {
+                    let u = neighbors[port as usize];
+                    let from_port = self.rev_port[arc_base + port as usize];
+                    if self.count[u as usize] == 0 {
+                        self.touched.push(u);
+                    }
+                    self.count[u as usize] += 1;
+                    self.staged.push((u, Incoming { from_port, msg }));
+                    self.stats.words += msg.len() as u64;
+                    sent_this_round += 1;
                 }
-                self.count[u as usize] += 1;
-                self.staged.push((u, Incoming { from_port, msg }));
-                self.stats.words += msg.len() as u64;
             }
             if !self.programs[v].is_idle() {
                 self.nonidle_next.push(v as u32);
+            } else if let Some(w) = self.programs[v].next_wake() {
+                // Timed wake-up: the node goes idle with an appointment.
+                // Past/present rounds are ignored per the contract, and
+                // `timer_armed` suppresses exact re-registrations from
+                // intermediate message-driven visits.
+                if w > self.round && self.timer_armed[v] != w {
+                    self.timer_armed[v] = w;
+                    self.timers.entry(w).or_default().push(v as u32);
+                }
             }
         }
 
@@ -662,10 +909,12 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             self.inbox_start[r as usize] = acc;
             acc += self.count[r as usize] as usize;
         }
-        debug_assert_eq!(acc, self.staged.len());
+        debug_assert_eq!(acc as u64, sent_this_round);
 
         // 5. Scatter pass (stable): inbox_len doubles as the fill cursor and
-        //    ends up at its final value.
+        //    ends up at its final value. Broadcast records expand against
+        //    the sender's neighbor slice, at their staged position, so the
+        //    delivery order matches eager per-port staging exactly.
         self.next_data.clear();
         self.next_data.resize(
             acc,
@@ -675,17 +924,47 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             },
         );
         for &(u, inc) in &self.staged {
-            let u = u as usize;
-            let pos = self.inbox_start[u] + self.inbox_len[u] as usize;
-            self.next_data[pos] = inc;
-            self.inbox_len[u] += 1;
+            if u == BCAST_RECV {
+                let s = inc.from_port as usize;
+                let arc_base = self.arc_offsets[s];
+                for (p, &u2) in self.graph.neighbors(s).iter().enumerate() {
+                    let u2 = u2 as usize;
+                    let pos = self.inbox_start[u2] + self.inbox_len[u2] as usize;
+                    self.next_data[pos] = Incoming {
+                        from_port: self.rev_port[arc_base + p],
+                        msg: inc.msg,
+                    };
+                    self.inbox_len[u2] += 1;
+                }
+            } else {
+                let u = u as usize;
+                let pos = self.inbox_start[u] + self.inbox_len[u] as usize;
+                self.next_data[pos] = inc;
+                self.inbox_len[u] += 1;
+            }
         }
         for &r in &self.touched {
             self.count[r as usize] = 0;
         }
 
+        // 5b. Merge pass: collapse each receiver's range when all its
+        //     messages share one non-None merge class (see [`crate::msg`]).
+        //     Shrunk ranges leave dead space in the swap buffer; it is
+        //     reclaimed by the next round's `resize`.
+        for &r in &self.touched {
+            let r = r as usize;
+            let len = self.inbox_len[r] as usize;
+            if len > 1 {
+                let start = self.inbox_start[r];
+                let new_len = merge_range(&mut self.next_data[start..start + len]);
+                if new_len != len {
+                    self.stats.merged_messages += (len - new_len) as u64;
+                    self.inbox_len[r] = new_len as u32;
+                }
+            }
+        }
+
         // 6. Account and swap the double buffers / schedule sets.
-        let sent_this_round = self.staged.len() as u64;
         self.stats.messages += sent_this_round;
         self.staged.clear();
         std::mem::swap(&mut self.inbox_data, &mut self.next_data);
@@ -733,6 +1012,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             }
         }
 
+        let bcast_threshold = self.bcast_threshold;
         // Split-borrow the simulator so the phases below can hand disjoint
         // &mut pieces to the pool while sharing the read-only plane.
         let Simulator {
@@ -751,6 +1031,8 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             visit,
             rev_port,
             arc_offsets,
+            timers,
+            timer_armed,
             round,
             stats,
             transcript,
@@ -780,11 +1062,21 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         let ncuts: &[usize] = ncuts;
         let ucuts: &[usize] = ucuts;
 
-        // Per-round cuts. `vcuts` shards the sorted visit list evenly;
-        // `pcuts` aligns program-slice boundaries to the smallest node id of
-        // each shard (visit ids are strictly ascending, so the shards' id
-        // ranges are disjoint and ordered).
-        nas_par::fill_balanced_cuts(vcuts, visit.len(), t);
+        // Per-round cuts. `vcuts` shards the sorted visit list by *visit
+        // cost* (1 + degree + inbox length) rather than node count, so one
+        // high-degree hub does not serialize its lane while the others
+        // idle — the skew-aware balancer. `pcuts` aligns program-slice
+        // boundaries to the smallest node id of each shard (visit ids are
+        // strictly ascending, so the shards' id ranges are disjoint and
+        // ordered). Cut placement never affects transcripts, only wall
+        // clock.
+        {
+            let inbox_len: &[u32] = inbox_len;
+            nas_par::fill_balanced_cuts_weighted(vcuts, visit.len(), t, |i| {
+                let v = visit[i] as usize;
+                1 + (arc_offsets[v + 1] - arc_offsets[v]) as u64 + inbox_len[v] as u64
+            });
+        }
         pcuts.clear();
         pcuts.push(0);
         for i in 1..t {
@@ -821,6 +1113,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                     arena.words = 0;
                     arena.staged = 0;
                     arena.nonidle.clear();
+                    arena.wakes.clear();
                     for bucket in arena.buckets.iter_mut() {
                         bucket.clear();
                     }
@@ -849,21 +1142,44 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                             inbox,
                             &mut arena.outbox,
                             sent,
+                            bcast_threshold,
                         );
                         progs[v - base].round(&mut ctx);
 
                         let arc_base = arc_offsets[v];
                         for k in 0..arena.outbox.len() {
                             let (port, msg) = arena.outbox[k];
-                            let u = neighbors[port as usize];
-                            let from_port = rev_port[arc_base + port as usize];
-                            arena.buckets[u as usize / chunk]
-                                .push((u, Incoming { from_port, msg }));
-                            arena.words += msg.len() as u64;
-                            arena.staged += 1;
+                            if port == BCAST_PORT {
+                                // Stage one broadcast record in every
+                                // receiver range the hub's (sorted) neighbor
+                                // list intersects — the degree-bucketed
+                                // broadcast tree. Ranges expand it against
+                                // their slice of the neighbor list in the
+                                // counting/scatter phases.
+                                let mut lo = 0usize;
+                                while lo < deg {
+                                    let j = neighbors[lo] as usize / chunk;
+                                    let hi = neighbors
+                                        .partition_point(|&u| (u as usize) < (j + 1) * chunk);
+                                    arena.buckets[j]
+                                        .push((BCAST_RECV, Incoming { from_port: vu, msg }));
+                                    lo = hi;
+                                }
+                                arena.words += (msg.len() * deg) as u64;
+                                arena.staged += deg as u64;
+                            } else {
+                                let u = neighbors[port as usize];
+                                let from_port = rev_port[arc_base + port as usize];
+                                arena.buckets[u as usize / chunk]
+                                    .push((u, Incoming { from_port, msg }));
+                                arena.words += msg.len() as u64;
+                                arena.staged += 1;
+                            }
                         }
                         if !progs[v - base].is_idle() {
                             arena.nonidle.push(vu);
+                        } else if let Some(w) = progs[v - base].next_wake() {
+                            arena.wakes.push((vu, w));
                         }
                     }
                 },
@@ -886,13 +1202,29 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                     let range = &mut range[0];
                     range.touched.clear();
                     let lo = ncuts[j] as u32;
+                    let hi = ncuts[j + 1] as u32;
                     for arena in workers_ro {
-                        for &(u, _) in &arena.buckets[j] {
-                            let idx = (u - lo) as usize;
-                            if count_part[idx] == 0 {
-                                range.touched.push(u);
+                        for &(u, inc) in &arena.buckets[j] {
+                            if u == BCAST_RECV {
+                                // Broadcast record: count the sender's
+                                // neighbors inside this range.
+                                let nb = graph.neighbors(inc.from_port as usize);
+                                let a = nb.partition_point(|&x| x < lo);
+                                let b = nb.partition_point(|&x| x < hi);
+                                for &u2 in &nb[a..b] {
+                                    let idx = (u2 - lo) as usize;
+                                    if count_part[idx] == 0 {
+                                        range.touched.push(u2);
+                                    }
+                                    count_part[idx] += 1;
+                                }
+                            } else {
+                                let idx = (u - lo) as usize;
+                                if count_part[idx] == 0 {
+                                    range.touched.push(u);
+                                }
+                                count_part[idx] += 1;
                             }
-                            count_part[idx] += 1;
                         }
                     }
                     range.touched.sort_unstable();
@@ -934,6 +1266,15 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             nonidle_next.extend_from_slice(&arena.nonidle);
             stats.words += arena.words;
             sent_this_round += arena.staged;
+            // Register this lane's timed wake-ups (same filter as the
+            // sequential path; the wheel's contents are a pure function of
+            // program states, so thread count cannot change it).
+            for &(v, w) in &arena.wakes {
+                if w > round_now && timer_armed[v as usize] != w {
+                    timer_armed[v as usize] = w;
+                    timers.entry(w).or_default().push(v);
+                }
+            }
         }
         debug_assert_eq!(acc as u64, sent_this_round);
         let dcuts: &[usize] = dcuts;
@@ -942,11 +1283,19 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // owns the scatter-buffer span of its receiver range and walks the
         // sender lanes' buckets for that range *in lane order*, so every
         // inbox fills sender-ascending — identical to the sequential stable
-        // scatter. `inbox_len` doubles as the per-receiver fill cursor and
-        // ends at its final value.
+        // scatter. Broadcast records expand against the sender's neighbor
+        // slice restricted to the range, at their staged position. After
+        // scattering, each lane merges its own receivers' ranges in place
+        // (see [`crate::msg`]); the merge result is a pure function of the
+        // staged message set, so it is thread-count independent. `inbox_len`
+        // doubles as the per-receiver fill cursor and ends at its final
+        // (post-merge) value.
+        let merged_total = AtomicU64::new(0);
         {
             let workers_ro: &[WorkerArena] = workers;
+            let ranges_ro: &[RangeArena] = ranges;
             let inbox_start: &[usize] = inbox_start;
+            let merged_total = &merged_total;
             nas_par::for_each_part_mut2(
                 pool,
                 next_data.as_mut_slice(),
@@ -956,14 +1305,49 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                 |j, data_part, len_part| {
                     let base = dcuts[j];
                     let lo = ncuts[j];
+                    let hi = ncuts[j + 1];
                     for arena in workers_ro {
                         for &(u, inc) in &arena.buckets[j] {
-                            let u = u as usize;
-                            let cursor = &mut len_part[u - lo];
-                            let pos = inbox_start[u] + *cursor as usize;
-                            data_part[pos - base] = inc;
-                            *cursor += 1;
+                            if u == BCAST_RECV {
+                                let s = inc.from_port as usize;
+                                let nb = graph.neighbors(s);
+                                let arc_base = arc_offsets[s];
+                                let a = nb.partition_point(|&x| (x as usize) < lo);
+                                let b = nb.partition_point(|&x| (x as usize) < hi);
+                                for (off, &u2) in nb[a..b].iter().enumerate() {
+                                    let u2 = u2 as usize;
+                                    let cursor = &mut len_part[u2 - lo];
+                                    let pos = inbox_start[u2] + *cursor as usize;
+                                    data_part[pos - base] = Incoming {
+                                        from_port: rev_port[arc_base + a + off],
+                                        msg: inc.msg,
+                                    };
+                                    *cursor += 1;
+                                }
+                            } else {
+                                let u = u as usize;
+                                let cursor = &mut len_part[u - lo];
+                                let pos = inbox_start[u] + *cursor as usize;
+                                data_part[pos - base] = inc;
+                                *cursor += 1;
+                            }
                         }
+                    }
+                    let mut merged_here = 0u64;
+                    for &r in &ranges_ro[j].touched {
+                        let r = r as usize;
+                        let len = len_part[r - lo] as usize;
+                        if len > 1 {
+                            let start = inbox_start[r] - base;
+                            let new_len = merge_range(&mut data_part[start..start + len]);
+                            if new_len != len {
+                                merged_here += (len - new_len) as u64;
+                                len_part[r - lo] = new_len as u32;
+                            }
+                        }
+                    }
+                    if merged_here != 0 {
+                        merged_total.fetch_add(merged_here, Ordering::Relaxed);
                     }
                 },
             );
@@ -971,6 +1355,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
 
         // Phase E (sequential): account and swap, exactly as step_seq does.
         stats.messages += sent_this_round;
+        stats.merged_messages += merged_total.into_inner();
         std::mem::swap(inbox_data, next_data);
         std::mem::swap(msg_active, touched);
         touched.clear();

@@ -23,6 +23,12 @@ pub struct RunStats {
     pub words: u64,
     /// Largest number of messages sent in any single round.
     pub busiest_round_messages: u64,
+    /// Inbox slots eliminated by commutative sender-side combining (see
+    /// `nas_congest::msg`): messages that were sent (and counted in
+    /// `messages`/`words` — CONGEST accounting stays send-attributed) but
+    /// collapsed into a merged slot before delivery. Always zero for
+    /// protocols that do not tag their messages with a merge class.
+    pub merged_messages: u64,
 }
 
 impl RunStats {
@@ -39,6 +45,7 @@ impl RunStats {
         self.busiest_round_messages = self
             .busiest_round_messages
             .max(other.busiest_round_messages);
+        self.merged_messages += other.merged_messages;
     }
 }
 
@@ -63,18 +70,21 @@ mod tests {
             messages: 100,
             words: 150,
             busiest_round_messages: 30,
+            merged_messages: 4,
         };
         let b = RunStats {
             rounds: 5,
             messages: 7,
             words: 7,
             busiest_round_messages: 50,
+            merged_messages: 2,
         };
         a.merge(&b);
         assert_eq!(a.rounds, 15);
         assert_eq!(a.messages, 107);
         assert_eq!(a.words, 157);
         assert_eq!(a.busiest_round_messages, 50);
+        assert_eq!(a.merged_messages, 6);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! are made deterministic (smallest ids first) so the centralized and
 //! distributed implementations agree bit-for-bit — asserted in tests.
 
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
+use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::Graph;
 use std::collections::BTreeMap;
 
@@ -249,8 +249,21 @@ pub struct Algo1Protocol {
     knowledge: Knowledge,
     /// Forward list of the current send phase.
     forwards: Vec<u32>,
+    /// Which send phase `forwards` was computed for. A node that slept
+    /// through a phase start and is woken mid-phase by an arrival must not
+    /// replay the previous phase's list.
+    forwards_phase: u64,
     /// Global round at which this protocol's schedule starts.
     start_round: u64,
+    /// Whether this node may still act spontaneously *in the current send
+    /// phase* (its forward list has unsent entries). Recomputed at the end
+    /// of every visit; see [`Algo1Protocol::is_idle`].
+    pending: bool,
+    /// Global round of the next phase start this node must attend (the
+    /// phase forwarding its earliest future-distance knowledge entry), if
+    /// any — surfaced through [`NodeProgram::next_wake`] so the node can go
+    /// idle between phases instead of being visited every round.
+    wake_at: Option<u64>,
 }
 
 impl Algo1Protocol {
@@ -267,7 +280,10 @@ impl Algo1Protocol {
             delta,
             knowledge: Knowledge::new(),
             forwards: Vec::new(),
+            forwards_phase: 0,
             start_round,
+            pending: true,
+            wake_at: None,
         }
     }
 
@@ -336,12 +352,21 @@ impl NodeProgram for Algo1Protocol {
         // 2. Send according to the schedule.
         if r == 0 {
             if self.is_center {
-                ctx.send_all(Msg::one(ctx.id() as u64));
+                // Receivers sort candidates and skip duplicates without
+                // consuming capacity, so collapsing same-center copies to
+                // the smallest sender (`Merge::Dedup`) is unobservable.
+                ctx.send_all(Msg::one(ctx.id() as u64).merged(Merge::Dedup));
             }
+            // Knowledge is still empty: nothing is scheduled until a message
+            // arrives (which re-activates this node by itself).
+            self.pending = false;
+            self.wake_at = None;
             return;
         }
         let (p, k) = self.send_phase(r);
         if p >= self.delta {
+            self.pending = false;
+            self.wake_at = None;
             return; // drain round(s): accept only
         }
         if k == 0 {
@@ -353,18 +378,57 @@ impl NodeProgram for Algo1Protocol {
                 .map(|(&c, _)| c)
                 .take(self.deg + 1)
                 .collect();
+            self.forwards_phase = p;
+        } else if self.forwards_phase != p {
+            // Woken mid-phase by an arrival after sleeping through the phase
+            // start. Any distance-p entry would have set `pending` when it
+            // was accepted (phase p−1) or arrived at the phase-start round
+            // (which visits the node), so this node's phase-p forward list
+            // is provably empty — the stale one must not be replayed.
+            self.forwards.clear();
+            self.forwards_phase = p;
         }
         if let Some(&c) = self.forwards.get(k as usize) {
-            ctx.send_all(Msg::one(c as u64));
+            ctx.send_all(Msg::one(c as u64).merged(Merge::Dedup));
         }
+        // Spontaneous work remains this phase iff the forward list has
+        // unsent entries. Knowledge entries due in a *later* send phase
+        // (phase d forwards distance-d entries; phases ≥ δ never run) set a
+        // timed wake-up for that phase's start round instead of keeping the
+        // node non-idle through every intervening round. Any entry accepted
+        // after this visit arrives by message, and arrivals re-visit the
+        // node (recomputing the appointment) regardless of `is_idle`.
+        self.pending = self.forwards.len() as u64 > k + 1;
+        let width = self.deg as u64 + 1;
+        self.wake_at = self
+            .knowledge
+            .values()
+            .filter_map(|e| {
+                let d = e.dist as u64;
+                (d > p && d < self.delta).then_some(d)
+            })
+            .min()
+            .map(|d| self.start_round + 1 + (d - 1) * width);
     }
 
-    /// Centers act spontaneously at round 0, and any node with knowledge
-    /// forwards entries on the fixed phase schedule — both must keep being
-    /// visited by the active-set scheduler. A non-center with no knowledge
-    /// is purely reactive: its `round` is a no-op on an empty inbox.
+    /// Before its schedule starts (and at round 0 for centers) every node is
+    /// pending; afterwards `round` recomputes at each visit whether any
+    /// spontaneous send remains in the current phase. Nodes with nothing
+    /// left to forward go idle and are only re-visited when a message
+    /// arrives or their [`next_wake`](NodeProgram::next_wake) appointment
+    /// fires — on high-skew graphs this is the difference between `O(n)`
+    /// and `O(active)` work per round.
     fn is_idle(&self) -> bool {
-        !self.is_center && self.knowledge.is_empty()
+        !self.pending
+    }
+
+    /// The start round of the next send phase this node must attend: the
+    /// phase forwarding its earliest knowledge entry with distance beyond
+    /// the current phase (and below δ). Entries at intermediate distances
+    /// cannot appear without a message arrival, which re-visits the node
+    /// and moves the appointment earlier.
+    fn next_wake(&self) -> Option<u64> {
+        self.wake_at
     }
 }
 

@@ -202,6 +202,27 @@ impl CongestEngine {
         self.phase_rounds += s.rounds;
         self.stats.merge(s);
     }
+
+    /// Stage-level profiling tap: with the `NAS_STAGE_TIMING` environment
+    /// variable set, every simulated operation prints its name, round
+    /// count, and wall time to stderr. The per-phase records in the
+    /// session report aggregate whole phases; this is the next level down
+    /// when chasing where a phase's wall clock goes.
+    fn timed<T>(&mut self, stage: &str, op: impl FnOnce(&mut Self) -> (T, RunStats)) -> T {
+        let trace = std::env::var_os("NAS_STAGE_TIMING").is_some();
+        let t0 = trace.then(std::time::Instant::now);
+        let (out, s) = op(self);
+        if let Some(t0) = t0 {
+            eprintln!(
+                "stage {stage:<14} rounds={:>6} msgs={:>9} wall={:?}",
+                s.rounds,
+                s.messages,
+                t0.elapsed()
+            );
+        }
+        self.charge(&s);
+        out
+    }
 }
 
 impl PhaseEngine for CongestEngine {
@@ -214,9 +235,9 @@ impl PhaseEngine for CongestEngine {
         delta: u64,
         hooks: &mut RunHooks<'_>,
     ) -> PopularityInfo {
-        let (info, s) = algo1::algo1_distributed_hooked(g, is_center, deg, delta, hooks);
-        self.charge(&s);
-        info
+        self.timed("algo1", |_| {
+            algo1::algo1_distributed_hooked(g, is_center, deg, delta, hooks)
+        })
     }
 
     fn ruling_set(
@@ -226,9 +247,9 @@ impl PhaseEngine for CongestEngine {
         params: RulingParams,
         hooks: &mut RunHooks<'_>,
     ) -> RulingSet {
-        let (rs, s) = ruling_set_distributed_hooked(g, w, params, hooks);
-        self.charge(&s);
-        rs
+        self.timed("ruling", |_| {
+            ruling_set_distributed_hooked(g, w, params, hooks)
+        })
     }
 
     fn supercluster(
@@ -239,10 +260,9 @@ impl PhaseEngine for CongestEngine {
         depth: u64,
         hooks: &mut RunHooks<'_>,
     ) -> Superclustering {
-        let (sc, s) =
-            supercluster::supercluster_distributed_hooked(g, roots, centers, depth, hooks);
-        self.charge(&s);
-        sc
+        self.timed("supercluster", |_| {
+            supercluster::supercluster_distributed_hooked(g, roots, centers, depth, hooks)
+        })
     }
 
     fn interconnect(
@@ -257,10 +277,9 @@ impl PhaseEngine for CongestEngine {
         // Trace-backs complete within δ·(deg+1) + 4 rounds (Lemma 2.6's
         // pipelining argument with our exact constants).
         let max_rounds = deg as u64 * delta + delta + 4;
-        let (inter, s) =
-            interconnect::interconnect_distributed_hooked(g, info, initiators, max_rounds, hooks);
-        self.charge(&s);
-        inter
+        self.timed("interconnect", |_| {
+            interconnect::interconnect_distributed_hooked(g, info, initiators, max_rounds, hooks)
+        })
     }
 
     fn take_phase_rounds(&mut self) -> u64 {

@@ -17,7 +17,7 @@
 //! (Lemma 2.8's interconnection term).
 
 use crate::algo1::PopularityInfo;
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
+use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::{EdgeSet, Graph};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -165,10 +165,13 @@ impl NodeProgram for TraceProtocol {
                 self.enqueue(ctx, c);
             }
         }
-        // Drain: one message per port per round.
+        // Drain: one message per port per round. A parent receiving the same
+        // center from several children forwards it once (`forwarded` makes
+        // duplicates no-ops), so same-payload traces may merge to the
+        // smallest sender on the wire (`Merge::Dedup`).
         for port in 0..self.queues.len() {
             if let Some(c) = self.queues[port].pop_front() {
-                ctx.send(port, Msg::one(c as u64));
+                ctx.send(port, Msg::one(c as u64).merged(Merge::Dedup));
             }
         }
     }

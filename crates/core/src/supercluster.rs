@@ -18,7 +18,7 @@
 //!    Shared path prefixes are confirmed once, and the union of marked edges
 //!    equals the union of root→center tree paths.
 
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
+use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::{bfs, EdgeSet, Graph};
 
 /// Output of one superclustering step.
@@ -159,7 +159,10 @@ impl NodeProgram for SuperclusterProtocol {
                 if self.is_root {
                     self.claim = Some((ctx.id() as u32, ctx.id() as u32));
                     if self.depth > 0 {
-                        ctx.send_all(Msg::one(ctx.id() as u64));
+                        // Adoption takes min `(root, sender)`; ports ascend
+                        // with neighbor ids, so min `(payload, port)` — the
+                        // `Merge::Min` representative — is the same claim.
+                        ctx.send_all(Msg::one(ctx.id() as u64).merged(Merge::Min));
                     }
                 }
                 return;
@@ -178,7 +181,7 @@ impl NodeProgram for SuperclusterProtocol {
                     .expect("inbox non-empty");
                 self.claim = Some(best);
                 if r < self.depth {
-                    ctx.send_all(Msg::one(best.0 as u64));
+                    ctx.send_all(Msg::one(best.0 as u64).merged(Merge::Min));
                 }
             }
             return;
@@ -197,7 +200,9 @@ impl NodeProgram for SuperclusterProtocol {
                 if parent != ctx.id() as u32 {
                     let port = self.port_of(ctx, parent);
                     self.marked.push((ctx.id() as u32, parent));
-                    ctx.send(port, Msg::one(0));
+                    // A parent only tests "any confirm arrived?", so confirms
+                    // from several children OR together into one slot.
+                    ctx.send(port, Msg::one(0).merged(Merge::Or));
                 }
             }
         } else if !ctx.inbox().is_empty() && self.confirmed {
@@ -206,18 +211,24 @@ impl NodeProgram for SuperclusterProtocol {
     }
 
     /// Roots act spontaneously once (launching the claim flood at round 0);
-    /// claimed non-root centers act spontaneously once more (initiating the
-    /// confirm upcast). Everything else — claim relays and confirm
-    /// forwarding — happens in the same visit a message arrives, so those
-    /// nodes are purely reactive.
+    /// everything else — claim relays and confirm forwarding — happens in
+    /// the same visit a message arrives, so those nodes are purely
+    /// reactive. Claimed non-root centers *do* act spontaneously once more
+    /// (initiating the confirm upcast), but at a round they can compute the
+    /// moment they are claimed, so they sleep on a timed wake-up
+    /// ([`SuperclusterProtocol::next_wake`]) instead of staying non-idle
+    /// through the rest of the claim flood.
     fn is_idle(&self) -> bool {
-        if self.is_root {
-            self.claim.is_some()
-        } else if self.is_center {
-            self.confirmed || self.claim.is_none()
-        } else {
-            true
-        }
+        !self.is_root || self.claim.is_some()
+    }
+
+    /// A claimed non-root center must attend the first upcast round
+    /// (`start + depth + 1`) to initiate its confirm; claims are only
+    /// adopted during the flood (`≤ start + depth`), so the appointment is
+    /// always in the future when set.
+    fn next_wake(&self) -> Option<u64> {
+        (self.is_center && !self.is_root && !self.confirmed && self.claim.is_some())
+            .then_some(self.start_round + self.depth + 1)
     }
 }
 

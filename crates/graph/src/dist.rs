@@ -444,9 +444,14 @@ impl DistanceBatch {
         for &s in sources {
             assert!(s < g.num_vertices(), "source {s} out of range");
         }
-        self.fill_impl(g, scratch, pool, sources.len(), |row, s, sc| {
-            bfs_row(g, [sources[s]], row, sc)
-        });
+        self.fill_impl(
+            g,
+            scratch,
+            pool,
+            sources.len(),
+            |s| 1 + g.degree(sources[s]) as u64,
+            |row, s, sc| bfs_row(g, [sources[s]], row, sc),
+        );
     }
 
     /// Like [`fill`](DistanceBatch::fill), but each row `i` is a
@@ -470,9 +475,19 @@ impl DistanceBatch {
                 assert!(s < g.num_vertices(), "source {s} out of range");
             }
         }
-        self.fill_impl(g, scratch, pool, source_sets.len(), |row, s, sc| {
-            bfs_row(g, source_sets[s].iter().copied(), row, sc)
-        });
+        self.fill_impl(
+            g,
+            scratch,
+            pool,
+            source_sets.len(),
+            |s| {
+                1 + source_sets[s]
+                    .iter()
+                    .map(|&v| g.degree(v) as u64)
+                    .sum::<u64>()
+            },
+            |row, s, sc| bfs_row(g, source_sets[s].iter().copied(), row, sc),
+        );
     }
 
     fn fill_impl(
@@ -481,6 +496,7 @@ impl DistanceBatch {
         scratch: &mut BatchScratch,
         pool: &WorkerPool,
         rows: usize,
+        row_weight: impl Fn(usize) -> u64,
         fill_row: impl Fn(&mut [u32], usize, &mut BfsScratch) + Sync,
     ) {
         let n = g.num_vertices();
@@ -489,7 +505,7 @@ impl DistanceBatch {
             return;
         }
         let lanes = pool.threads();
-        scratch.prepare(rows, n, lanes);
+        scratch.prepare(rows, n, lanes, row_weight);
         let BatchScratch {
             lanes: lane_scratch,
             row_cuts,
@@ -530,12 +546,22 @@ impl BatchScratch {
     }
 
     /// Sizes the per-lane scratches and cut tables for a `rows × width`
-    /// fill on `lanes` lanes.
-    fn prepare(&mut self, rows: usize, width: usize, lanes: usize) {
+    /// fill on `lanes` lanes. Rows are sharded by `row_weight` (the caller's
+    /// estimate of per-row cost — seed-frontier degree sums for BFS rows),
+    /// so a row seeded at a hub does not land in the same lane as a full
+    /// share of ordinary rows. Output is unaffected: rows are independent
+    /// and the cuts only move lane boundaries.
+    fn prepare(
+        &mut self,
+        rows: usize,
+        width: usize,
+        lanes: usize,
+        row_weight: impl Fn(usize) -> u64,
+    ) {
         if self.lanes.len() < lanes {
             self.lanes.resize_with(lanes, BfsScratch::new);
         }
-        nas_par::fill_balanced_cuts(&mut self.row_cuts, rows, lanes);
+        nas_par::fill_balanced_cuts_weighted(&mut self.row_cuts, rows, lanes, row_weight);
         self.data_cuts.clear();
         self.data_cuts
             .extend(self.row_cuts.iter().map(|&c| c * width));

@@ -155,6 +155,9 @@ fn audit_sources(
     pool: &WorkerPool,
 ) -> StretchAudit {
     let mut partials: Vec<Partial> = (0..pool.threads()).map(|_| Partial::default()).collect();
+    // Uniform (unweighted) shards on purpose: every source costs a full
+    // Θ(n + m) BFS of both graphs regardless of its degree, so the
+    // weighted cutter used by the batch fills has nothing to balance here.
     let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
     nas_par::for_each_worker(pool, &mut partials, |i, part| {
         let mut dg = DistanceMap::new();

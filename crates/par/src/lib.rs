@@ -319,6 +319,77 @@ pub fn balanced_cuts(len: usize, parts: usize) -> Vec<usize> {
     out
 }
 
+/// Fills `out` with `parts + 1` *weight-balanced* cut points over `0..len`:
+/// item `i` carries weight `weight(i)`, and cut `k` is placed at the first
+/// prefix whose cumulative weight reaches `k / parts` of the total. With
+/// unit weights this reduces to [`fill_balanced_cuts`].
+///
+/// This is the skew-aware sharding primitive: cutting a visit list or a
+/// BFS batch by cumulative *edge count* instead of node count keeps one
+/// high-degree hub from serializing its lane while the others idle. Cuts
+/// are monotone, start at 0, end at `len`, and are a pure function of the
+/// weights — deterministic for a fixed input, and (like all cut choices)
+/// never observable in transcripts, only in wall clock.
+///
+/// Single pass over the weights; reuses `out`'s capacity (no allocation
+/// once the capacity is `parts + 1`).
+pub fn fill_balanced_cuts_weighted<W: Fn(usize) -> u64>(
+    out: &mut Vec<usize>,
+    len: usize,
+    parts: usize,
+    weight: W,
+) {
+    let parts = parts.max(1);
+    out.clear();
+    let mut total: u64 = 0;
+    for i in 0..len {
+        total += weight(i);
+    }
+    out.push(0);
+    if total == 0 {
+        // Degenerate (all-zero or empty): fall back to count balancing.
+        for k in 1..=parts {
+            out.push(k * len / parts);
+        }
+        return;
+    }
+    let mut acc: u64 = 0;
+    let mut i = 0usize;
+    for k in 1..parts {
+        let target = total * k as u64 / parts as u64;
+        // Stop at the prefix whose cumulative weight is closest to the
+        // target: a single huge item (a hub) lands on whichever side leaves
+        // the smaller imbalance instead of always being swallowed by the
+        // shard before it. With unit weights this is exactly
+        // `i = k * len / parts`, i.e. [`fill_balanced_cuts`].
+        loop {
+            if i >= len || acc >= target {
+                break;
+            }
+            let next = acc + weight(i);
+            if next >= target && next - target >= target - acc {
+                break;
+            }
+            acc = next;
+            i += 1;
+        }
+        out.push(i);
+    }
+    out.push(len);
+}
+
+/// `parts + 1` weight-balanced cut points over `0..len` (see
+/// [`fill_balanced_cuts_weighted`]).
+pub fn balanced_cuts_weighted<W: Fn(usize) -> u64>(
+    len: usize,
+    parts: usize,
+    weight: W,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(parts.max(1) + 1);
+    fill_balanced_cuts_weighted(&mut out, len, parts, weight);
+    out
+}
+
 /// A raw slice base pointer that may be shared across the pool's lanes.
 ///
 /// Soundness rests on the cut validation in the `for_each_*` helpers: every
@@ -564,6 +635,51 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn weighted_cuts_with_unit_weights_match_count_cuts() {
+        for (len, parts) in [(0, 3), (1, 4), (17, 4), (100, 7), (5, 1)] {
+            assert_eq!(
+                balanced_cuts_weighted(len, parts, |_| 1),
+                balanced_cuts(len, parts),
+                "len={len} parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_isolate_a_heavy_hub() {
+        // One degree-10^4 hub among 999 unit items: the hub's shard should
+        // contain (almost) only the hub, instead of a quarter of the items.
+        let w = |i: usize| if i == 500 { 10_000u64 } else { 1 };
+        let cuts = balanced_cuts_weighted(1000, 4, w);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!((cuts[0], cuts[4]), (0, 1000));
+        assert!(cuts.windows(2).all(|c| c[0] <= c[1]));
+        // The shard containing item 500 must be narrow.
+        let shard = (0..4)
+            .find(|&k| cuts[k] <= 500 && 500 < cuts[k + 1])
+            .unwrap();
+        assert!(
+            cuts[shard + 1] - cuts[shard] <= 2,
+            "hub shard spans {}..{}",
+            cuts[shard],
+            cuts[shard + 1]
+        );
+    }
+
+    #[test]
+    fn weighted_cuts_are_valid_partitions() {
+        for parts in [1, 2, 3, 8, 16] {
+            let cuts = balanced_cuts_weighted(37, parts, |i| (i as u64 * 7) % 13);
+            assert_eq!(cuts.len(), parts + 1);
+            assert_eq!(cuts[0], 0);
+            assert_eq!(cuts[parts], 37);
+            assert!(cuts.windows(2).all(|c| c[0] <= c[1]));
+        }
+        // All-zero weights degrade to count balancing, still a partition.
+        assert_eq!(balanced_cuts_weighted(10, 2, |_| 0), balanced_cuts(10, 2));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::centralized::assemble;
 use crate::digits::DigitPlan;
 use crate::result::{RulingParams, RulingSet};
-use nas_congest::{Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
+use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::Graph;
 
 /// Per-node state of the distributed ruling-set protocol.
@@ -33,8 +33,10 @@ pub struct RulingProtocol {
     /// flag). Tagging instead of resetting at each sub-phase start lets the
     /// active-set scheduler skip passive nodes at sub-phase boundaries.
     wave_seen: Option<(u64, u64)>,
-    /// Set once the full digit schedule has been executed.
-    done: bool,
+    /// Global round of this node's next spontaneous wave launch, or `None`
+    /// once the digit schedule holds no further launches for it. Recomputed
+    /// on every visit; consumed by [`NodeProgram::next_wake`].
+    wake_at: Option<u64>,
     /// Global round at which this protocol's schedule starts (for embedding
     /// in composite protocols).
     start_round: u64,
@@ -56,7 +58,10 @@ impl RulingProtocol {
             active: in_w,
             killer: None,
             wave_seen: None,
-            done: false,
+            // Fresh `W` members hold a pending appointment at the schedule
+            // start so a pre-step quiescence probe cannot declare the
+            // network finished before the first launch.
+            wake_at: in_w.then_some(start_round),
             start_round,
         }
     }
@@ -93,16 +98,44 @@ impl RulingProtocol {
         let b = subphase % self.plan.base();
         (i, b, offset)
     }
+
+    /// Points `wake_at` at the start of this node's next launch sub-phase
+    /// strictly after `cur_sp`, or clears it when the schedule holds no
+    /// further launches (node killed, or all digit iterations spent).
+    ///
+    /// Iteration `i` launches this node's wave at sub-phase
+    /// `i · base + digit(id, i)`; the first strictly-future launch is found
+    /// in the current iteration or the next, so the scan below inspects at
+    /// most two candidates.
+    fn schedule_wake(&mut self, id: u64, cur_sp: u64) {
+        self.wake_at = None;
+        if !self.active {
+            return;
+        }
+        let len = self.q as u64 + 1;
+        let base = self.plan.base();
+        let mut i = (cur_sp / base) as u32;
+        while i < self.plan.count() {
+            let sp = i as u64 * base + self.plan.digit(id, i);
+            if sp > cur_sp {
+                self.wake_at = Some(self.start_round + sp * len);
+                return;
+            }
+            i += 1;
+        }
+    }
 }
 
 impl NodeProgram for RulingProtocol {
     fn round(&mut self, ctx: &mut RoundCtx<'_>) {
         let Some(local) = ctx.round().checked_sub(self.start_round) else {
-            return; // schedule not started yet
+            // Schedule not started yet: keep the appointment at its start.
+            self.wake_at = Some(self.start_round);
+            return;
         };
         let (i, b, offset) = self.position(local);
         if i >= self.plan.count() {
-            self.done = true;
+            self.wake_at = None;
             return; // schedule exhausted
         }
         let subphase = local / (self.q as u64 + 1);
@@ -113,12 +146,12 @@ impl NodeProgram for RulingProtocol {
             // match the new sub-phase.)
             if self.active && self.plan.digit(ctx.id() as u64, i) == b {
                 self.wave_seen = Some((subphase, ctx.id() as u64));
-                ctx.send_all(Msg::one(ctx.id() as u64));
+                // A receiver only takes the minimum origin id over its inbox,
+                // so colliding waves merge losslessly (`Merge::Min`).
+                ctx.send_all(Msg::one(ctx.id() as u64).merged(Merge::Min));
             }
-            return;
-        }
-        // offset ∈ [1, q]: wave propagation and kills.
-        if !seen_this_subphase && !ctx.inbox().is_empty() {
+        } else if !seen_this_subphase && !ctx.inbox().is_empty() {
+            // offset ∈ [1, q]: wave propagation and kills.
             let origin = ctx
                 .inbox()
                 .iter()
@@ -131,16 +164,25 @@ impl NodeProgram for RulingProtocol {
                 self.killer = Some(origin as u32);
             }
             if offset < self.q as u64 {
-                ctx.send_all(Msg::one(origin));
+                ctx.send_all(Msg::one(origin).merged(Merge::Min));
             }
         }
+        self.schedule_wake(ctx.id() as u64, subphase);
     }
 
-    /// Surviving `W` members launch waves spontaneously at sub-phase starts
-    /// and must stay scheduled until the digit schedule is exhausted; killed
-    /// and non-`W` nodes only ever relay waves they receive.
+    /// Always idle between visits: the only spontaneous action is a wave
+    /// launch at a node's own launch sub-phases, and those are booked as
+    /// timed appointments ([`Self::next_wake`]). Everything else — relays,
+    /// kills — reacts to an arriving message, which schedules the visit by
+    /// itself. Surviving `W` members therefore sleep through the sub-phases
+    /// (the overwhelming majority) in which they neither launch nor hear a
+    /// wave, instead of being visited every round of the digit schedule.
     fn is_idle(&self) -> bool {
-        !self.active || self.done
+        true
+    }
+
+    fn next_wake(&self) -> Option<u64> {
+        self.wake_at
     }
 }
 
