@@ -19,11 +19,17 @@
 //!   the vertex range), on the flat distance plane: per-lane reused
 //!   scratch, zero steady-state allocation. Reports audit throughput in
 //!   Mvert/s (`2 · K · n` row entries scanned across both graphs, per
-//!   second) and peak RSS.
+//!   second) and peak RSS. Each audit runs **twice**: once over hop
+//!   distances (BFS, `"weighted":false` in the record) and once over
+//!   weighted distances (delta-stepping SSSP on a seeded weight
+//!   assignment — `--weights`, default `range:1:100` — with the spanner
+//!   inheriting the base graph's weights; `"weighted":true` plus the
+//!   `delta` bucket width in the record).
 //!
 //! Usage: `sim_scaling [--n N] [--threads T] [--compare-threads A,B,..]
 //!                     [--smoke] [--spanner-n N] [--audit-samples K]
-//!                     [--skip-spanner] [--workloads A,B,..]`
+//!                     [--skip-spanner] [--workloads A,B,..]
+//!                     [--weights unit|uniform:C|range:LO:HI]`
 //!
 //! `--threads` sets the worker-pool lane count (default: `NAS_THREADS` env,
 //! else available parallelism); `--threads 1` runs the pure sequential path
@@ -46,8 +52,8 @@ use nas_bench::BenchCli;
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
 use nas_core::{Backend, Report, Session};
-use nas_graph::Graph;
-use nas_metrics::stretch_audit_sampled;
+use nas_graph::{Graph, WeightDist, WeightedGraph};
+use nas_metrics::{stretch_audit_sampled, stretch_audit_weighted_sampled};
 use nas_par::WorkerPool;
 use std::sync::Arc;
 use std::time::Instant;
@@ -82,6 +88,12 @@ struct Record {
     /// per-workload footprint. `None` when /proc/self/status is
     /// unavailable (non-Linux).
     peak_rss_process_mib: Option<f64>,
+    /// Whether the leg measured weighted distances (delta-stepping SSSP)
+    /// rather than hop distances (BFS).
+    weighted: bool,
+    /// Bucket width of the delta-stepping engine on the base graph
+    /// (weighted audit legs only) — serialized as `null` elsewhere.
+    delta: Option<u32>,
     /// Audit-leg extras (`protocol == "audit"` records only).
     audit: Option<AuditInfo>,
     /// Per-phase breakdown (`protocol == "spanner"` records only):
@@ -143,7 +155,8 @@ impl Record {
         // ',', '.', '-') — no JSON escaping needed beyond quoting.
         format!(
             "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
-             \"backend\":\"{}\",\"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
+             \"backend\":\"{}\",\"weighted\":{},\"delta\":{},\
+             \"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
              \"wall_ms\":{:.3},\"mmsg_per_s\":{mmsg},\"peak_rss_process_mib\":{rss}{audit}{phases}}}",
             self.protocol,
             self.workload,
@@ -151,6 +164,8 @@ impl Record {
             self.m,
             self.threads,
             self.backend,
+            self.weighted,
+            json_u64(self.delta.map(u64::from)),
             json_u64(self.rounds),
             json_u64(self.messages),
             json_u64(self.busiest_round_messages),
@@ -211,6 +226,8 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: Some(s.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
+        weighted: false,
+        delta: None,
         audit: None,
         phases: Vec::new(),
     }
@@ -261,6 +278,8 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: Some(r.stats.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
+        weighted: false,
+        delta: None,
         audit: None,
         phases,
     };
@@ -309,6 +328,71 @@ fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: us
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: None,
         peak_rss_process_mib: peak_rss_mib(),
+        weighted: false,
+        delta: None,
+        audit: Some(AuditInfo {
+            samples,
+            pairs: audit.pairs,
+            mvert_per_s,
+            max_stretch: audit.max_stretch,
+            effective_beta: audit.effective_beta,
+        }),
+        phases: Vec::new(),
+    }
+}
+
+/// The weighted twin of [`run_audit`]: the same spanner, audited over
+/// weighted distances on the delta-stepping plane. Edge weights are drawn
+/// from `dist` (seeded — the assignment is reproducible) onto the base
+/// graph, the spanner inherits them edge for edge, and the sampled audit
+/// runs with the automatic bucket width of each graph.
+fn run_weighted_audit(
+    name: &str,
+    g: &Graph,
+    report: &Report,
+    threads: usize,
+    samples: usize,
+    dist: WeightDist,
+    seed: u64,
+) -> Record {
+    let n = g.num_vertices();
+    // Mirror the sampled audit's clamp, as in `run_audit`.
+    let samples = samples.min(n).max(1);
+    let wg = WeightedGraph::from_graph(g.clone(), dist, seed);
+    let wh = report.to_weighted_graph(&wg);
+    let t = Instant::now();
+    let audit = stretch_audit_weighted_sampled(&wg, &wh, report.params.eps, samples);
+    let wall = t.elapsed();
+    assert_eq!(
+        audit.disconnected_pairs, 0,
+        "{name}: spanner lost weighted connectivity"
+    );
+    let mvert_per_s = (2 * samples * n) as f64 / wall.as_secs_f64() / 1e6;
+    println!(
+        "audit-w  | {name:<28} | n={n:>8} m={:>8} | threads={threads} | samples={samples:>4} pairs={:>9} | stretch={:.2} beta={:.1} delta={} | {:>9.3?} ({mvert_per_s:.2} Mvert/s) | peak_rss={:.0} MiB",
+        g.num_edges(),
+        audit.pairs,
+        audit.max_stretch,
+        audit.effective_beta,
+        audit.delta_g,
+        wall,
+        peak_rss_mib().unwrap_or(f64::NAN),
+    );
+    Record {
+        protocol: "audit",
+        workload: name.to_string(),
+        n,
+        m: g.num_edges(),
+        threads,
+        backend: "weighted-distance-plane",
+        rounds: None,
+        messages: None,
+        busiest_round_messages: None,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        mmsg_per_s: None,
+        peak_rss_process_mib: peak_rss_mib(),
+        weighted: true,
+        delta: Some(audit.delta_g),
         audit: Some(AuditInfo {
             samples,
             pairs: audit.pairs,
@@ -342,6 +426,11 @@ fn main() {
         None => vec![threads],
     };
     let seed = cli.seed(42);
+    // The weighted audit leg runs unconditionally; --weights only changes
+    // the distribution the seeded assignment draws from.
+    let weight_dist = cli
+        .weight_dist()
+        .unwrap_or(WeightDist::Uniform { lo: 1, hi: 100 });
     // `--workloads pref_attach,gnp` keeps the workloads whose name starts
     // with one of the listed prefixes; the default keeps everything.
     let workload_filter: Option<Vec<String>> = cli.opt_str("--workloads").map(|list| {
@@ -414,6 +503,15 @@ fn main() {
             let (record, report) = run_spanner(&name, &g, threads);
             records.push(record);
             records.push(run_audit(&name, &g, &report, threads, audit_samples));
+            records.push(run_weighted_audit(
+                &name,
+                &g,
+                &report,
+                threads,
+                audit_samples,
+                weight_dist,
+                seed,
+            ));
         }
     }
 

@@ -2,7 +2,8 @@
 //! verification of the `(1+ε, β)` guarantee across the workload suite, with
 //! the measured effective β against the paper's worst-case envelope.
 //!
-//! Usage: `stretch_audit [--threads T] [--seed S] [--smoke]`
+//! Usage: `stretch_audit [--threads T] [--seed S] [--smoke]
+//!                       [--weights unit|uniform:C|range:LO:HI]`
 //!
 //! `--threads` sizes the shared worker pool the audits fan their BFS runs
 //! out on (default: `NAS_THREADS` env, else available parallelism). The
@@ -10,9 +11,17 @@
 //! configuration: the same invariants at `n = 120` (seconds, not minutes)
 //! — CI runs it at `NAS_THREADS=1` and `4` so both the sequential and the
 //! sharded audit paths are exercised on every push.
+//!
+//! `--weights SPEC` adds a second table: the same spanners re-audited over
+//! *weighted* distances (a seeded weight assignment on each workload,
+//! inherited by the spanner, exact delta-stepping audit). The paper's
+//! `(1+ε, β)` envelope is a hop-distance theorem, so the weighted table
+//! reports empirical figures — stretch, effective β, mean dilation — and
+//! asserts only connectivity, not the envelope.
 
 use nas_bench::{default_params, run_ours, workloads, BenchCli};
-use nas_metrics::{tables::fmt_f64, TableBuilder};
+use nas_graph::WeightedGraph;
+use nas_metrics::{stretch_audit_weighted, tables::fmt_f64, TableBuilder};
 
 fn main() {
     let cli = BenchCli::parse();
@@ -32,7 +41,20 @@ fn main() {
         "β envelope (worst case)",
         "within bound",
     ]);
-    for (name, g) in workloads(n, cli.seed(11)) {
+    let seed = cli.seed(11);
+    let weight_dist = cli.weight_dist();
+    let mut wt = weight_dist.map(|_| {
+        TableBuilder::new(vec![
+            "workload",
+            "n",
+            "pairs audited",
+            "max stretch (weighted)",
+            "effective β (weighted)",
+            "mean dilation",
+            "Δ (bucket width)",
+        ])
+    });
+    for (name, g) in workloads(n, seed) {
         let r = run_ours(&name, &g, params);
         let (alpha_env, env) = r.result.schedule.stretch_envelope();
         let ok = r.audit.satisfies(alpha_env - 1.0, env)
@@ -48,6 +70,27 @@ fn main() {
             ok.to_string(),
         ]);
         assert!(ok, "{name}: stretch guarantee violated");
+
+        if let (Some(dist), Some(wt)) = (weight_dist, wt.as_mut()) {
+            // The construction is weight-agnostic, so the spanner edge set
+            // is reused as-is; only the distances change.
+            let wg = WeightedGraph::from_graph(g.clone(), dist, seed);
+            let wh = wg.subgraph(r.result.spanner.iter());
+            let audit = stretch_audit_weighted(&wg, &wh, params.eps);
+            assert_eq!(
+                audit.disconnected_pairs, 0,
+                "{name}: spanner lost weighted connectivity"
+            );
+            wt.row(vec![
+                r.workload.clone(),
+                r.n.to_string(),
+                audit.pairs.to_string(),
+                fmt_f64(audit.max_stretch),
+                fmt_f64(audit.effective_beta),
+                fmt_f64(audit.mean_dilation()),
+                audit.delta_g.to_string(),
+            ]);
+        }
     }
     println!("{}", t.render());
     println!(
@@ -55,4 +98,13 @@ fn main() {
          paper's bounds are pessimistic constants, the construction is much \
          better in practice (same finding as for [EN17])."
     );
+    if let Some(wt) = wt {
+        println!();
+        println!(
+            "weighted audit ({}): empirical figures over weighted distances — \
+             the β envelope above is a hop-distance theorem and does not apply.",
+            weight_dist.unwrap(),
+        );
+        println!("{}", wt.render());
+    }
 }

@@ -13,9 +13,15 @@
 //! * `--smoke` — reduced-size CI configuration ([`BenchCli::smoke`]).
 //! * `--n N` — primary size override ([`BenchCli::n`]).
 //!
+//! * `--weights SPEC` — edge-weight distribution for the weighted legs
+//!   ([`BenchCli::weight_dist`]): `unit`, `uniform:C` (every edge weight
+//!   `C`), or `range:LO:HI` (seeded uniform integers in `[LO, HI]`).
+//!
 //! Binaries with extra switches (e.g. `sim_scaling`'s
 //! `--compare-threads`) read them through the generic accessors
 //! ([`BenchCli::flag`], [`BenchCli::opt_str`], [`BenchCli::opt_usize`]).
+
+use nas_graph::WeightDist;
 
 /// Parsed command-line arguments, shared by all bench binaries.
 #[derive(Debug, Clone)]
@@ -95,6 +101,26 @@ impl BenchCli {
             .unwrap_or_else(nas_par::default_threads)
     }
 
+    /// `--weights SPEC`: the edge-weight distribution for weighted legs,
+    /// or `None` when the switch is absent. Accepted specs (matching
+    /// [`WeightDist`]'s `Display`):
+    ///
+    /// * `unit` — every edge weight 1 (hop distances);
+    /// * `uniform:C` — every edge weight `C`;
+    /// * `range:LO:HI` — seeded uniform integers in `[LO, HI]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message on a malformed spec — these are
+    /// operator-facing binaries, not a library surface.
+    pub fn weight_dist(&self) -> Option<WeightDist> {
+        self.opt_str("--weights").map(|spec| {
+            parse_weight_dist(&spec).unwrap_or_else(|| {
+                panic!("--weights expects unit, uniform:C, or range:LO:HI, got {spec:?}")
+            })
+        })
+    }
+
     /// Sizes the process-wide worker pool to [`BenchCli::threads`] — call
     /// once, before anything touches the global pool — and returns the lane
     /// count. Warns (without failing) when the pool was already frozen at a
@@ -113,9 +139,50 @@ impl BenchCli {
     }
 }
 
+/// Parses a `--weights` spec; `None` on malformed input.
+fn parse_weight_dist(spec: &str) -> Option<WeightDist> {
+    if spec == "unit" {
+        return Some(WeightDist::unit());
+    }
+    let mut parts = spec.split(':');
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("uniform"), Some(c), None, None) => Some(WeightDist::Constant(c.parse().ok()?)),
+        (Some("range"), Some(lo), Some(hi), None) => {
+            let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
+            (lo <= hi).then_some(WeightDist::Uniform { lo, hi })
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parses_weight_specs() {
+        let dist = |spec: &str| BenchCli::from_args(["--weights", spec]).weight_dist();
+        assert_eq!(dist("unit"), Some(WeightDist::Constant(1)));
+        assert_eq!(dist("uniform:7"), Some(WeightDist::Constant(7)));
+        assert_eq!(
+            dist("range:1:100"),
+            Some(WeightDist::Uniform { lo: 1, hi: 100 })
+        );
+        assert_eq!(BenchCli::from_args(["--smoke"]).weight_dist(), None);
+        // Round trip through Display.
+        for d in [
+            WeightDist::Constant(3),
+            WeightDist::Uniform { lo: 2, hi: 9 },
+        ] {
+            assert_eq!(parse_weight_dist(&d.to_string()), Some(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "--weights expects unit, uniform:C, or range:LO:HI")]
+    fn malformed_weight_specs_panic_readably() {
+        BenchCli::from_args(["--weights", "range:9:1"]).weight_dist();
+    }
 
     #[test]
     fn parses_the_shared_dialect() {

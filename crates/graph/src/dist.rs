@@ -152,6 +152,13 @@ impl DistanceMap {
         &self.dist
     }
 
+    /// Mutable raw access for the in-crate fill kernels (BFS here, the
+    /// delta-stepping engine in [`crate::sssp`]).
+    #[inline]
+    pub(crate) fn raw_mut(&mut self) -> &mut [u32] {
+        &mut self.dist
+    }
+
     /// Resizes to `n` entries and resets every entry to [`UNREACHED`].
     /// Allocates only when growing past the current capacity.
     pub fn reset(&mut self, n: usize) {
@@ -445,7 +452,7 @@ impl DistanceBatch {
             assert!(s < g.num_vertices(), "source {s} out of range");
         }
         self.fill_impl(
-            g,
+            g.num_vertices(),
             scratch,
             pool,
             sources.len(),
@@ -476,7 +483,7 @@ impl DistanceBatch {
             }
         }
         self.fill_impl(
-            g,
+            g.num_vertices(),
             scratch,
             pool,
             source_sets.len(),
@@ -490,23 +497,27 @@ impl DistanceBatch {
         );
     }
 
-    fn fill_impl(
+    /// The shared engine under every pooled batch fill (unweighted BFS here,
+    /// delta-stepping in [`crate::sssp`]): reset the flat storage, shard rows
+    /// by `row_weight`, and run `fill_row` per row with a per-lane scratch of
+    /// type `S`.
+    pub(crate) fn fill_impl<S: Send + Default>(
         &mut self,
-        g: &Graph,
-        scratch: &mut BatchScratch,
+        width: usize,
+        scratch: &mut LaneScratch<S>,
         pool: &WorkerPool,
         rows: usize,
         row_weight: impl Fn(usize) -> u64,
-        fill_row: impl Fn(&mut [u32], usize, &mut BfsScratch) + Sync,
+        fill_row: impl Fn(&mut [u32], usize, &mut S) + Sync,
     ) {
-        let n = g.num_vertices();
+        let n = width;
         self.reset(rows, n);
         if rows == 0 || n == 0 {
             return;
         }
         let lanes = pool.threads();
         scratch.prepare(rows, n, lanes, row_weight);
-        let BatchScratch {
+        let LaneScratch {
             lanes: lane_scratch,
             row_cuts,
             data_cuts,
@@ -528,21 +539,41 @@ impl DistanceBatch {
     }
 }
 
-/// Reusable state for batched fills: one [`BfsScratch`] per pool lane plus
-/// the shard cut tables. Everything is grown on first use and reused
-/// afterwards (zero steady-state allocation).
-#[derive(Debug, Clone, Default)]
-pub struct BatchScratch {
-    lanes: Vec<BfsScratch>,
+/// Reusable state for batched fills: one per-lane traversal scratch of type
+/// `S` plus the shard cut tables. Everything is grown on first use and
+/// reused afterwards (zero steady-state allocation).
+///
+/// The lane-sharding machinery is independent of the traversal kind, so one
+/// generic structure serves both the BFS plane ([`BatchScratch`] =
+/// `LaneScratch<BfsScratch>`) and the weighted delta-stepping plane
+/// ([`crate::sssp::SsspBatchScratch`] = `LaneScratch<SsspScratch>`).
+#[derive(Debug, Clone)]
+pub struct LaneScratch<S> {
+    lanes: Vec<S>,
     row_cuts: Vec<usize>,
     data_cuts: Vec<usize>,
     lane_cuts: Vec<usize>,
 }
 
-impl BatchScratch {
+/// Reusable state for batched BFS fills: one [`BfsScratch`] per pool lane
+/// plus the shard cut tables.
+pub type BatchScratch = LaneScratch<BfsScratch>;
+
+impl<S> Default for LaneScratch<S> {
+    fn default() -> Self {
+        LaneScratch {
+            lanes: Vec::new(),
+            row_cuts: Vec::new(),
+            data_cuts: Vec::new(),
+            lane_cuts: Vec::new(),
+        }
+    }
+}
+
+impl<S> LaneScratch<S> {
     /// A fresh (empty) scratch.
     pub fn new() -> Self {
-        BatchScratch::default()
+        LaneScratch::default()
     }
 
     /// Sizes the per-lane scratches and cut tables for a `rows × width`
@@ -557,9 +588,11 @@ impl BatchScratch {
         width: usize,
         lanes: usize,
         row_weight: impl Fn(usize) -> u64,
-    ) {
+    ) where
+        S: Default,
+    {
         if self.lanes.len() < lanes {
-            self.lanes.resize_with(lanes, BfsScratch::new);
+            self.lanes.resize_with(lanes, S::default);
         }
         nas_par::fill_balanced_cuts_weighted(&mut self.row_cuts, rows, lanes, row_weight);
         self.data_cuts.clear();

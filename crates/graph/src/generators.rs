@@ -9,6 +9,7 @@
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::rng::SplitMix64;
+use crate::weighted::{WeightDist, WeightedGraph};
 
 /// Path graph `0 – 1 – … – (n-1)`.
 pub fn path(n: usize) -> Graph {
@@ -574,6 +575,45 @@ pub fn connected_random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     b.build()
 }
 
+/// Salt xored into a topology seed to derive the independent weight stream
+/// used by the `weighted_*` generator wrappers — so the weighted twin of a
+/// seeded graph shares its topology but not its weight randomness.
+const WEIGHT_STREAM_SALT: u64 = 0x57E1_66B2_9C4F_0A3D;
+
+/// Weighted [`gnp`]: the same topology as `gnp(n, p, seed)`, with one
+/// weight per edge drawn from `dist` on an independent seeded stream.
+pub fn weighted_gnp(n: usize, p: f64, seed: u64, dist: WeightDist) -> WeightedGraph {
+    WeightedGraph::from_graph(gnp(n, p, seed), dist, seed ^ WEIGHT_STREAM_SALT)
+}
+
+/// Weighted [`grid2d`]: the deterministic grid topology with seeded edge
+/// weights from `dist`.
+pub fn weighted_grid2d(rows: usize, cols: usize, seed: u64, dist: WeightDist) -> WeightedGraph {
+    WeightedGraph::from_graph(grid2d(rows, cols), dist, seed ^ WEIGHT_STREAM_SALT)
+}
+
+/// Weighted [`path`]: the deterministic path topology with seeded edge
+/// weights from `dist`.
+pub fn weighted_path(n: usize, seed: u64, dist: WeightDist) -> WeightedGraph {
+    WeightedGraph::from_graph(path(n), dist, seed ^ WEIGHT_STREAM_SALT)
+}
+
+/// Weighted [`preferential_attachment`]: the same topology as
+/// `preferential_attachment(n, attach, seed)`, with one weight per edge
+/// drawn from `dist` on an independent seeded stream.
+pub fn weighted_preferential_attachment(
+    n: usize,
+    attach: usize,
+    seed: u64,
+    dist: WeightDist,
+) -> WeightedGraph {
+    WeightedGraph::from_graph(
+        preferential_attachment(n, attach, seed),
+        dist,
+        seed ^ WEIGHT_STREAM_SALT,
+    )
+}
+
 #[cfg(test)]
 mod more_generator_tests {
     use super::*;
@@ -628,5 +668,29 @@ mod more_generator_tests {
     fn connected_random_geometric_is_connected() {
         let g = connected_random_geometric(80, 0.08, 5);
         assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn weighted_wrappers_share_topology_with_unweighted() {
+        let dist = WeightDist::Uniform { lo: 1, hi: 50 };
+        let wg = weighted_gnp(60, 0.1, 4, dist);
+        assert_eq!(wg.graph(), &gnp(60, 0.1, 4));
+        let wp = weighted_preferential_attachment(50, 3, 2, dist);
+        assert_eq!(wp.graph(), &preferential_attachment(50, 3, 2));
+        let wgr = weighted_grid2d(4, 6, 9, dist);
+        assert_eq!(wgr.graph(), &grid2d(4, 6));
+        let wpa = weighted_path(12, 1, dist);
+        assert_eq!(wpa.graph(), &path(12));
+        assert!(wg.edges_weighted().all(|(_, _, w)| (1..=50).contains(&w)));
+    }
+
+    #[test]
+    fn weight_stream_is_independent_of_topology_stream() {
+        // Same topology seed, different distributions: same graph, and the
+        // weights only depend on the weight stream.
+        let a = weighted_gnp(40, 0.1, 7, WeightDist::Uniform { lo: 1, hi: 9 });
+        let b = weighted_gnp(40, 0.1, 7, WeightDist::Constant(4));
+        assert_eq!(a.graph(), b.graph());
+        assert!(b.edges_weighted().all(|(_, _, w)| w == 4));
     }
 }

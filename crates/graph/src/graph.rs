@@ -132,6 +132,21 @@ impl Graph {
         &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 
+    /// The arc-index range of `v`'s adjacency inside the CSR target array.
+    ///
+    /// Arc indices are stable, contiguous per vertex, and shared by every
+    /// array laid out parallel to the adjacency (notably the weight array of
+    /// [`crate::WeightedGraph`]): `neighbors(v)[k]` corresponds to arc index
+    /// `neighbor_range(v).start + k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
     /// Whether the undirected edge `{u, v}` is present.
     ///
     /// Runs in `O(log deg(u))`.

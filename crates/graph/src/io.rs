@@ -1,17 +1,24 @@
 //! Reading and writing graphs in simple interchange formats.
 //!
-//! Two formats are supported:
+//! Four formats are supported:
 //!
 //! * **edge list** — one `u v` pair per line, `#`-comments allowed; the
 //!   vertex count is `max id + 1` unless a `p <n>` header line is present;
 //! * **DIMACS-like** — `p <n> <m>` header followed by `e u v` lines
-//!   (1-based ids, as customary for DIMACS).
+//!   (1-based ids, as customary for DIMACS);
+//! * **weighted edge list** — one `u v w` triple per line, same comment
+//!   and `p <n>` header rules;
+//! * **DIMACS shortest-path** — `p sp <n> <m>` header followed by
+//!   `a u v w` arc lines (1-based ids), the format of the DIMACS
+//!   shortest-path challenge road graphs. Each undirected edge may appear
+//!   as one arc or both; parallel arcs collapse to the lightest weight.
 //!
 //! These cover the common ways real-world benchmark graphs are shipped, so
 //! the experiment binaries can run on external inputs too.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
+use crate::weighted::{WeightedGraph, WeightedGraphBuilder};
 use std::fmt;
 use std::io::{BufRead, Write};
 
@@ -231,10 +238,180 @@ pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Parses a weighted edge list (0-based ids).
+///
+/// Lines: `u v w` triples; blank lines and `#` comments ignored; an
+/// optional `p <n>` line pins the vertex count. Parallel edges collapse to
+/// the lightest weight (see [`WeightedGraphBuilder`]).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failures or malformed content.
+pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, u32, usize)> = Vec::new(); // (u, v, w, line)
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let n = parts
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| ParseGraphError::BadLine {
+                        line: lineno,
+                        content: t.to_string(),
+                    })?;
+                declared_n = Some(n);
+            }
+            Some(a) => {
+                let u = a.parse::<usize>().ok();
+                let v = parts.next().and_then(|s| s.parse::<usize>().ok());
+                let w = parts.next().and_then(|s| s.parse::<u32>().ok());
+                match (u, v, w) {
+                    (Some(u), Some(v), Some(w)) => edges.push((u, v, w, lineno)),
+                    _ => {
+                        return Err(ParseGraphError::BadLine {
+                            line: lineno,
+                            content: t.to_string(),
+                        })
+                    }
+                }
+            }
+            None => unreachable!("split of non-empty trimmed line"),
+        }
+    }
+    let n = declared_n.unwrap_or_else(|| {
+        edges
+            .iter()
+            .map(|&(u, v, _, _)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0)
+    });
+    let mut b = WeightedGraphBuilder::with_capacity(n, edges.len());
+    for (u, v, w, line) in edges {
+        for &x in &[u, v] {
+            if x >= n {
+                return Err(ParseGraphError::VertexOutOfRange { line, vertex: x, n });
+            }
+        }
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes a weighted graph as a `u v w` edge list with a `p <n>` header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_weighted_edge_list<W: Write>(g: &WeightedGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p {}", g.num_vertices())?;
+    for (u, v, wt) in g.edges_weighted() {
+        writeln!(w, "{u} {v} {wt}")?;
+    }
+    Ok(())
+}
+
+/// Parses a DIMACS shortest-path graph: `p sp <n> <m>` then `a u v w` arc
+/// lines (1-based). Also accepts a plain `p <n> <m>` header.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on I/O failures or malformed content.
+pub fn read_dimacs_sp<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut builder: Option<WeightedGraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                // Accept "p sp n m" and "p n m".
+                let rest: Vec<&str> = parts.collect();
+                let nums: Vec<usize> = rest
+                    .iter()
+                    .filter_map(|s| s.parse::<usize>().ok())
+                    .collect();
+                let nn = *nums.first().ok_or_else(|| ParseGraphError::BadLine {
+                    line: lineno,
+                    content: t.to_string(),
+                })?;
+                n = Some(nn);
+                builder = Some(WeightedGraphBuilder::new(nn));
+            }
+            Some("a") => {
+                let b = builder.as_mut().ok_or_else(|| ParseGraphError::BadLine {
+                    line: lineno,
+                    content: "arc before p header".to_string(),
+                })?;
+                let u = parts.next().and_then(|s| s.parse::<usize>().ok());
+                let v = parts.next().and_then(|s| s.parse::<usize>().ok());
+                let w = parts.next().and_then(|s| s.parse::<u32>().ok());
+                match (u, v, w) {
+                    (Some(u), Some(v), Some(w)) if u >= 1 && v >= 1 => {
+                        let nn = n.expect("header parsed");
+                        for &x in &[u, v] {
+                            if x > nn {
+                                return Err(ParseGraphError::VertexOutOfRange {
+                                    line: lineno,
+                                    vertex: x,
+                                    n: nn,
+                                });
+                            }
+                        }
+                        b.add_edge(u - 1, v - 1, w);
+                    }
+                    _ => {
+                        return Err(ParseGraphError::BadLine {
+                            line: lineno,
+                            content: t.to_string(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseGraphError::BadLine {
+                    line: lineno,
+                    content: t.to_string(),
+                })
+            }
+        }
+    }
+    Ok(builder
+        .map(|b| b.build())
+        .unwrap_or_else(|| WeightedGraphBuilder::new(0).build()))
+}
+
+/// Writes a weighted graph in DIMACS shortest-path format (`p sp n m`,
+/// 1-based `a` lines, one arc per undirected edge).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_dimacs_sp<W: Write>(g: &WeightedGraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for (u, v, wt) in g.edges_weighted() {
+        writeln!(w, "a {} {} {}", u + 1, v + 1, wt)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::weighted::WeightDist;
 
     #[test]
     fn edge_list_round_trip() {
@@ -307,5 +484,82 @@ mod tests {
     fn empty_inputs() {
         assert_eq!(read_edge_list("".as_bytes()).unwrap().num_vertices(), 0);
         assert_eq!(read_dimacs("".as_bytes()).unwrap().num_vertices(), 0);
+        assert_eq!(
+            read_weighted_edge_list("".as_bytes())
+                .unwrap()
+                .num_vertices(),
+            0
+        );
+        assert_eq!(read_dimacs_sp("".as_bytes()).unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn weighted_edge_list_round_trip() {
+        let g = WeightedGraph::from_graph(
+            generators::gnp(40, 0.15, 3),
+            WeightDist::Uniform { lo: 0, hi: 9 },
+            5,
+        );
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&g, &mut buf).unwrap();
+        let h = read_weighted_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_sp_round_trip() {
+        let g = WeightedGraph::from_graph(
+            generators::grid2d(5, 7),
+            WeightDist::Uniform { lo: 1, hi: 100 },
+            8,
+        );
+        let mut buf = Vec::new();
+        write_dimacs_sp(&g, &mut buf).unwrap();
+        let h = read_dimacs_sp(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn weighted_edge_list_parses_headers_and_comments() {
+        let text = "# weighted\np 6\n0 1 4\n\n1 2 0\n";
+        let g = read_weighted_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.edge_weight(0, 1), Some(4));
+        assert_eq!(g.edge_weight(1, 2), Some(0));
+    }
+
+    #[test]
+    fn weighted_edge_list_requires_weight_field() {
+        let err = read_weighted_edge_list("0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn dimacs_sp_accepts_sp_header_and_parallel_arcs() {
+        let text = "c road graph\np sp 4 2\na 1 2 9\na 2 1 5\na 3 4 2\n";
+        let g = read_dimacs_sp(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        // Parallel arcs collapse to the lightest weight.
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(2, 3), Some(2));
+    }
+
+    #[test]
+    fn dimacs_sp_rejects_arc_before_header() {
+        assert!(read_dimacs_sp("a 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dimacs_sp_out_of_range_is_reported() {
+        let err = read_dimacs_sp("p sp 2 1\na 1 5 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseGraphError::VertexOutOfRange {
+                vertex: 5,
+                n: 2,
+                ..
+            }
+        ));
     }
 }

@@ -18,6 +18,12 @@
 //!   stretch audit and oracle runs on (see the [`dist`] module docs for the
 //!   sentinel convention, the scratch-reuse contract, and the
 //!   determinism-under-parallelism argument);
+//! * the weighted plane ([`weighted`] + [`sssp`]): [`WeightedGraph`] (one
+//!   `u32` weight per edge, parallel to the CSR adjacency), seeded weight
+//!   distributions, and a deterministic delta-stepping SSSP engine with the
+//!   same row/scratch/batch contracts as [`dist`] — see the [`sssp`] module
+//!   docs for the bucket/reactivation pattern and the saturation
+//!   convention;
 //! * breadth-first search in several flavors ([`bfs`]): depth-limited
 //!   forests with parent tracking, eccentricity, plus the deprecated
 //!   `Option`-row adapters of the historical distance surface;
@@ -50,8 +56,12 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod rng;
+pub mod sssp;
+pub mod weighted;
 
 pub use builder::GraphBuilder;
-pub use dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap, EpochMarks};
+pub use dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap, EpochMarks, LaneScratch};
 pub use edgeset::EdgeSet;
 pub use graph::{Graph, GraphError};
+pub use sssp::{SsspBatchScratch, SsspScratch};
+pub use weighted::{WeightDist, WeightedGraph, WeightedGraphBuilder};

@@ -1,0 +1,204 @@
+//! Differential property tests for the weighted distance plane: the
+//! delta-stepping engine ([`DistanceMap::fill_weighted`] /
+//! [`DistanceBatch::fill_weighted`]) against the retained naive
+//! binary-heap [`dijkstra`] reference, which shares only the saturation
+//! convention with the engine (candidates clamp at `MAX_FINITE` in `u64`),
+//! so agreement is bit-for-bit on every input.
+//!
+//! Covered per the issue's acceptance bar: random weighted G(n,p), paths,
+//! and grids; several bucket widths per graph (including `Δ = 1` and a
+//! width above the max weight, which degenerate to Dial's algorithm and to
+//! plain Dijkstra-by-bucket respectively); 1, 2, and 4 pool lanes;
+//! zero-weight edges; disconnected graphs; the `n = 1` edge case; and the
+//! weight ≡ 1 collapse onto the BFS rows of the unweighted plane.
+
+use nas_graph::sssp::{auto_delta, dijkstra, SsspBatchScratch, SsspScratch};
+use nas_graph::weighted::WeightDist;
+use nas_graph::{
+    generators, BatchScratch, DistanceBatch, DistanceMap, WeightedGraph, WeightedGraphBuilder,
+};
+use nas_par::WorkerPool;
+use proptest::prelude::*;
+
+/// One full differential round over a weighted graph: single-source and
+/// multi-source scratch fills vs the Dijkstra reference at several bucket
+/// widths, plus the batched fill at 1/2/4 lanes.
+fn check_graph(g: &WeightedGraph, sources: &[usize]) {
+    let deltas = [
+        1,
+        auto_delta(g),
+        g.max_weight().max(1),
+        g.max_weight().saturating_mul(2).max(4),
+    ];
+    let mut map = DistanceMap::new();
+    let mut scratch = SsspScratch::new();
+    for &delta in &deltas {
+        for &s in sources {
+            let want = dijkstra(g, [s]);
+            map.fill_weighted(g, [s], delta, &mut scratch);
+            assert_eq!(map, want, "source {s} delta {delta}");
+            // Owned constructor agrees with the scratch path.
+            assert_eq!(DistanceMap::from_weighted_source(g, s, delta), want);
+        }
+        // Multi-source: distance to the nearest source.
+        map.fill_weighted(g, sources.iter().copied(), delta, &mut scratch);
+        assert_eq!(
+            map,
+            dijkstra(g, sources.iter().copied()),
+            "multi-source delta {delta}"
+        );
+    }
+
+    let want_rows: Vec<DistanceMap> = sources.iter().map(|&s| dijkstra(g, [s])).collect();
+    let delta = auto_delta(g);
+    for threads in [1usize, 2, 4] {
+        let pool = WorkerPool::new(threads);
+        let mut batch = DistanceBatch::new();
+        let mut bscratch = SsspBatchScratch::new();
+        batch.fill_weighted(g, sources, delta, &mut bscratch, &pool);
+        assert_eq!(batch.rows(), sources.len());
+        for (i, want) in want_rows.iter().enumerate() {
+            assert_eq!(batch.row(i), want.raw(), "row {i} at {threads} lanes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random weighted G(n,p) — sparse regimes leave the graph
+    /// disconnected, so the sentinel path is exercised constantly; the
+    /// weight range includes spreads far wider than the bucket width.
+    #[test]
+    fn engine_matches_dijkstra_on_gnp(
+        n in 1usize..60,
+        p in 0.0f64..0.3,
+        seed in 0u64..10_000,
+        hi in 1u32..1000,
+        picks in prop::collection::vec(0usize..60, 1..6),
+    ) {
+        let g = generators::weighted_gnp(n, p, seed, WeightDist::Uniform { lo: 1, hi });
+        let sources: Vec<usize> = picks.into_iter().map(|s| s % n).collect();
+        check_graph(&g, &sources);
+    }
+
+    /// Weighted paths: maximal-diameter traversals where the bucket index
+    /// climbs the furthest.
+    #[test]
+    fn engine_matches_dijkstra_on_paths(
+        n in 1usize..80,
+        seed in 0u64..1000,
+        hi in 1u32..50,
+        picks in prop::collection::vec(0usize..80, 1..4),
+    ) {
+        let g = generators::weighted_path(n, seed, WeightDist::Uniform { lo: 1, hi });
+        let sources: Vec<usize> = picks.into_iter().map(|s| s % n).collect();
+        check_graph(&g, &sources);
+    }
+
+    /// Weighted grids: wide frontiers with many same-bucket ties and
+    /// constant reactivation.
+    #[test]
+    fn engine_matches_dijkstra_on_grids(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        seed in 0u64..1000,
+        hi in 1u32..30,
+        picks in prop::collection::vec(0usize..100, 1..4),
+    ) {
+        let g = generators::weighted_grid2d(rows, cols, seed, WeightDist::Uniform { lo: 1, hi });
+        let n = g.num_vertices();
+        let sources: Vec<usize> = picks.into_iter().map(|s| s % n).collect();
+        check_graph(&g, &sources);
+    }
+
+    /// Zero-weight edges: a random fraction of weights is zero, so light
+    /// relaxations reactivate the current bucket repeatedly and distinct
+    /// vertices collapse to distance 0.
+    #[test]
+    fn engine_matches_dijkstra_with_zero_weights(
+        n in 2usize..40,
+        p in 0.05f64..0.3,
+        seed in 0u64..10_000,
+        picks in prop::collection::vec(0usize..40, 1..4),
+    ) {
+        // `lo = 0` puts zero weights directly into the stream.
+        let g = generators::weighted_gnp(n, p, seed, WeightDist::Uniform { lo: 0, hi: 9 });
+        let sources: Vec<usize> = picks.into_iter().map(|s| s % n).collect();
+        check_graph(&g, &sources);
+    }
+
+    /// Hard disconnection: two weighted components plus isolated vertices.
+    #[test]
+    fn engine_matches_dijkstra_on_disconnected(
+        left in 1usize..20,
+        right in 1usize..20,
+        isolated in 0usize..5,
+        source_side in 0usize..2,
+        w in 1u32..100,
+    ) {
+        let n = left + right + isolated;
+        let mut b = WeightedGraphBuilder::new(n);
+        for v in 1..left {
+            b.add_edge(v - 1, v, w);
+        }
+        for v in (left + 1)..(left + right) {
+            b.add_edge(v - 1, v, w.saturating_mul(2));
+        }
+        let g = b.build();
+        let s = if source_side == 0 { 0 } else { left };
+        check_graph(&g, &[s]);
+        // Both components at once.
+        check_graph(&g, &[0, left]);
+    }
+
+    /// Weight ≡ 1 collapses the weighted plane onto the unweighted one:
+    /// the delta-stepping rows equal the BFS rows of `DistanceMap::fill`
+    /// exactly, for any bucket width, sequential and batched.
+    #[test]
+    fn unit_weights_equal_bfs_rows(
+        n in 1usize..60,
+        p in 0.0f64..0.3,
+        seed in 0u64..10_000,
+        delta in 1u32..8,
+        picks in prop::collection::vec(0usize..60, 1..5),
+    ) {
+        let skeleton = generators::gnp(n, p, seed);
+        let g = WeightedGraph::uniform(skeleton.clone(), 1);
+        let sources: Vec<usize> = picks.into_iter().map(|s| s % n).collect();
+
+        let mut scratch = SsspScratch::new();
+        let mut weighted = DistanceMap::new();
+        for &s in &sources {
+            weighted.fill_weighted(&g, [s], delta, &mut scratch);
+            let bfs = DistanceMap::from_source(&skeleton, s);
+            prop_assert_eq!(&weighted, &bfs, "source {} delta {}", s, delta);
+        }
+
+        let pool = WorkerPool::new(2);
+        let mut wbatch = DistanceBatch::new();
+        let mut wscratch = SsspBatchScratch::new();
+        wbatch.fill_weighted(&g, &sources, delta, &mut wscratch, &pool);
+        let mut bbatch = DistanceBatch::new();
+        let mut bscratch = BatchScratch::new();
+        bbatch.fill(&skeleton, &sources, &mut bscratch, &pool);
+        prop_assert_eq!(&wbatch, &bbatch);
+    }
+}
+
+/// The `n = 1` graph, pinned explicitly (no random generation involved).
+#[test]
+fn single_vertex_graph() {
+    let g = WeightedGraph::uniform(generators::path(1), 1);
+    check_graph(&g, &[0]);
+    check_graph(&g, &[0, 0]);
+}
+
+/// An edgeless multi-vertex graph: every non-source row entry stays at the
+/// sentinel, for every bucket width.
+#[test]
+fn edgeless_graph() {
+    let g = WeightedGraph::uniform(nas_graph::GraphBuilder::new(5).build(), 1);
+    check_graph(&g, &[0, 3]);
+    assert_eq!(auto_delta(&g), 1, "edgeless graphs fall back to delta 1");
+}

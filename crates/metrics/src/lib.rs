@@ -1,4 +1,5 @@
-//! Measurement and reporting: stretch audits, size accounting, analytic
+//! Measurement and reporting: stretch audits (unweighted and weighted),
+//! size accounting, analytic
 //! formula rows, and the table formatting used to regenerate the paper's
 //! Tables 1–2 and the figure experiments.
 
@@ -9,8 +10,10 @@ pub mod oracle;
 pub mod report;
 pub mod stretch;
 pub mod tables;
+pub mod weighted;
 
-pub use oracle::{compare, QueryQuality, SpannerOracle};
+pub use oracle::{compare, QueryQuality, SpannerOracle, WeightedSpannerOracle};
 pub use report::{to_markdown_table, ExperimentRecord};
 pub use stretch::{stretch_audit, stretch_audit_sampled, DistanceBucket, StretchAudit};
 pub use tables::TableBuilder;
+pub use weighted::{stretch_audit_weighted, stretch_audit_weighted_sampled, WeightedStretchAudit};

@@ -9,9 +9,14 @@
 //! scratch — after one warmup batch, repeated batch audits allocate
 //! nothing (pinned by `tests/zero_alloc_audit.rs`). [`compare`] measures
 //! the approximation quality pair-by-pair.
+//!
+//! [`WeightedSpannerOracle`] is the weighted twin: same caching and batch
+//! contracts, with delta-stepping SSSP ([`nas_graph::sssp`]) in place of
+//! BFS and a fixed bucket width chosen at construction.
 
 use nas_graph::dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap};
-use nas_graph::Graph;
+use nas_graph::sssp::{auto_delta, SsspBatchScratch, SsspScratch};
+use nas_graph::{Graph, WeightedGraph};
 use nas_par::WorkerPool;
 
 /// Distance oracle over a spanner `H`.
@@ -145,6 +150,153 @@ impl SpannerOracle {
 
     /// [`distances_batch_into`](SpannerOracle::distances_batch_into) with a
     /// freshly allocated batch — the convenience form for one-shot callers.
+    pub fn distances_batch(&mut self, sources: &[usize], pool: &WorkerPool) -> DistanceBatch {
+        let mut out = DistanceBatch::new();
+        self.distances_batch_into(sources, &mut out, pool);
+        out
+    }
+}
+
+/// Distance oracle over a **weighted** spanner `H`.
+///
+/// The weighted twin of [`SpannerOracle`]: point queries run one
+/// delta-stepping SSSP ([`nas_graph::sssp`]) from the source and cache the
+/// row (answering reversed queries by symmetry), batched queries fill a
+/// flat [`DistanceBatch`] sharded over a worker pool through the oracle's
+/// own [`SsspBatchScratch`]. After one warmup batch, repeated batch audits
+/// allocate nothing (pinned by `tests/zero_alloc_weighted.rs`).
+///
+/// The delta-stepping bucket width is fixed at construction —
+/// [`auto_delta`] by default, or an explicit width via
+/// [`with_delta`](WeightedSpannerOracle::with_delta) — so every query
+/// against one oracle is a pure function of `(spanner, source)`.
+#[derive(Debug, Clone)]
+pub struct WeightedSpannerOracle {
+    spanner: WeightedGraph,
+    delta: u32,
+    cache_source: Option<usize>,
+    cache_row: DistanceMap,
+    scratch: SsspScratch,
+    batch_scratch: SsspBatchScratch,
+    sssp_runs: u64,
+}
+
+impl WeightedSpannerOracle {
+    /// Creates an oracle over a weighted spanner, picking the bucket width
+    /// with [`auto_delta`] (unit weights degenerate to Dial's `Δ = 1`).
+    pub fn new(spanner: WeightedGraph) -> Self {
+        let delta = auto_delta(&spanner);
+        Self::with_delta(spanner, delta)
+    }
+
+    /// Creates an oracle with an explicit delta-stepping bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn with_delta(spanner: WeightedGraph, delta: u32) -> Self {
+        assert!(delta >= 1, "delta must be at least 1");
+        WeightedSpannerOracle {
+            spanner,
+            delta,
+            cache_source: None,
+            cache_row: DistanceMap::new(),
+            scratch: SsspScratch::new(),
+            batch_scratch: SsspBatchScratch::new(),
+            sssp_runs: 0,
+        }
+    }
+
+    /// The underlying weighted spanner.
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.spanner
+    }
+
+    /// The delta-stepping bucket width this oracle traverses with.
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// Number of SSSP traversals executed so far (cache-effectiveness
+    /// observability, the weighted analogue of
+    /// [`bfs_runs`](SpannerOracle::bfs_runs)).
+    pub fn sssp_runs(&self) -> u64 {
+        self.sssp_runs
+    }
+
+    /// The weighted spanner distance `d_H(u, v)`, or `None` if
+    /// disconnected in `H`. Symmetric like the unweighted oracle: a cached
+    /// row for *either* endpoint answers without a fresh traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn distance(&mut self, u: usize, v: usize) -> Option<u32> {
+        let n = self.spanner.num_vertices();
+        assert!(u < n && v < n, "query out of range");
+        if self.cache_source == Some(u) {
+            return self.cache_row.get(v);
+        }
+        if self.cache_source == Some(v) {
+            return self.cache_row.get(u);
+        }
+        self.refill_cache(u);
+        self.cache_row.get(v)
+    }
+
+    fn refill_cache(&mut self, u: usize) {
+        self.cache_row
+            .fill_weighted(&self.spanner, [u], self.delta, &mut self.scratch);
+        self.cache_source = Some(u);
+        self.sssp_runs += 1;
+    }
+
+    /// Batched weighted distances from one source (one SSSP, cached).
+    pub fn distance_map_from(&mut self, u: usize) -> &DistanceMap {
+        if self.cache_source != Some(u) {
+            self.refill_cache(u);
+        }
+        &self.cache_row
+    }
+
+    /// Batched weighted distances from many sources into a reusable flat
+    /// batch: one SSSP per source, sharded over `pool`. Row `i`
+    /// corresponds to `sources[i]`, byte-identical to a sequential
+    /// [`distance_map_from`](WeightedSpannerOracle::distance_map_from)
+    /// loop at any thread count.
+    ///
+    /// Reuses `out` and the oracle's internal per-lane scratch: after one
+    /// warmup call, repeated batches of the same shape allocate nothing.
+    /// Counts one SSSP per source in
+    /// [`sssp_runs`](WeightedSpannerOracle::sssp_runs) and leaves the
+    /// single-row cache holding the *last* source's row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any source is out of range.
+    pub fn distances_batch_into(
+        &mut self,
+        sources: &[usize],
+        out: &mut DistanceBatch,
+        pool: &WorkerPool,
+    ) {
+        out.fill_weighted(
+            &self.spanner,
+            sources,
+            self.delta,
+            &mut self.batch_scratch,
+            pool,
+        );
+        self.sssp_runs += sources.len() as u64;
+        if let Some(&s) = sources.last() {
+            self.cache_source = Some(s);
+            self.cache_row.copy_row(out.row(sources.len() - 1));
+        }
+    }
+
+    /// [`distances_batch_into`](WeightedSpannerOracle::distances_batch_into)
+    /// with a freshly allocated batch — the convenience form for one-shot
+    /// callers.
     pub fn distances_batch(&mut self, sources: &[usize], pool: &WorkerPool) -> DistanceBatch {
         let mut out = DistanceBatch::new();
         self.distances_batch_into(sources, &mut out, pool);
@@ -331,6 +483,89 @@ mod tests {
         let mut o = SpannerOracle::new(g.clone());
         let q = compare(&g, &mut o, &[(0, 3)]);
         assert_eq!(q[0], None);
+    }
+
+    /// The weighted oracle answers point queries with exact weighted
+    /// distances (cross-checked against the naive Dijkstra reference) and
+    /// reuses its cached row symmetrically.
+    #[test]
+    fn weighted_oracle_matches_dijkstra() {
+        use nas_graph::weighted::WeightDist;
+        let g = generators::weighted_gnp(60, 0.08, 3, WeightDist::Uniform { lo: 1, hi: 30 });
+        let reference = nas_graph::sssp::dijkstra(&g, [0]);
+        let mut o = WeightedSpannerOracle::new(g.clone());
+        for v in 0..60 {
+            assert_eq!(o.distance(0, v), reference.get(v), "vertex {v}");
+        }
+        assert_eq!(o.sssp_runs(), 1, "one cached row answers all queries");
+        // Reversed endpoints hit the same row by symmetry.
+        assert_eq!(o.distance(17, 0), reference.get(17));
+        assert_eq!(o.sssp_runs(), 1);
+        // A genuinely new source traverses again.
+        o.distance(5, 9);
+        assert_eq!(o.sssp_runs(), 2);
+    }
+
+    /// The weighted batch path matches point queries row for row at every
+    /// thread count and reuses `out` plus the oracle scratch across calls.
+    #[test]
+    fn weighted_batch_matches_point_queries() {
+        use nas_graph::weighted::WeightDist;
+        let g = generators::weighted_grid2d(7, 7, 11, WeightDist::Uniform { lo: 1, hi: 9 });
+        let sources = [0usize, 13, 25, 48, 13];
+        let want: Vec<Vec<u32>> = {
+            let mut o = WeightedSpannerOracle::new(g.clone());
+            sources
+                .iter()
+                .map(|&s| o.distance_map_from(s).raw().to_vec())
+                .collect()
+        };
+        for threads in [1usize, 2, 4] {
+            let pool = nas_par::WorkerPool::new(threads);
+            let mut o = WeightedSpannerOracle::new(g.clone());
+            let mut out = nas_graph::DistanceBatch::new();
+            for round in 0..3 {
+                o.distances_batch_into(&sources, &mut out, &pool);
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(
+                        out.row(i),
+                        &w[..],
+                        "row {i} round {round} threads {threads}"
+                    );
+                }
+            }
+            assert_eq!(o.sssp_runs(), 3 * sources.len() as u64);
+            // The cache holds the last batched row.
+            let runs = o.sssp_runs();
+            assert_eq!(o.distance(13, 40), out.get(4, 40));
+            assert_eq!(o.sssp_runs(), runs);
+        }
+    }
+
+    /// With unit weights the weighted oracle agrees with the unweighted
+    /// one everywhere (the SSSP engine degenerates to BFS) and auto-picks
+    /// Dial's bucket width.
+    #[test]
+    fn unit_weight_oracle_matches_unweighted() {
+        let g = generators::connected_gnp(50, 0.1, 8);
+        let wg = nas_graph::WeightedGraph::uniform(g.clone(), 1);
+        let mut plain = SpannerOracle::new(g);
+        let mut weighted = WeightedSpannerOracle::new(wg);
+        assert_eq!(weighted.delta(), 1);
+        for s in [0usize, 7, 23, 49] {
+            assert_eq!(
+                weighted.distance_map_from(s).raw(),
+                plain.distance_map_from(s).raw(),
+                "source {s}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be at least 1")]
+    fn weighted_oracle_rejects_zero_delta() {
+        let g = nas_graph::WeightedGraph::uniform(generators::path(3), 1);
+        WeightedSpannerOracle::with_delta(g, 0);
     }
 
     #[test]

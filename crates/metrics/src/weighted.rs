@@ -1,0 +1,443 @@
+//! Weighted stretch audits: multiplicative stretch of a spanner against
+//! **weighted** graph distances.
+//!
+//! The unweighted audit ([`crate::stretch_audit`]) buckets pairs by their
+//! exact hop distance — a small integer, so a dense per-distance histogram
+//! is the natural shape. Weighted distances span the whole `u32` range, so
+//! the weighted audit keeps no histogram: each lane accumulates only
+//! **associative** quantities (pair counts, saturating `u64` distance sums,
+//! and per-pair-exact `f64` maxima), which is what keeps the result
+//! bit-identical at every thread count. A mean of per-pair `f64` ratios
+//! would *not* be: float addition is association-dependent, and the lane
+//! partition changes with the thread count. [`WeightedStretchAudit`]
+//! therefore exposes the exact sums and derives the mean dilation from
+//! them.
+//!
+//! Distances come from the delta-stepping engine ([`nas_graph::sssp`]),
+//! one bucket width per graph chosen by [`auto_delta`] (recorded in the
+//! result so benchmark records can report it). Each pool lane owns a pair
+//! of flat [`DistanceMap`] rows and one [`SsspScratch`] reused across all
+//! of its sources, mirroring the unweighted audit core.
+//!
+//! Zero-weight edges are legal, so two distinct vertices can sit at
+//! weighted distance 0. Such pairs still count toward `pairs`, the sums,
+//! and the additive surplus (`d_H − (1+ε)·0 = d_H`), but are skipped for
+//! the multiplicative maximum, where the ratio is undefined.
+
+use nas_graph::dist::{DistanceMap, UNREACHED};
+use nas_graph::sssp::{auto_delta, SsspScratch};
+use nas_graph::WeightedGraph;
+use nas_par::WorkerPool;
+
+/// The result of a weighted stretch audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedStretchAudit {
+    /// Pairs audited (connected in both graphs).
+    pub pairs: u64,
+    /// Worst multiplicative stretch `max d_H/d_G` over pairs with
+    /// `d_G > 0` (at least 1.0, matching the unweighted audit's floor).
+    pub max_stretch: f64,
+    /// The measured additive surplus `max(0, d_H − (1+ε)·d_G)` over all
+    /// pairs, evaluated at [`eps`](WeightedStretchAudit::eps).
+    pub effective_beta: f64,
+    /// The `ε` [`effective_beta`](WeightedStretchAudit::effective_beta)
+    /// was computed against.
+    pub eps: f64,
+    /// Pairs connected in `g` but not in `h` (must be 0 for a spanner).
+    pub disconnected_pairs: u64,
+    /// Saturating sum of the audited graph distances `d_G`.
+    pub graph_dist_sum: u64,
+    /// Saturating sum of the audited spanner distances `d_H`.
+    pub spanner_dist_sum: u64,
+    /// The delta-stepping bucket width used for the base graph.
+    pub delta_g: u32,
+    /// The delta-stepping bucket width used for the spanner.
+    pub delta_h: u32,
+}
+
+impl WeightedStretchAudit {
+    /// Whether the spanner satisfied `d_H ≤ (1+ε)·d_G + β` for every
+    /// audited pair, at the `ε` the audit was run with (unlike the
+    /// unweighted audit, there is no per-distance histogram to re-evaluate
+    /// a different `ε` against — run a new audit for that).
+    pub fn satisfies(&self, beta: f64) -> bool {
+        self.disconnected_pairs == 0 && self.effective_beta <= beta
+    }
+
+    /// Mean dilation `Σd_H / Σd_G` — the aggregate "how much longer do
+    /// spanner routes run" figure, derived from the exact sums (1.0 when
+    /// no positive graph distance was audited).
+    pub fn mean_dilation(&self) -> f64 {
+        if self.graph_dist_sum == 0 {
+            1.0
+        } else {
+            self.spanner_dist_sum as f64 / self.graph_dist_sum as f64
+        }
+    }
+}
+
+/// One lane's running totals. Every field is associative under merge
+/// (counts and saturating sums of non-negative integers, maxima of
+/// per-pair-exact floats), so the lane-ordered merge gives the same
+/// result at every thread count.
+#[derive(Debug, Default)]
+struct Partial {
+    pairs: u64,
+    disconnected: u64,
+    max_stretch: f64,
+    /// `max(d_H − (1+ε)·d_G)` over this lane's pairs; may be negative
+    /// until the final clamp.
+    max_surplus: f64,
+    graph_sum: u64,
+    spanner_sum: u64,
+}
+
+impl Partial {
+    /// Folds the pairs of one SSSP source into this partial. Target
+    /// selection matches the unweighted audit: with
+    /// `targets_after_source_only`, only `v > source` counts (all-pairs
+    /// audit — each unordered pair once); otherwise every `v != source`
+    /// counts (sampled audit).
+    fn absorb_source(
+        &mut self,
+        dg: &[u32],
+        dh: &[u32],
+        source: usize,
+        targets_after_source_only: bool,
+        eps: f64,
+    ) {
+        let from = if targets_after_source_only {
+            source + 1
+        } else {
+            0
+        };
+        for v in from..dg.len() {
+            if v == source {
+                continue;
+            }
+            let d = dg[v];
+            if d == UNREACHED {
+                continue;
+            }
+            let s = dh[v];
+            if s == UNREACHED {
+                self.disconnected += 1;
+                continue;
+            }
+            self.pairs += 1;
+            self.graph_sum = self.graph_sum.saturating_add(d as u64);
+            self.spanner_sum = self.spanner_sum.saturating_add(s as u64);
+            if d > 0 {
+                self.max_stretch = self.max_stretch.max(s as f64 / d as f64);
+            }
+            self.max_surplus = self.max_surplus.max(s as f64 - (1.0 + eps) * d as f64);
+        }
+    }
+}
+
+/// The pooled weighted audit core: one delta-stepping SSSP per source in
+/// each graph (contiguous source shards, one per pool lane, each lane
+/// accumulating into its own [`Partial`]), then a lane-ordered merge. Like
+/// the unweighted core, shards are deliberately uniform: every source
+/// costs a full SSSP of both graphs regardless of its degree.
+#[allow(clippy::too_many_arguments)]
+fn audit_sources(
+    g: &WeightedGraph,
+    h: &WeightedGraph,
+    eps: f64,
+    sources: &[usize],
+    targets_after_source_only: bool,
+    delta_g: u32,
+    delta_h: u32,
+    pool: &WorkerPool,
+) -> WeightedStretchAudit {
+    let mut partials: Vec<Partial> = (0..pool.threads()).map(|_| Partial::default()).collect();
+    let cuts = nas_par::balanced_cuts(sources.len(), pool.threads());
+    nas_par::for_each_worker(pool, &mut partials, |i, part| {
+        let mut dg = DistanceMap::new();
+        let mut dh = DistanceMap::new();
+        let mut scratch = SsspScratch::new();
+        for &s in &sources[cuts[i]..cuts[i + 1]] {
+            dg.fill_weighted(g, [s], delta_g, &mut scratch);
+            dh.fill_weighted(h, [s], delta_h, &mut scratch);
+            part.absorb_source(dg.raw(), dh.raw(), s, targets_after_source_only, eps);
+        }
+    });
+
+    let mut merged = Partial::default();
+    for p in &partials {
+        merged.pairs += p.pairs;
+        merged.disconnected += p.disconnected;
+        merged.max_stretch = merged.max_stretch.max(p.max_stretch);
+        merged.max_surplus = merged.max_surplus.max(p.max_surplus);
+        merged.graph_sum = merged.graph_sum.saturating_add(p.graph_sum);
+        merged.spanner_sum = merged.spanner_sum.saturating_add(p.spanner_sum);
+    }
+    WeightedStretchAudit {
+        pairs: merged.pairs,
+        max_stretch: merged.max_stretch.max(1.0),
+        effective_beta: merged.max_surplus.max(0.0),
+        eps,
+        disconnected_pairs: merged.disconnected,
+        graph_dist_sum: merged.graph_sum,
+        spanner_dist_sum: merged.spanner_sum,
+        delta_g,
+        delta_h,
+    }
+}
+
+/// Exact weighted stretch audit over **all** pairs: `n` delta-stepping
+/// traversals in each graph, fanned out over the process-wide
+/// [`nas_par::global`] worker pool (`NAS_THREADS` honored). Deterministic
+/// at every thread count — see the module docs for why the result carries
+/// sums and maxima but no float mean.
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+pub fn stretch_audit_weighted(
+    g: &WeightedGraph,
+    h: &WeightedGraph,
+    eps: f64,
+) -> WeightedStretchAudit {
+    stretch_audit_weighted_with_pool(g, h, eps, nas_par::global())
+}
+
+/// [`stretch_audit_weighted`] on an explicit worker pool.
+///
+/// # Panics
+///
+/// Panics if the two graphs have different vertex counts.
+pub fn stretch_audit_weighted_with_pool(
+    g: &WeightedGraph,
+    h: &WeightedGraph,
+    eps: f64,
+    pool: &WorkerPool,
+) -> WeightedStretchAudit {
+    assert_eq!(
+        g.num_vertices(),
+        h.num_vertices(),
+        "graph and spanner must share a vertex set"
+    );
+    let sources: Vec<usize> = (0..g.num_vertices()).collect();
+    audit_sources(
+        g,
+        h,
+        eps,
+        &sources,
+        true,
+        auto_delta(g),
+        auto_delta(h),
+        pool,
+    )
+}
+
+/// Sampled weighted stretch audit: SSSP from `samples` deterministic
+/// sources only, spread evenly across the vertex range with the same
+/// `⌊i·n/samples⌋` formula as [`crate::stretch_audit_sampled`] (strictly
+/// increasing, covers the tail). For graphs too large for the all-pairs
+/// audit.
+pub fn stretch_audit_weighted_sampled(
+    g: &WeightedGraph,
+    h: &WeightedGraph,
+    eps: f64,
+    samples: usize,
+) -> WeightedStretchAudit {
+    stretch_audit_weighted_sampled_with_pool(g, h, eps, samples, nas_par::global())
+}
+
+/// [`stretch_audit_weighted_sampled`] on an explicit worker pool.
+pub fn stretch_audit_weighted_sampled_with_pool(
+    g: &WeightedGraph,
+    h: &WeightedGraph,
+    eps: f64,
+    samples: usize,
+    pool: &WorkerPool,
+) -> WeightedStretchAudit {
+    assert_eq!(g.num_vertices(), h.num_vertices());
+    let n = g.num_vertices();
+    if n == 0 {
+        return WeightedStretchAudit {
+            pairs: 0,
+            max_stretch: 1.0,
+            effective_beta: 0.0,
+            eps,
+            disconnected_pairs: 0,
+            graph_dist_sum: 0,
+            spanner_dist_sum: 0,
+            delta_g: 1,
+            delta_h: 1,
+        };
+    }
+    let samples = samples.min(n).max(1);
+    let sources: Vec<usize> = (0..samples).map(|i| i * n / samples).collect();
+    audit_sources(
+        g,
+        h,
+        eps,
+        &sources,
+        false,
+        auto_delta(g),
+        auto_delta(h),
+        pool,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{stretch_audit, stretch_audit_sampled};
+    use nas_graph::weighted::WeightDist;
+    use nas_graph::{generators, WeightedGraphBuilder};
+
+    #[test]
+    fn identical_graphs_have_stretch_one() {
+        let g = generators::weighted_grid2d(5, 5, 7, WeightDist::Uniform { lo: 1, hi: 9 });
+        let a = stretch_audit_weighted(&g, &g, 0.5);
+        assert_eq!(a.max_stretch, 1.0);
+        assert_eq!(a.effective_beta, 0.0);
+        assert_eq!(a.disconnected_pairs, 0);
+        assert_eq!(a.pairs, 25 * 24 / 2);
+        assert_eq!(a.graph_dist_sum, a.spanner_dist_sum);
+        assert_eq!(a.mean_dilation(), 1.0);
+        assert!(a.satisfies(0.0));
+    }
+
+    #[test]
+    fn weighted_cycle_vs_path_spanner() {
+        // Remove one uniform-weight edge of a cycle: the pair across the
+        // removed edge stretches to (n-1)·w / w = n-1, exactly like the
+        // unweighted audit but on weighted distances.
+        let n = 10usize;
+        let w = 7u32;
+        let mut bg = WeightedGraphBuilder::new(n);
+        let mut bh = WeightedGraphBuilder::new(n);
+        for v in 1..n {
+            bg.add_edge(v - 1, v, w);
+            bh.add_edge(v - 1, v, w);
+        }
+        bg.add_edge(n - 1, 0, w);
+        let (g, h) = (bg.build(), bh.build());
+        let a = stretch_audit_weighted(&g, &h, 0.0);
+        assert_eq!(a.max_stretch, (n - 1) as f64);
+        assert_eq!(a.effective_beta, ((n - 2) as u32 * w) as f64);
+        assert!(a.satisfies(((n - 2) as u32 * w) as f64));
+        assert!(!a.satisfies(((n - 2) as u32 * w) as f64 - 1.0));
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        let g = generators::weighted_path(4, 3, WeightDist::unit());
+        let h = WeightedGraphBuilder::new(4).build();
+        let a = stretch_audit_weighted(&g, &h, 0.5);
+        assert_eq!(a.disconnected_pairs, 6);
+        assert!(!a.satisfies(1000.0));
+    }
+
+    /// Zero-weight edges put distinct vertices at weighted distance 0:
+    /// such pairs count toward pairs/sums/surplus but not the ratio.
+    #[test]
+    fn zero_weight_pairs_skip_the_ratio_but_feed_beta() {
+        // g: 0 -0- 1 -0- 2 (all zero); h drops (1,2) and routes 1→2 via a
+        // weight-5 detour through 3. d_G(1,2)=0 but d_H(1,2)=10.
+        let mut bg = WeightedGraphBuilder::new(4);
+        bg.add_edge(0, 1, 0);
+        bg.add_edge(1, 2, 0);
+        bg.add_edge(1, 3, 5);
+        bg.add_edge(3, 2, 5);
+        let g = bg.build();
+        let mut bh = WeightedGraphBuilder::new(4);
+        bh.add_edge(0, 1, 0);
+        bh.add_edge(1, 3, 5);
+        bh.add_edge(3, 2, 5);
+        let h = bh.build();
+        let a = stretch_audit_weighted(&g, &h, 0.25);
+        assert_eq!(a.pairs, 6);
+        assert_eq!(a.disconnected_pairs, 0);
+        // Worst surplus is the d_G = 0 pair (0,2): d_H = 10, surplus 10.
+        assert_eq!(a.effective_beta, 10.0);
+        // The worst *ratio* comes from a positive-distance pair: (1,2) and
+        // (0,2) are excluded (d_G = 0); (3,2) has d_G = d_H = 5. The max
+        // ratio is 1.0.
+        assert_eq!(a.max_stretch, 1.0);
+    }
+
+    /// With unit weights the weighted audit agrees with the unweighted one
+    /// on every shared field — the SSSP engine degenerates to BFS.
+    #[test]
+    fn unit_weights_match_unweighted_audit() {
+        let g = generators::connected_gnp(70, 0.08, 12);
+        let h = nas_baselines::baswana_sen(&g, 3, 4).to_graph();
+        let wg = nas_graph::WeightedGraph::uniform(g.clone(), 1);
+        let wh = nas_graph::WeightedGraph::uniform(h.clone(), 1);
+
+        let plain = stretch_audit(&g, &h, 0.25);
+        let weighted = stretch_audit_weighted(&wg, &wh, 0.25);
+        assert_eq!(weighted.pairs, plain.pairs);
+        assert_eq!(weighted.max_stretch, plain.max_stretch);
+        assert_eq!(weighted.effective_beta, plain.effective_beta);
+        assert_eq!(weighted.disconnected_pairs, plain.disconnected_pairs);
+        assert_eq!(weighted.delta_g, 1, "unit weights must pick Dial's delta");
+
+        let plain_s = stretch_audit_sampled(&g, &h, 0.25, 40);
+        let weighted_s = stretch_audit_weighted_sampled(&wg, &wh, 0.25, 40);
+        assert_eq!(weighted_s.pairs, plain_s.pairs);
+        assert_eq!(weighted_s.max_stretch, plain_s.max_stretch);
+        assert_eq!(weighted_s.effective_beta, plain_s.effective_beta);
+    }
+
+    #[test]
+    fn sampled_audit_tolerates_empty_graph() {
+        let g = nas_graph::WeightedGraph::uniform(nas_graph::GraphBuilder::new(0).build(), 1);
+        let a = stretch_audit_weighted_sampled(&g, &g, 0.5, 10);
+        assert_eq!(a.pairs, 0);
+        assert_eq!(a.disconnected_pairs, 0);
+        assert_eq!(a.mean_dilation(), 1.0);
+    }
+
+    /// The audits are identical at every thread count — per-lane partials
+    /// hold only associative quantities, merged in lane order.
+    #[test]
+    fn audit_identical_across_thread_counts() {
+        let g = generators::weighted_gnp(80, 0.07, 5, WeightDist::Uniform { lo: 1, hi: 50 });
+        let h_edges = nas_baselines::baswana_sen(g.graph(), 3, 1);
+        let h = g.subgraph(h_edges.iter());
+        let exact1 = stretch_audit_weighted_with_pool(&g, &h, 0.25, &nas_par::WorkerPool::new(1));
+        let sampled1 = stretch_audit_weighted_sampled_with_pool(
+            &g,
+            &h,
+            0.25,
+            50,
+            &nas_par::WorkerPool::new(1),
+        );
+        for threads in [2usize, 3, 8] {
+            let pool = nas_par::WorkerPool::new(threads);
+            assert_eq!(
+                stretch_audit_weighted_with_pool(&g, &h, 0.25, &pool),
+                exact1,
+                "exact weighted audit drift at {threads} threads"
+            );
+            assert_eq!(
+                stretch_audit_weighted_sampled_with_pool(&g, &h, 0.25, 50, &pool),
+                sampled1,
+                "sampled weighted audit drift at {threads} threads"
+            );
+        }
+        assert_eq!(stretch_audit_weighted(&g, &h, 0.25), exact1);
+        assert_eq!(stretch_audit_weighted_sampled(&g, &h, 0.25, 50), sampled1);
+    }
+
+    /// A spanner that is a subgraph can only lengthen routes: the mean
+    /// dilation is at least 1 and the sums are ordered.
+    #[test]
+    fn subgraph_spanner_dilation_is_at_least_one() {
+        let g = generators::weighted_gnp(60, 0.1, 9, WeightDist::Uniform { lo: 1, hi: 20 });
+        let h_edges = nas_baselines::baswana_sen(g.graph(), 2, 3);
+        let h = g.subgraph(h_edges.iter());
+        let a = stretch_audit_weighted(&g, &h, 0.0);
+        assert!(a.pairs > 0);
+        assert!(a.spanner_dist_sum >= a.graph_dist_sum);
+        assert!(a.mean_dilation() >= 1.0);
+        assert!(a.max_stretch >= 1.0);
+    }
+}
