@@ -41,8 +41,13 @@
 //! runs all of them. Every run appends a machine-readable record to
 //! `BENCH_sim.json` (written at exit), the start of the perf trajectory the
 //! harness tracks. Spanner records carry a `phases` array (name, rounds,
-//! wall_ms per protocol phase); audit records report `null` for the
-//! round/message fields that do not apply to a centralized audit.
+//! wall_ms per protocol phase), the fast-forward scheduler's
+//! `skipped_rounds`, and the per-node knowledge-table high-water mark
+//! (`knowledge_peak_bytes`); audit records report `null` for the
+//! round/message fields that do not apply to a centralized audit. Every
+//! record samples its own end-of-leg RSS (`leg_rss_mib`, VmRSS) next to
+//! the process-lifetime high-water mark (`peak_rss_process_mib`, VmHWM) —
+//! only the former is a per-leg footprint.
 //!
 //! `--smoke` is the CI configuration: `n = 10^5`, spanner + audit at
 //! `10^4`, asserting the same invariants at a size that finishes in
@@ -58,12 +63,25 @@ use nas_par::WorkerPool;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Peak resident set size in MiB, from `/proc/self/status` (Linux).
-fn peak_rss_mib() -> Option<f64> {
+/// A `VmXXX:` line of `/proc/self/status`, in MiB (Linux).
+fn proc_status_mib(key: &str) -> Option<f64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
     let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kib / 1024.0)
+}
+
+/// Peak resident set size in MiB (VmHWM) — a **process-lifetime**
+/// high-water mark, monotone over the run.
+fn peak_rss_mib() -> Option<f64> {
+    proc_status_mib("VmHWM:")
+}
+
+/// Current resident set size in MiB (VmRSS) — sampled at the end of each
+/// leg, so unlike the high-water mark it *can* go down when a leg's
+/// working set is smaller than its predecessor's.
+fn rss_now_mib() -> Option<f64> {
+    proc_status_mib("VmRSS:")
 }
 
 /// One benchmark data point, serialized into `BENCH_sim.json`.
@@ -80,6 +98,10 @@ struct Record {
     rounds: Option<u64>,
     messages: Option<u64>,
     busiest_round_messages: Option<u64>,
+    /// Rounds the fast-forward scheduler bulk-skipped as provably
+    /// eventless (included in `rounds` — the clock advance is identical
+    /// with skipping off). `None` where CONGEST accounting does not apply.
+    skipped_rounds: Option<u64>,
     wall_ms: f64,
     mmsg_per_s: Option<f64>,
     /// Process-lifetime RSS high-water mark (VmHWM) *at record time* — the
@@ -88,6 +110,15 @@ struct Record {
     /// per-workload footprint. `None` when /proc/self/status is
     /// unavailable (non-Linux).
     peak_rss_process_mib: Option<f64>,
+    /// Current RSS (VmRSS) sampled at the end of this leg — per-leg, not
+    /// monotone, so audit legs no longer inherit the spanner leg's peak.
+    /// `None` when /proc/self/status is unavailable (non-Linux).
+    leg_rss_mib: Option<f64>,
+    /// Peak bytes held in any single node's Algorithm-1 knowledge table
+    /// during this leg (spanner legs only; `None` elsewhere) — the
+    /// flat-table memory story `nas_core::algo1::take_knowledge_peak_bytes`
+    /// measures.
+    knowledge_peak_bytes: Option<u64>,
     /// Whether the leg measured weighted distances (delta-stepping SSSP)
     /// rather than hop distances (BFS).
     weighted: bool,
@@ -127,6 +158,10 @@ impl Record {
             Some(v) if v.is_finite() => format!("{v:.1}"),
             _ => "null".to_string(),
         };
+        let leg_rss = match self.leg_rss_mib {
+            Some(v) if v.is_finite() => format!("{v:.1}"),
+            _ => "null".to_string(),
+        };
         let mmsg = match self.mmsg_per_s {
             Some(v) => format!("{v:.3}"),
             None => "null".to_string(),
@@ -157,7 +192,9 @@ impl Record {
             "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
              \"backend\":\"{}\",\"weighted\":{},\"delta\":{},\
              \"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
-             \"wall_ms\":{:.3},\"mmsg_per_s\":{mmsg},\"peak_rss_process_mib\":{rss}{audit}{phases}}}",
+             \"skipped_rounds\":{},\"knowledge_peak_bytes\":{},\
+             \"wall_ms\":{:.3},\"mmsg_per_s\":{mmsg},\"peak_rss_process_mib\":{rss},\
+             \"leg_rss_mib\":{leg_rss}{audit}{phases}}}",
             self.protocol,
             self.workload,
             self.n,
@@ -169,6 +206,8 @@ impl Record {
             json_u64(self.rounds),
             json_u64(self.messages),
             json_u64(self.busiest_round_messages),
+            json_u64(self.skipped_rounds),
+            json_u64(self.knowledge_peak_bytes),
             self.wall_ms,
         )
     }
@@ -223,9 +262,12 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
         rounds: Some(s.rounds),
         messages: Some(s.messages),
         busiest_round_messages: Some(s.busiest_round_messages),
+        skipped_rounds: Some(s.skipped_rounds),
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: Some(s.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
+        leg_rss_mib: rss_now_mib(),
+        knowledge_peak_bytes: None,
         weighted: false,
         delta: None,
         audit: None,
@@ -247,9 +289,10 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         .expect("valid parameters");
     let wall = t.elapsed();
     println!(
-        "spanner  | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
+        "spanner  | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} skipped={:>7} msgs={:>9} busiest={:>8} | edges={:>9} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
         g.num_edges(),
         r.stats.rounds,
+        r.stats.skipped_rounds,
         r.stats.messages,
         r.stats.busiest_round_messages,
         r.num_edges(),
@@ -275,9 +318,12 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         rounds: Some(r.stats.rounds),
         messages: Some(r.stats.messages),
         busiest_round_messages: Some(r.stats.busiest_round_messages),
+        skipped_rounds: Some(r.stats.skipped_rounds),
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: Some(r.stats.messages as f64 / wall.as_secs_f64() / 1e6),
         peak_rss_process_mib: peak_rss_mib(),
+        leg_rss_mib: rss_now_mib(),
+        knowledge_peak_bytes: Some(nas_core::algo1::take_knowledge_peak_bytes()),
         weighted: false,
         delta: None,
         audit: None,
@@ -325,9 +371,12 @@ fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: us
         rounds: None,
         messages: None,
         busiest_round_messages: None,
+        skipped_rounds: None,
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: None,
         peak_rss_process_mib: peak_rss_mib(),
+        leg_rss_mib: rss_now_mib(),
+        knowledge_peak_bytes: None,
         weighted: false,
         delta: None,
         audit: Some(AuditInfo {
@@ -388,9 +437,12 @@ fn run_weighted_audit(
         rounds: None,
         messages: None,
         busiest_round_messages: None,
+        skipped_rounds: None,
         wall_ms: wall.as_secs_f64() * 1e3,
         mmsg_per_s: None,
         peak_rss_process_mib: peak_rss_mib(),
+        leg_rss_mib: rss_now_mib(),
+        knowledge_peak_bytes: None,
         weighted: true,
         delta: Some(audit.delta_g),
         audit: Some(AuditInfo {

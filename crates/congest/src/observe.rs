@@ -73,6 +73,31 @@ pub trait RoundObserver {
     /// Called after every executed round. Return `false` to stop the run
     /// before the next round.
     fn on_round(&mut self, info: RoundInfo) -> bool;
+
+    /// How many rounds the simulator may fast-forward in one span before
+    /// checking back with this observer. Consulted before each skip (see
+    /// [`crate::Simulator::set_fast_forward`]); the default is unlimited.
+    ///
+    /// Observers that meter rounds (budget enforcement) bound the span so a
+    /// skip never overshoots their limit: returning `k` guarantees
+    /// [`on_rounds_skipped`](RoundObserver::on_rounds_skipped) reports at
+    /// most `k` rounds, letting cancellation land on exactly the same
+    /// global round as a non-skipping run. Returning `0` disables
+    /// fast-forward for the next span (the round executes normally).
+    fn skip_allowance(&self) -> u64 {
+        u64::MAX
+    }
+
+    /// Called after the simulator fast-forwarded a span of provably
+    /// eventless rounds (no [`on_round`](RoundObserver::on_round) — and
+    /// hence no per-round event — fires for them). `skipped` is the span
+    /// length, never exceeding the preceding
+    /// [`skip_allowance`](RoundObserver::skip_allowance). Return `false` to
+    /// stop the run, exactly like `on_round`.
+    fn on_rounds_skipped(&mut self, skipped: u64) -> bool {
+        let _ = skipped;
+        true
+    }
 }
 
 /// The disabled observer: reports nothing, never cancels.
@@ -105,6 +130,11 @@ pub struct RunHooks<'a> {
     /// Latched `true` when the observer cancelled a run. Callers that run
     /// several simulations against one `RunHooks` check this between runs.
     pub stopped: bool,
+    /// Whether simulators attached through these hooks may fast-forward
+    /// provably eventless rounds ([`Simulator::set_fast_forward`]).
+    /// Defaults to `true`; the differential tests flip it to compare
+    /// skip-enabled and skip-disabled executions of the same build.
+    pub fast_forward: bool,
 }
 
 impl RunHooks<'static> {
@@ -115,6 +145,7 @@ impl RunHooks<'static> {
             observer: None,
             pool: None,
             stopped: false,
+            fast_forward: true,
         }
     }
 }
@@ -126,15 +157,17 @@ impl<'a> RunHooks<'a> {
             observer: Some(observer),
             pool: None,
             stopped: false,
+            fast_forward: true,
         }
     }
 
-    /// Attaches the carried pool (if any) to `sim`. Call once per
-    /// simulator, before running it.
+    /// Attaches the carried pool (if any) and the fast-forward setting to
+    /// `sim`. Call once per simulator, before running it.
     pub fn attach<P: NodeProgram + Send>(&self, sim: &mut Simulator<'_, P>) {
         if let Some(pool) = self.pool {
             sim.set_pool(Arc::clone(pool));
         }
+        sim.set_fast_forward(self.fast_forward);
     }
 }
 
@@ -152,6 +185,23 @@ impl RoundObserver for RunHooks<'_> {
     fn on_round(&mut self, info: RoundInfo) -> bool {
         let go = match self.observer.as_deref_mut() {
             Some(o) => o.on_round(info),
+            None => true,
+        };
+        if !go {
+            self.stopped = true;
+        }
+        go
+    }
+
+    fn skip_allowance(&self) -> u64 {
+        self.observer
+            .as_ref()
+            .map_or(u64::MAX, |o| o.skip_allowance())
+    }
+
+    fn on_rounds_skipped(&mut self, skipped: u64) -> bool {
+        let go = match self.observer.as_deref_mut() {
+            Some(o) => o.on_rounds_skipped(skipped),
             None => true,
         };
         if !go {

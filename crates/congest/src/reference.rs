@@ -25,11 +25,15 @@ pub struct ReferenceSimulator<'g, P> {
     graph: &'g Graph,
     programs: Vec<P>,
     inboxes: Vec<Vec<Incoming>>,
-    rev_port: Vec<u32>,
-    arc_offsets: Vec<usize>,
+    rev_port: &'g [u32],
+    arc_offsets: &'g [usize],
     round: u64,
     stats: RunStats,
     transcript: Option<Transcript>,
+    /// Mirrors the production simulator's initial full wake-up: the first
+    /// round is never counted as skippable, because the production run
+    /// loops never fast-forward over it either.
+    wake_all: bool,
 }
 
 impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
@@ -52,6 +56,7 @@ impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
             round: 0,
             stats: RunStats::new(),
             transcript: None,
+            wake_all: true,
         }
     }
 
@@ -98,9 +103,31 @@ impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
                 .all(|p| p.is_idle() && p.next_wake().is_none())
     }
 
+    /// Whether the upcoming round is *provably eventless* under the
+    /// production simulator's fast-forward rule
+    /// ([`Simulator::set_fast_forward`](crate::Simulator::set_fast_forward)):
+    /// no message in flight, every program idle, and the earliest timed
+    /// wake-up — if `require_timer`, there must be one — strictly in the
+    /// future. The reference executes such rounds anyway (they are no-ops),
+    /// but its run loops count them in [`RunStats::skipped_rounds`] so a
+    /// reference run is stats-identical to a skipping production run.
+    fn round_is_eventless(&self, require_timer: bool) -> bool {
+        if self.wake_all || self.has_pending_messages() {
+            return false;
+        }
+        if !self.programs.iter().all(|p| p.is_idle()) {
+            return false;
+        }
+        match self.programs.iter().filter_map(|p| p.next_wake()).min() {
+            Some(w) => w > self.round,
+            None => !require_timer,
+        }
+    }
+
     /// Executes exactly one synchronous round, visiting every node.
     pub fn step(&mut self) {
         let n = self.graph.num_vertices();
+        self.wake_all = false;
         let mut digest = self.transcript.is_some().then(RoundDigest::new);
         let mut next_inboxes: Vec<Vec<Incoming>> = vec![Vec::new(); n];
         let mut sent_scratch = vec![false; self.graph.max_degree()];
@@ -156,20 +183,32 @@ impl<'g, P: NodeProgram> ReferenceSimulator<'g, P> {
         self.stats.busiest_round_messages = self.stats.busiest_round_messages.max(sent_this_round);
     }
 
-    /// Runs `k` rounds unconditionally.
+    /// Runs `k` rounds unconditionally. Eventless rounds still execute (the
+    /// reference never actually skips) but are counted in
+    /// [`RunStats::skipped_rounds`] exactly as the production run loop
+    /// counts them, so stats stay comparable with fast-forward on.
     pub fn run_rounds(&mut self, k: u64) {
         for _ in 0..k {
+            if self.round_is_eventless(false) {
+                self.stats.skipped_rounds += 1;
+            }
             self.step();
         }
     }
 
     /// Runs until quiet or `max_rounds`, returning rounds executed and
     /// whether quiescence was reached (same contract as
-    /// [`Simulator::run_until_quiet`](crate::Simulator::run_until_quiet)).
+    /// [`Simulator::run_until_quiet`](crate::Simulator::run_until_quiet),
+    /// including its [`RunStats::skipped_rounds`] accounting: only rounds
+    /// the timer wheel proves eventless count as skipped — a dead network
+    /// goes quiescent, it does not skip).
     pub fn run_until_quiet(&mut self, max_rounds: u64) -> crate::sim::QuietOutcome {
         let start = self.round;
         let mut quiescent = self.is_quiescent();
         for _ in 0..max_rounds {
+            if self.round_is_eventless(true) {
+                self.stats.skipped_rounds += 1;
+            }
             self.step();
             quiescent = self.is_quiescent();
             if quiescent {

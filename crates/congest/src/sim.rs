@@ -50,8 +50,10 @@ const BCAST_RECV: u32 = u32::MAX;
 /// `deg` per-port tuples; the counting/scatter passes expand it against the
 /// sender's CSR neighbor slice (per receiver range on the parallel path — a
 /// degree-bucketed broadcast tree). Delivery order, transcripts, and stats
-/// are identical either way; only the staging cost changes.
-pub const DEFAULT_BCAST_THRESHOLD: usize = 16;
+/// are identical either way; only the staging cost changes. Records win
+/// from very low degrees already (one staged entry and no per-port outbox
+/// walk), so the default covers everything past degree 2.
+pub const DEFAULT_BCAST_THRESHOLD: usize = 3;
 
 /// A protocol running at one vertex.
 ///
@@ -235,6 +237,15 @@ impl<'a> RoundCtx<'a> {
         self.outbox.push((port as u32, msg));
     }
 
+    /// Whether a message was already sent over `port` this round (by
+    /// [`send`](RoundCtx::send) or a [`send_all`](RoundCtx::send_all)
+    /// broadcast). Lets programs that drain per-port queues skip used ports
+    /// instead of tripping the CONGEST assertion.
+    #[inline]
+    pub fn port_used(&self, port: usize) -> bool {
+        self.broadcast || self.sent[port]
+    }
+
     /// Sends `msg` over every incident edge (a local broadcast).
     ///
     /// On the arena simulator, a broadcast from a node of degree at least
@@ -290,17 +301,34 @@ fn merge_range(range: &mut [Incoming]) -> usize {
             1
         }
         Merge::Dedup => {
-            range.sort_unstable_by_key(|i| (i.msg.sort_key(), i.from_port));
-            let mut w = 1;
-            for r in 1..len {
-                if range[r].msg.sort_key() != range[w - 1].msg.sort_key() {
-                    range[w] = range[r];
-                    w += 1;
+            // Fast path: freshly scattered ranges are port-ascending (one
+            // message per arc), so keeping the first occurrence of each key
+            // both picks the smallest port and preserves delivery order —
+            // no sorting. Quadratic in the survivor count, hence gated to
+            // short ranges; long or unsorted ranges take the sort path.
+            if len <= 16 && range.is_sorted_by_key(|i| i.from_port) {
+                let mut w = 1;
+                for r in 1..len {
+                    let key = range[r].msg.sort_key();
+                    if !range[..w].iter().any(|i| i.msg.sort_key() == key) {
+                        range[w] = range[r];
+                        w += 1;
+                    }
                 }
+                w
+            } else {
+                range.sort_unstable_by_key(|i| (i.msg.sort_key(), i.from_port));
+                let mut w = 1;
+                for r in 1..len {
+                    if range[r].msg.sort_key() != range[w - 1].msg.sort_key() {
+                        range[w] = range[r];
+                        w += 1;
+                    }
+                }
+                // Restore sender-ascending delivery order for the survivors.
+                range[..w].sort_unstable_by_key(|i| i.from_port);
+                w
             }
-            // Restore sender-ascending delivery order for the survivors.
-            range[..w].sort_unstable_by_key(|i| i.from_port);
-            w
         }
         Merge::Or => {
             let mut words = [0u64; MAX_WORDS];
@@ -347,34 +375,15 @@ fn merge_sorted(out: &mut Vec<u32>, a: &[u32], b: &[u32]) {
     out.extend_from_slice(&b[j..]);
 }
 
-/// Precomputes the routing maps both simulators share: the reverse port map
-/// (`rev_port[arc]` is the port of the arc's *source* in the *target*'s
-/// neighbor list, parallel to the CSR arc array) and the per-vertex arc
-/// offsets into it.
-///
-/// # Panics
-///
-/// Panics if the adjacency is not symmetric.
-pub(crate) fn build_port_maps(graph: &Graph) -> (Vec<u32>, Vec<usize>) {
-    let n = graph.num_vertices();
-    let mut rev_port = Vec::with_capacity(graph.degree_sum());
-    for v in 0..n {
-        for &u in graph.neighbors(v) {
-            let p = graph
-                .neighbors(u as usize)
-                .binary_search(&(v as u32))
-                .expect("graph adjacency must be symmetric");
-            rev_port.push(p as u32);
-        }
-    }
-    let mut arc_offsets = Vec::with_capacity(n + 1);
-    let mut acc = 0usize;
-    for v in 0..n {
-        arc_offsets.push(acc);
-        acc += graph.degree(v);
-    }
-    arc_offsets.push(acc);
-    (rev_port, arc_offsets)
+/// The routing maps both simulators share, borrowed straight from the
+/// graph's cached topology: the reverse port map
+/// ([`Graph::rev_ports`] — `rev_port[arc]` is the port of the arc's
+/// *source* in the *target*'s neighbor list, parallel to the CSR arc array)
+/// and the CSR arc offsets into it ([`Graph::csr_offsets`]). The first
+/// simulator over a graph pays one `O(m)` sweep; every later one (each
+/// protocol phase of a staged engine builds its own) reuses the table.
+pub(crate) fn build_port_maps(graph: &Graph) -> (&[u32], &[usize]) {
+    (graph.rev_ports(), graph.csr_offsets())
 }
 
 /// Per-lane staging arena for the parallel visit phase. Allocated once when
@@ -443,6 +452,18 @@ pub struct QuietOutcome {
 
 /// The synchronous, deterministic CONGEST round driver.
 ///
+/// One receiver's span in the flat inbox arena: `inbox_data[start ..
+/// start + len]`. Packed to 8 bytes so the per-visit metadata lookup is a
+/// single cache line instead of the two a separate `Vec<usize>` +
+/// `Vec<u32>` pair cost — on million-node runs these lookups are random
+/// access and miss every time. `start` fits `u32` because a single round
+/// cannot stage `> u32::MAX` deliveries (asserted in the counting pass).
+#[derive(Debug, Clone, Copy, Default)]
+struct InboxRange {
+    start: u32,
+    len: u32,
+}
+
 /// Holds one [`NodeProgram`] per vertex and delivers messages with exactly
 /// one round of latency. See the crate-level docs for an example and for the
 /// arena / active-set design notes.
@@ -456,17 +477,15 @@ pub struct Simulator<'g, P> {
     graph: &'g Graph,
     programs: Vec<P>,
     /// Flat arena of messages to deliver in the *upcoming* round, grouped by
-    /// receiver via `inbox_start`/`inbox_len`.
+    /// receiver via `inbox_ranges`.
     inbox_data: Vec<Incoming>,
     /// Scratch arena the next round's deliveries are scattered into; swapped
     /// with `inbox_data` at the end of every step.
     next_data: Vec<Incoming>,
-    /// `inbox_start[v]`: offset of `v`'s range in `inbox_data`. Only
-    /// meaningful for `v` in `msg_active`.
-    inbox_start: Vec<usize>,
-    /// `inbox_len[v]`: length of `v`'s range. Invariant: zero for every `v`
-    /// not in `msg_active`.
-    inbox_len: Vec<u32>,
+    /// `inbox_ranges[v]`: `v`'s range in `inbox_data`. Invariants: `len` is
+    /// zero for every `v` not in `msg_active`; `start` is only meaningful
+    /// for `v` in `msg_active`.
+    inbox_ranges: Vec<InboxRange>,
     /// Receivers with a non-empty inbox this upcoming round, ascending.
     msg_active: Vec<u32>,
     /// Nodes that reported `!is_idle()` at their last visit, ascending.
@@ -506,9 +525,13 @@ pub struct Simulator<'g, P> {
     visit_pre: Vec<u32>,
     /// Reverse port map, parallel to the CSR arc array: `rev_port[arc]` is
     /// the port of the arc's *source* in the *target*'s neighbor list.
-    rev_port: Vec<u32>,
-    /// `arc_offsets[v]` is the index of `v`'s first arc in `rev_port`.
-    arc_offsets: Vec<usize>,
+    /// Borrowed from the graph's lazily-computed cache
+    /// ([`Graph::rev_ports`]), so every simulator over the same graph
+    /// shares one table.
+    rev_port: &'g [u32],
+    /// `arc_offsets[v]` is the index of `v`'s first arc in `rev_port` (the
+    /// graph's own CSR offsets, [`Graph::csr_offsets`]).
+    arc_offsets: &'g [usize],
     round: u64,
     stats: RunStats,
     /// Scratch: per-port "sent" flags, reused across nodes and rounds.
@@ -524,6 +547,9 @@ pub struct Simulator<'g, P> {
     /// Minimum degree for `send_all` to stage a broadcast record (see
     /// [`Simulator::set_bcast_threshold`]).
     bcast_threshold: usize,
+    /// Whether the run loops may bulk-advance the clock over provably
+    /// eventless rounds (see [`Simulator::set_fast_forward`]).
+    fast_forward: bool,
 }
 
 /// Default [`Simulator::set_par_threshold`] value: rounds visiting fewer
@@ -549,8 +575,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             programs,
             inbox_data: Vec::new(),
             next_data: Vec::new(),
-            inbox_start: vec![0; n],
-            inbox_len: vec![0; n],
+            inbox_ranges: vec![InboxRange::default(); n],
             msg_active: Vec::new(),
             nonidle: Vec::new(),
             count: vec![0; n],
@@ -573,6 +598,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             par: None,
             par_threshold: DEFAULT_PAR_THRESHOLD,
             bcast_threshold: DEFAULT_BCAST_THRESHOLD,
+            fast_forward: true,
         }
     }
 
@@ -645,6 +671,38 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         self.bcast_threshold = threshold;
     }
 
+    /// Enables or disables round fast-forward (default **on**).
+    ///
+    /// With fast-forward on, the run loops ([`Simulator::run_rounds`],
+    /// [`Simulator::run_until_quiet`] and their observed variants)
+    /// bulk-advance the clock over *provably eventless* rounds: spans where
+    /// no message is in flight and no program is non-idle, so the only
+    /// possible future activity is a timer-wheel appointment
+    /// ([`NodeProgram::next_wake`]). The CONGEST model only charges for
+    /// rounds in which messages move, and an eventless round executes as a
+    /// no-op (empty visit list, zero messages, an empty-delivery transcript
+    /// record that is a pure function of the round number) — so skipping
+    /// the span is **observationally identical** to executing it round by
+    /// round: final round numbers, [`RunStats`] (except the informational
+    /// [`RunStats::skipped_rounds`] counter), transcripts, and program
+    /// states are all bit-for-bit the same, at every thread count (the skip
+    /// decision is taken before the sequential/parallel dispatch, so
+    /// `step_seq` and `step_par` see identical rounds).
+    ///
+    /// Round observers see skipped spans through
+    /// [`RoundObserver::on_rounds_skipped`] instead of per-round
+    /// [`RoundObserver::on_round`] calls — no per-round event fires for a
+    /// round that provably carries no activity — and can bound each span
+    /// via [`RoundObserver::skip_allowance`] so metered cancellation lands
+    /// on the same global round as a non-skipping run.
+    ///
+    /// [`RoundObserver::on_rounds_skipped`]: crate::RoundObserver::on_rounds_skipped
+    /// [`RoundObserver::on_round`]: crate::RoundObserver::on_round
+    /// [`RoundObserver::skip_allowance`]: crate::RoundObserver::skip_allowance
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
     /// The attached worker pool, if any.
     pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
         self.par.as_ref().map(|p| &p.pool)
@@ -704,9 +762,11 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     }
 
     /// Whether any message is currently in flight (to be delivered next
-    /// round).
+    /// round). `msg_active` lists exactly the receivers with a non-empty
+    /// inbox range (`inbox_data` itself is a grow-only arena whose length
+    /// exceeds the live prefix).
     pub fn has_pending_messages(&self) -> bool {
-        !self.inbox_data.is_empty()
+        !self.msg_active.is_empty()
     }
 
     /// Number of nodes the next [`step`](Simulator::step) will visit.
@@ -741,7 +801,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// except after [`Simulator::programs_mut`] (full scan, since arbitrary
     /// state may have changed).
     pub fn is_quiescent(&self) -> bool {
-        self.inbox_data.is_empty()
+        self.msg_active.is_empty()
             && self.timers.is_empty()
             && if self.wake_all {
                 self.programs
@@ -819,13 +879,14 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             sent.fill(false);
             self.outbox_scratch.clear();
 
-            // `inbox_start[v]` is stale for nodes outside `msg_active`, so
-            // gate on the length (zero for every such node by invariant).
-            let len = self.inbox_len[v] as usize;
+            // `start` is stale for nodes outside `msg_active`, so gate on
+            // the length (zero for every such node by invariant).
+            let rg = self.inbox_ranges[v];
+            let len = rg.len as usize;
             let inbox: &[Incoming] = if len == 0 {
                 &[]
             } else {
-                let start = self.inbox_start[v];
+                let start = rg.start as usize;
                 &self.inbox_data[start..start + len]
             };
             if let Some(d) = digest.as_mut() {
@@ -893,10 +954,10 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             }
         }
 
-        // 3. Retire the consumed inboxes (restores the inbox_len-is-zero
+        // 3. Retire the consumed inboxes (restores the len-is-zero
         //    invariant before the scatter pass reuses it as a fill cursor).
         for &r in &self.msg_active {
-            self.inbox_len[r as usize] = 0;
+            self.inbox_ranges[r as usize].len = 0;
         }
 
         // 4. Counting pass: CSR ranges for next round's receivers. Senders
@@ -906,41 +967,53 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         self.touched.sort_unstable();
         let mut acc = 0usize;
         for &r in &self.touched {
-            self.inbox_start[r as usize] = acc;
+            self.inbox_ranges[r as usize].start = acc as u32;
             acc += self.count[r as usize] as usize;
         }
         debug_assert_eq!(acc as u64, sent_this_round);
+        // Any `start` written above is only read by the scatter below, so
+        // asserting after the loop still precedes every truncated read.
+        assert!(
+            acc <= u32::MAX as usize,
+            "a single round staged more than u32::MAX deliveries"
+        );
 
         // 5. Scatter pass (stable): inbox_len doubles as the fill cursor and
         //    ends up at its final value. Broadcast records expand against
         //    the sender's neighbor slice, at their staged position, so the
-        //    delivery order matches eager per-port staging exactly.
-        self.next_data.clear();
-        self.next_data.resize(
-            acc,
-            Incoming {
-                from_port: 0,
-                msg: Msg::one(0),
-            },
-        );
+        //    delivery order matches eager per-port staging exactly. The swap
+        //    buffer is grow-only: the counting pass guarantees every slot of
+        //    `[0, acc)` is written below, and slots past `acc` are never
+        //    read (all reads go through `inbox_start`/`inbox_len` ranges),
+        //    so the placeholder fill is paid once at peak size instead of
+        //    every round.
+        if self.next_data.len() < acc {
+            self.next_data.resize(
+                acc,
+                Incoming {
+                    from_port: 0,
+                    msg: Msg::one(0),
+                },
+            );
+        }
         for &(u, inc) in &self.staged {
             if u == BCAST_RECV {
                 let s = inc.from_port as usize;
                 let arc_base = self.arc_offsets[s];
                 for (p, &u2) in self.graph.neighbors(s).iter().enumerate() {
-                    let u2 = u2 as usize;
-                    let pos = self.inbox_start[u2] + self.inbox_len[u2] as usize;
+                    let rg = &mut self.inbox_ranges[u2 as usize];
+                    let pos = rg.start as usize + rg.len as usize;
                     self.next_data[pos] = Incoming {
                         from_port: self.rev_port[arc_base + p],
                         msg: inc.msg,
                     };
-                    self.inbox_len[u2] += 1;
+                    rg.len += 1;
                 }
             } else {
-                let u = u as usize;
-                let pos = self.inbox_start[u] + self.inbox_len[u] as usize;
+                let rg = &mut self.inbox_ranges[u as usize];
+                let pos = rg.start as usize + rg.len as usize;
                 self.next_data[pos] = inc;
-                self.inbox_len[u] += 1;
+                rg.len += 1;
             }
         }
         for &r in &self.touched {
@@ -953,13 +1026,14 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         //     reclaimed by the next round's `resize`.
         for &r in &self.touched {
             let r = r as usize;
-            let len = self.inbox_len[r] as usize;
+            let rg = self.inbox_ranges[r];
+            let len = rg.len as usize;
             if len > 1 {
-                let start = self.inbox_start[r];
+                let start = rg.start as usize;
                 let new_len = merge_range(&mut self.next_data[start..start + len]);
                 if new_len != len {
                     self.stats.merged_messages += (len - new_len) as u64;
-                    self.inbox_len[r] = new_len as u32;
+                    self.inbox_ranges[r].len = new_len as u32;
                 }
             }
         }
@@ -1002,10 +1076,10 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         if let Some(d) = digest.as_mut() {
             for &v in &self.visit {
                 let v = v as usize;
-                let len = self.inbox_len[v] as usize;
-                if len != 0 {
-                    let start = self.inbox_start[v];
-                    for inc in &self.inbox_data[start..start + len] {
+                let rg = self.inbox_ranges[v];
+                if rg.len != 0 {
+                    let start = rg.start as usize;
+                    for inc in &self.inbox_data[start..start + rg.len as usize] {
                         d.absorb(v as u64, inc.from_port as u64, inc.msg.words());
                     }
                 }
@@ -1020,8 +1094,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             programs,
             inbox_data,
             next_data,
-            inbox_start,
-            inbox_len,
+            inbox_ranges,
             msg_active,
             nonidle,
             count,
@@ -1071,10 +1144,10 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // ordered). Cut placement never affects transcripts, only wall
         // clock.
         {
-            let inbox_len: &[u32] = inbox_len;
+            let inbox_ranges: &[InboxRange] = inbox_ranges;
             nas_par::fill_balanced_cuts_weighted(vcuts, visit.len(), t, |i| {
                 let v = visit[i] as usize;
-                1 + (arc_offsets[v + 1] - arc_offsets[v]) as u64 + inbox_len[v] as u64
+                1 + (arc_offsets[v + 1] - arc_offsets[v]) as u64 + u64::from(inbox_ranges[v].len)
             });
         }
         pcuts.clear();
@@ -1100,8 +1173,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // is exactly the sequential staging order.
         {
             let inbox_data: &[Incoming] = inbox_data;
-            let inbox_start: &[usize] = inbox_start;
-            let inbox_len: &[u32] = inbox_len;
+            let inbox_ranges: &[InboxRange] = inbox_ranges;
             nas_par::for_each_part_mut2(
                 pool,
                 programs.as_mut_slice(),
@@ -1126,11 +1198,12 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                         sent.fill(false);
                         arena.outbox.clear();
 
-                        let len = inbox_len[v] as usize;
+                        let rg = inbox_ranges[v];
+                        let len = rg.len as usize;
                         let inbox: &[Incoming] = if len == 0 {
                             &[]
                         } else {
-                            let start = inbox_start[v];
+                            let start = rg.start as usize;
                             &inbox_data[start..start + len]
                         };
 
@@ -1237,7 +1310,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // touched lists in range order *is* the globally sorted receiver
         // list, so `inbox_start` gets exactly the sequential path's values.
         for &r in msg_active.iter() {
-            inbox_len[r as usize] = 0;
+            inbox_ranges[r as usize].len = 0;
         }
         touched.clear();
         dcuts.clear();
@@ -1246,20 +1319,30 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             dcuts.push(acc);
             for &r in &range.touched {
                 touched.push(r);
-                inbox_start[r as usize] = acc;
+                inbox_ranges[r as usize].start = acc as u32;
                 acc += count[r as usize] as usize;
                 count[r as usize] = 0;
             }
         }
         dcuts.push(acc);
-        next_data.clear();
-        next_data.resize(
-            acc,
-            Incoming {
-                from_port: 0,
-                msg: Msg::one(0),
-            },
+        // Truncated `start` writes above are only read by the scatter
+        // below, so this assert precedes every such read.
+        assert!(
+            acc <= u32::MAX as usize,
+            "a single round staged more than u32::MAX deliveries"
         );
+        // Grow-only swap buffer, same invariant as the sequential path: the
+        // scatter below writes every slot of `[0, acc)` and nothing reads
+        // past `acc`.
+        if next_data.len() < acc {
+            next_data.resize(
+                acc,
+                Incoming {
+                    from_port: 0,
+                    msg: Msg::one(0),
+                },
+            );
+        }
         nonidle_next.clear();
         let mut sent_this_round = 0u64;
         for arena in workers.iter() {
@@ -1287,22 +1370,21 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // slice restricted to the range, at their staged position. After
         // scattering, each lane merges its own receivers' ranges in place
         // (see [`crate::msg`]); the merge result is a pure function of the
-        // staged message set, so it is thread-count independent. `inbox_len`
-        // doubles as the per-receiver fill cursor and ends at its final
-        // (post-merge) value.
+        // staged message set, so it is thread-count independent. Each
+        // range's `len` doubles as the per-receiver fill cursor and ends at
+        // its final (post-merge) value.
         let merged_total = AtomicU64::new(0);
         {
             let workers_ro: &[WorkerArena] = workers;
             let ranges_ro: &[RangeArena] = ranges;
-            let inbox_start: &[usize] = inbox_start;
             let merged_total = &merged_total;
             nas_par::for_each_part_mut2(
                 pool,
-                next_data.as_mut_slice(),
+                &mut next_data[..acc],
                 dcuts,
-                inbox_len.as_mut_slice(),
+                inbox_ranges.as_mut_slice(),
                 ncuts,
-                |j, data_part, len_part| {
+                |j, data_part, rng_part| {
                     let base = dcuts[j];
                     let lo = ncuts[j];
                     let hi = ncuts[j + 1];
@@ -1315,34 +1397,33 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                                 let a = nb.partition_point(|&x| (x as usize) < lo);
                                 let b = nb.partition_point(|&x| (x as usize) < hi);
                                 for (off, &u2) in nb[a..b].iter().enumerate() {
-                                    let u2 = u2 as usize;
-                                    let cursor = &mut len_part[u2 - lo];
-                                    let pos = inbox_start[u2] + *cursor as usize;
+                                    let rg = &mut rng_part[u2 as usize - lo];
+                                    let pos = rg.start as usize + rg.len as usize;
                                     data_part[pos - base] = Incoming {
                                         from_port: rev_port[arc_base + a + off],
                                         msg: inc.msg,
                                     };
-                                    *cursor += 1;
+                                    rg.len += 1;
                                 }
                             } else {
-                                let u = u as usize;
-                                let cursor = &mut len_part[u - lo];
-                                let pos = inbox_start[u] + *cursor as usize;
+                                let rg = &mut rng_part[u as usize - lo];
+                                let pos = rg.start as usize + rg.len as usize;
                                 data_part[pos - base] = inc;
-                                *cursor += 1;
+                                rg.len += 1;
                             }
                         }
                     }
                     let mut merged_here = 0u64;
                     for &r in &ranges_ro[j].touched {
                         let r = r as usize;
-                        let len = len_part[r - lo] as usize;
+                        let rg = rng_part[r - lo];
+                        let len = rg.len as usize;
                         if len > 1 {
-                            let start = inbox_start[r] - base;
+                            let start = rg.start as usize - base;
                             let new_len = merge_range(&mut data_part[start..start + len]);
                             if new_len != len {
                                 merged_here += (len - new_len) as u64;
-                                len_part[r - lo] = new_len as u32;
+                                rng_part[r - lo].len = new_len as u32;
                             }
                         }
                     }
@@ -1370,6 +1451,52 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         stats.busiest_round_messages = stats.busiest_round_messages.max(sent_this_round);
     }
 
+    /// Bulk-advances the clock over a span of provably eventless rounds,
+    /// returning the span length (0 when nothing can be skipped).
+    ///
+    /// A skip is taken only when `fast_forward` is on, no full wake-up is
+    /// pending, no message is in flight, and no program reported non-idle —
+    /// then every round strictly before the timer wheel's first key is
+    /// eventless by construction. The span is clamped to `limit` (the run's
+    /// round bound) and to `allowance` rounds (the observer's metering
+    /// window). With an empty timer wheel the network is dead: callers that
+    /// must still detect quiescence per round pass `require_timer = true`
+    /// (no skip without an actual appointment), while bounded-run callers
+    /// pass `false` and skip straight to `limit`.
+    ///
+    /// Executing an eventless round only pushes an empty-delivery
+    /// transcript record (a pure function of the round number) and bumps
+    /// the round counters; this helper does exactly that for every skipped
+    /// round, so a skipping run is bit-identical to a non-skipping one.
+    fn fast_forward_to(&mut self, limit: u64, allowance: u64, require_timer: bool) -> u64 {
+        if !self.fast_forward
+            || self.wake_all
+            || !self.msg_active.is_empty()
+            || !self.nonidle.is_empty()
+        {
+            return 0;
+        }
+        let target = match self.timers.keys().next() {
+            Some(&w) => w.min(limit),
+            None if require_timer => return 0,
+            None => limit,
+        };
+        let target = target.min(self.round.saturating_add(allowance));
+        if target <= self.round {
+            return 0;
+        }
+        let skipped = target - self.round;
+        if let Some(t) = self.transcript.as_mut() {
+            for r in self.round..target {
+                t.push(RoundDigest::new().finish(r));
+            }
+        }
+        self.round = target;
+        self.stats.rounds += skipped;
+        self.stats.skipped_rounds += skipped;
+        skipped
+    }
+
     /// Runs `k` rounds unconditionally.
     pub fn run_rounds(&mut self, k: u64) {
         self.run_rounds_observed(k, &mut NoopRoundObserver);
@@ -1382,11 +1509,32 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// When the observer is disabled ([`RoundObserver::enabled`]) the loop
     /// is equivalent to [`run_rounds`](Simulator::run_rounds): no
     /// [`RoundInfo`] is computed and nothing allocates.
+    ///
+    /// With fast-forward on (see [`Simulator::set_fast_forward`]) spans of
+    /// provably eventless rounds are bulk-skipped and reported through
+    /// [`RoundObserver::on_rounds_skipped`] — no per-round
+    /// [`RoundObserver::on_round`] call fires for them. The returned count
+    /// includes skipped rounds (it is always the clock advance).
+    ///
+    /// [`RoundObserver::on_rounds_skipped`]: crate::RoundObserver::on_rounds_skipped
     pub fn run_rounds_observed(&mut self, k: u64, obs: &mut dyn RoundObserver) -> u64 {
         let start = self.round;
+        let limit = start.saturating_add(k);
         let watching = obs.enabled();
         let detail = watching && obs.wants_round_detail();
-        for _ in 0..k {
+        while self.round < limit {
+            let allowance = if watching {
+                obs.skip_allowance()
+            } else {
+                u64::MAX
+            };
+            let skipped = self.fast_forward_to(limit, allowance, false);
+            if skipped > 0 {
+                if watching && !obs.on_rounds_skipped(skipped) {
+                    break;
+                }
+                continue;
+            }
             if watching {
                 let active = if detail { self.active_nodes() } else { 0 };
                 let before = self.stats.messages;
@@ -1425,16 +1573,40 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     ///
     /// Quiescence is checked *before* the observer, so a run that goes
     /// quiet on its last permitted round still reports `quiescent == true`.
+    ///
+    /// With fast-forward on (see [`Simulator::set_fast_forward`]) spans of
+    /// eventless rounds between timer appointments are bulk-skipped and
+    /// reported through [`RoundObserver::on_rounds_skipped`]. A skip here
+    /// requires an actual appointment on the timer wheel (a dead network is
+    /// *quiescent*, not skippable — the loop must execute a round to detect
+    /// that, exactly like the non-skipping run), so the outcome's round
+    /// count and `quiescent` flag are identical with fast-forward on or
+    /// off.
+    ///
+    /// [`RoundObserver::on_rounds_skipped`]: crate::RoundObserver::on_rounds_skipped
     pub fn run_until_quiet_observed(
         &mut self,
         max_rounds: u64,
         obs: &mut dyn RoundObserver,
     ) -> QuietOutcome {
         let start = self.round;
+        let limit = start.saturating_add(max_rounds);
         let watching = obs.enabled();
         let detail = watching && obs.wants_round_detail();
         let mut quiescent = self.is_quiescent();
-        for _ in 0..max_rounds {
+        while self.round < limit {
+            let allowance = if watching {
+                obs.skip_allowance()
+            } else {
+                u64::MAX
+            };
+            let skipped = self.fast_forward_to(limit, allowance, true);
+            if skipped > 0 {
+                if watching && !obs.on_rounds_skipped(skipped) {
+                    break;
+                }
+                continue;
+            }
             let active = if detail { self.active_nodes() } else { 0 };
             let before = self.stats.messages;
             self.step();

@@ -29,6 +29,13 @@ pub struct RunStats {
     /// collapsed into a merged slot before delivery. Always zero for
     /// protocols that do not tag their messages with a merge class.
     pub merged_messages: u64,
+    /// Of `rounds`, how many were *fast-forwarded*: provably-eventless
+    /// rounds (no pending messages, no non-idle node, only a future timer
+    /// appointment) the simulator advanced the clock over in bulk instead
+    /// of executing one by one. Skipped rounds are still counted in
+    /// `rounds` — the CONGEST accounting is identical with fast-forward on
+    /// or off — this counter only reports how many of them cost no work.
+    pub skipped_rounds: u64,
 }
 
 impl RunStats {
@@ -46,6 +53,7 @@ impl RunStats {
             .busiest_round_messages
             .max(other.busiest_round_messages);
         self.merged_messages += other.merged_messages;
+        self.skipped_rounds += other.skipped_rounds;
     }
 }
 
@@ -71,6 +79,7 @@ mod tests {
             words: 150,
             busiest_round_messages: 30,
             merged_messages: 4,
+            skipped_rounds: 3,
         };
         let b = RunStats {
             rounds: 5,
@@ -78,6 +87,7 @@ mod tests {
             words: 7,
             busiest_round_messages: 50,
             merged_messages: 2,
+            skipped_rounds: 1,
         };
         a.merge(&b);
         assert_eq!(a.rounds, 15);
@@ -85,6 +95,7 @@ mod tests {
         assert_eq!(a.words, 157);
         assert_eq!(a.busiest_round_messages, 50);
         assert_eq!(a.merged_messages, 6);
+        assert_eq!(a.skipped_rounds, 4);
     }
 
     #[test]

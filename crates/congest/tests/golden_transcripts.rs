@@ -17,6 +17,7 @@ fn run_flood_with(
     g: &nas_graph::Graph,
     sources: &[usize],
     pool: Option<Arc<WorkerPool>>,
+    fast_forward: bool,
 ) -> (u64, usize, u64, u64, u64) {
     let mut sim = Simulator::new(g, Flood::network(g.num_vertices(), sources));
     if let Some(pool) = pool {
@@ -25,6 +26,7 @@ fn run_flood_with(
         // digests are asserted against real sharded execution.
         sim.set_par_threshold(0);
     }
+    sim.set_fast_forward(fast_forward);
     sim.enable_transcript();
     let outcome = sim.run_until_quiet(10_000);
     assert!(outcome.quiescent, "flood must go quiet");
@@ -34,7 +36,7 @@ fn run_flood_with(
 }
 
 fn run_flood(g: &nas_graph::Graph, sources: &[usize]) -> (u64, usize, u64, u64, u64) {
-    run_flood_with(g, sources, None)
+    run_flood_with(g, sources, None, true)
 }
 
 struct Golden {
@@ -90,13 +92,33 @@ fn flood_transcripts_match_pre_refactor_goldens() {
         assert_eq!(messages, c.messages, "{}: message count drifted", c.name);
         assert_eq!(words, c.messages, "{}: word count drifted", c.name);
 
+        // With fast-forward disabled, every round — including the eventless
+        // ones a skipping run would bulk-advance over — executes normally,
+        // and the transcript must still be verbatim identical: digests,
+        // lengths, and all counters.
+        let (digest, len, rounds, messages, words) =
+            run_flood_with(&c.graph, &c.sources, None, false);
+        assert_eq!(digest, c.digest, "{}: digest drifted with ff off", c.name);
+        assert_eq!(len, c.rounds, "{}: length drifted with ff off", c.name);
+        assert_eq!(
+            rounds, c.rounds as u64,
+            "{}: rounds drifted with ff off",
+            c.name
+        );
+        assert_eq!(
+            messages, c.messages,
+            "{}: messages drifted with ff off",
+            c.name
+        );
+        assert_eq!(words, c.messages, "{}: words drifted with ff off", c.name);
+
         // The same goldens must hold verbatim on the sharded parallel path
         // at every thread count — the transcripts are part of the public
         // determinism contract, independent of execution strategy.
         for threads in [1usize, 2, 3, 8] {
             let pool = Arc::new(WorkerPool::new(threads));
             let (digest, len, rounds, messages, words) =
-                run_flood_with(&c.graph, &c.sources, Some(pool));
+                run_flood_with(&c.graph, &c.sources, Some(pool), true);
             assert_eq!(
                 digest, c.digest,
                 "{}: transcript digest drifted at {threads} threads",

@@ -43,7 +43,7 @@
 
 use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::Graph;
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What a vertex knows about one discovered center.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,9 +56,178 @@ pub struct KnownCenter {
     pub parent: u32,
 }
 
-/// Knowledge state of one vertex after Algorithm 1: discovered centers,
+/// A flat sorted knowledge table: what one vertex knows after Algorithm 1,
 /// keyed by center id (its own id is never included).
-pub type Knowledge = BTreeMap<u32, KnownCenter>;
+///
+/// # Why not a `BTreeMap`
+///
+/// Algorithm 1 caps every table at the phase's degree budget (`deg + 1`
+/// entries, see the module docs on self-inclusive capacity), so the table
+/// is *small and bounded* — the
+/// regime where a sorted `Vec<(u32, KnownCenter)>` with binary-search
+/// insert beats a node-allocating tree on every axis: one contiguous
+/// allocation per vertex instead of one per entry, O(cap) cache-friendly
+/// shifts on insert, and iteration as a linear scan. On the 1e6
+/// pref_attach spanner this table is touched once per accepted message,
+/// which made the `BTreeMap` it replaced the dominant per-message cost.
+///
+/// # Invariants
+///
+/// * `entries` is sorted strictly ascending by center id — maintained by
+///   the binary-search [`insert`](SmallKnowledge::insert); there are never
+///   duplicate keys.
+/// * The *capacity* bound (`deg + 1`) is enforced by the caller
+///   (`accept_round` checks `len() >= cap` before inserting), not by the
+///   table itself — the table only promises sortedness.
+///
+/// # Drop-in equivalence with the old `BTreeMap<u32, KnownCenter>`
+///
+/// Because the entries are kept sorted by key, `iter`/`keys`/`values`
+/// yield exactly the ascending-key order `BTreeMap` iteration produced, so
+/// every consumer that folds the table into messages, forward lists, or
+/// parent maps observes the identical sequence — which is why all golden
+/// digests and the centralized/distributed equality pins survive the swap
+/// unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SmallKnowledge {
+    entries: Vec<(u32, KnownCenter)>,
+}
+
+impl SmallKnowledge {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        SmallKnowledge {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty table with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallKnowledge {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of known centers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no center is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the entry for center `c`.
+    pub fn get(&self, c: &u32) -> Option<&KnownCenter> {
+        self.entries
+            .binary_search_by_key(c, |&(k, _)| k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Whether center `c` is known.
+    pub fn contains_key(&self, c: &u32) -> bool {
+        self.entries.binary_search_by_key(c, |&(k, _)| k).is_ok()
+    }
+
+    /// Inserts or replaces the entry for center `c`, returning the previous
+    /// entry if one existed (`BTreeMap::insert` semantics).
+    pub fn insert(&mut self, c: u32, e: KnownCenter) -> Option<KnownCenter> {
+        match self.entries.binary_search_by_key(&c, |&(k, _)| k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, e)),
+            Err(i) => {
+                // Skip the 1→2→4 growth ladder: nearly every table that
+                // gets one entry gets several (a node hears from most of
+                // its neighbors), so start at a small chunk.
+                if self.entries.capacity() == 0 {
+                    self.entries.reserve(8);
+                }
+                self.entries.insert(i, (c, e));
+                None
+            }
+        }
+    }
+
+    /// Iterates `(center, entry)` in ascending center order.
+    pub fn iter(&self) -> SmallKnowledgeIter<'_> {
+        SmallKnowledgeIter(self.entries.iter())
+    }
+
+    /// Known center ids, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = &u32> + '_ {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Entries in ascending center order.
+    pub fn values(&self) -> impl Iterator<Item = &KnownCenter> + '_ {
+        self.entries.iter().map(|(_, e)| e)
+    }
+
+    /// Heap bytes backing this table (capacity, not length — what the
+    /// allocator actually holds).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u32, KnownCenter)>()
+    }
+}
+
+/// Ascending-key iterator over a [`SmallKnowledge`] table, yielding
+/// `(&center, &entry)` exactly like `BTreeMap` iteration did.
+#[derive(Debug, Clone)]
+pub struct SmallKnowledgeIter<'a>(std::slice::Iter<'a, (u32, KnownCenter)>);
+
+impl<'a> Iterator for SmallKnowledgeIter<'a> {
+    type Item = (&'a u32, &'a KnownCenter);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|(k, e)| (k, e))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<'a> IntoIterator for &'a SmallKnowledge {
+    type Item = (&'a u32, &'a KnownCenter);
+    type IntoIter = SmallKnowledgeIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<&u32> for SmallKnowledge {
+    type Output = KnownCenter;
+
+    fn index(&self, c: &u32) -> &KnownCenter {
+        self.get(c).expect("no entry found for center")
+    }
+}
+
+/// Knowledge state of one vertex after Algorithm 1 — a capacity-bounded
+/// flat sorted table (see [`SmallKnowledge`]).
+pub type Knowledge = SmallKnowledge;
+
+/// Process-wide high-water mark of per-node knowledge-table heap bytes,
+/// recorded by the distributed Algorithm 1 runs (see
+/// [`take_knowledge_peak_bytes`]).
+static KNOWLEDGE_PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn note_knowledge_peak(tables: &[Knowledge]) {
+    let peak = tables.iter().map(|k| k.heap_bytes() as u64).max();
+    if let Some(peak) = peak {
+        KNOWLEDGE_PEAK_BYTES.fetch_max(peak, Ordering::Relaxed);
+    }
+}
+
+/// Reads and resets the process-wide peak of per-node knowledge-table heap
+/// bytes observed across Algorithm 1 runs since the last call. Benchmarks
+/// (`sim_scaling` in `nas-bench`) record this next to RSS so the flat
+/// table's memory story is visible per leg.
+pub fn take_knowledge_peak_bytes() -> u64 {
+    KNOWLEDGE_PEAK_BYTES.swap(0, Ordering::Relaxed)
+}
 
 /// The full output of Algorithm 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,14 +294,18 @@ fn capacity(deg: usize, is_center: bool) -> usize {
 }
 
 /// Shared acceptance rule: process one round's candidate arrivals
-/// (already sorted ascending by `(center, sender)`).
+/// (already sorted ascending by `(center, sender)`). Returns whether any
+/// candidate was accepted — all acceptances of one call share `dist`, which
+/// is what lets the distributed protocol maintain its distance bitmask
+/// incrementally.
 fn accept_round(
     self_id: u32,
     knowledge: &mut Knowledge,
     cap: usize,
     dist: u32,
     candidates: &[(u32, u32)],
-) {
+) -> bool {
+    let before = knowledge.len();
     for &(c, sender) in candidates {
         if c == self_id {
             continue;
@@ -151,6 +324,7 @@ fn accept_round(
             },
         );
     }
+    knowledge.len() > before
 }
 
 /// Centralized reference implementation of Algorithm 1.
@@ -223,6 +397,7 @@ pub fn algo1_centralized(g: &Graph, is_center: &[bool], deg: usize, delta: u64) 
     }
 
     let popular = collect_popular(&knowledge, is_center, deg);
+    note_knowledge_peak(&knowledge);
     PopularityInfo {
         knowledge,
         popular,
@@ -264,6 +439,18 @@ pub struct Algo1Protocol {
     /// any — surfaced through [`NodeProgram::next_wake`] so the node can go
     /// idle between phases instead of being visited every round.
     wake_at: Option<u64>,
+    /// Bit `d` is set iff `knowledge` holds an entry at distance `d` (for
+    /// `d < 64`; larger distances saturate at bit 63 and are never read —
+    /// see [`Algo1Protocol::min_future_dist`]). Knowledge entries are only
+    /// ever *added*, and every acceptance round adds entries of a single
+    /// distance, so this mask is exact and maintained in O(1) — it turns
+    /// the per-visit "earliest future phase" query from a table scan into
+    /// two bit operations.
+    dist_mask: u64,
+    /// Reusable per-node scratch for one round's `(center, sender)`
+    /// candidate arrivals — spares a heap allocation per visited node per
+    /// round on the accept path.
+    cands: Vec<(u32, u32)>,
 }
 
 impl Algo1Protocol {
@@ -284,6 +471,8 @@ impl Algo1Protocol {
             start_round,
             pending: true,
             wake_at: None,
+            dist_mask: 0,
+            cands: Vec::new(),
         }
     }
 
@@ -308,6 +497,28 @@ impl Algo1Protocol {
         self.knowledge
     }
 
+    /// The smallest knowledge-entry distance strictly between `p` and δ —
+    /// the earliest future send phase this node must attend. O(1) via the
+    /// distance bitmask when `δ < 64` (every stored distance is then `≤ δ
+    /// ≤ 63`, so the mask is exact); falls back to a table scan for larger
+    /// δ, where the saturated top bit can no longer distinguish distances.
+    /// Callers guarantee `p < δ`.
+    fn min_future_dist(&self, p: u64) -> Option<u64> {
+        if self.delta < 64 {
+            // p < δ ≤ 63 ⇒ both shifts are in range.
+            let m = self.dist_mask & ((1u64 << self.delta) - 1) & !((1u64 << (p + 1)) - 1);
+            (m != 0).then(|| u64::from(m.trailing_zeros()))
+        } else {
+            self.knowledge
+                .values()
+                .filter_map(|e| {
+                    let d = u64::from(e.dist);
+                    (d > p && d < self.delta).then_some(d)
+                })
+                .min()
+        }
+    }
+
     /// Send phase of send-round `r`: phase 0 is round 0; phase `p ≥ 1`
     /// occupies rounds `[1+(p−1)·(deg+1), 1+p·(deg+1))`.
     fn send_phase(&self, r: u64) -> (u64, u64) {
@@ -327,27 +538,38 @@ impl NodeProgram for Algo1Protocol {
         let Some(r) = ctx.round().checked_sub(self.start_round) else {
             return; // schedule not started yet
         };
+        // One schedule division per visit: derive the *previous* round's
+        // phase (needed to distance-stamp arrivals) from this round's
+        // instead of dividing twice. `send_phase` is exercised directly by
+        // unit tests; this derivation must stay consistent with it.
+        let (p_now, k_now) = self.send_phase(r);
         // 1. Accept this round's arrivals (sent in round r−1).
         if r >= 1 && !ctx.inbox().is_empty() {
-            let (p, _) = self.send_phase(r - 1);
-            let mut cands: Vec<(u32, u32)> = ctx
-                .inbox()
-                .iter()
-                .map(|inc| {
-                    (
-                        inc.msg.word(0) as u32,
-                        ctx.neighbor(inc.from_port as usize) as u32,
-                    )
-                })
-                .collect();
-            cands.sort_unstable();
-            accept_round(
+            let p = if r == 1 {
+                0 // send_phase(0) == (0, 0)
+            } else if k_now == 0 {
+                p_now - 1 // r−1 closed the previous phase
+            } else {
+                p_now // same phase, one slot earlier
+            };
+            self.cands.clear();
+            self.cands.extend(ctx.inbox().iter().map(|inc| {
+                (
+                    inc.msg.word(0) as u32,
+                    ctx.neighbor(inc.from_port as usize) as u32,
+                )
+            }));
+            self.cands.sort_unstable();
+            let dist = p as u32 + 1;
+            if accept_round(
                 ctx.id() as u32,
                 &mut self.knowledge,
                 capacity(self.deg, self.is_center),
-                p as u32 + 1,
-                &cands,
-            );
+                dist,
+                &self.cands,
+            ) {
+                self.dist_mask |= 1u64 << dist.min(63);
+            }
         }
         // 2. Send according to the schedule.
         if r == 0 {
@@ -363,7 +585,7 @@ impl NodeProgram for Algo1Protocol {
             self.wake_at = None;
             return;
         }
-        let (p, k) = self.send_phase(r);
+        let (p, k) = (p_now, k_now);
         if p >= self.delta {
             self.pending = false;
             self.wake_at = None;
@@ -371,13 +593,16 @@ impl NodeProgram for Algo1Protocol {
         }
         if k == 0 {
             // Phase start: all distance-p entries have arrived by now.
-            self.forwards = self
-                .knowledge
-                .iter()
-                .filter(|(_, e)| e.dist as u64 == p)
-                .map(|(&c, _)| c)
-                .take(self.deg + 1)
-                .collect();
+            // Rebuilt in place — a fresh `collect` here costs an
+            // alloc/free per node per phase.
+            self.forwards.clear();
+            self.forwards.extend(
+                self.knowledge
+                    .iter()
+                    .filter(|(_, e)| u64::from(e.dist) == p)
+                    .map(|(&c, _)| c)
+                    .take(self.deg + 1),
+            );
             self.forwards_phase = p;
         } else if self.forwards_phase != p {
             // Woken mid-phase by an arrival after sleeping through the phase
@@ -401,13 +626,7 @@ impl NodeProgram for Algo1Protocol {
         self.pending = self.forwards.len() as u64 > k + 1;
         let width = self.deg as u64 + 1;
         self.wake_at = self
-            .knowledge
-            .values()
-            .filter_map(|e| {
-                let d = e.dist as u64;
-                (d > p && d < self.delta).then_some(d)
-            })
-            .min()
+            .min_future_dist(p)
             .map(|d| self.start_round + 1 + (d - 1) * width);
     }
 
@@ -471,6 +690,7 @@ pub fn algo1_distributed_hooked(
         .map(|p| p.into_knowledge())
         .collect();
     let popular = collect_popular(&knowledge, is_center, deg);
+    note_knowledge_peak(&knowledge);
     (
         PopularityInfo {
             knowledge,

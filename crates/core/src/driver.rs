@@ -49,7 +49,6 @@ use nas_graph::{EdgeSet, Graph};
 use nas_par::WorkerPool;
 use nas_ruling::RulingParams;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Per-phase observability record (the quantities Figures 1–5 and
@@ -175,10 +174,12 @@ pub fn build_with_engine<E: PhaseEngine>(
 /// Builds the per-call execution hooks an engine operation runs under: the
 /// conduit as the round observer, plus the session's worker pool.
 fn hooks<'a>(ctl: &'a mut Conduit<'_>, pool: Option<&'a Arc<WorkerPool>>) -> RunHooks<'a> {
+    let fast_forward = ctl.fast_forward_enabled();
     RunHooks {
         observer: Some(ctl),
         pool,
         stopped: false,
+        fast_forward,
     }
 }
 
@@ -256,11 +257,13 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
             // A cancelled superclustering run is truncated garbage — bail
             // before the Lemma 2.4 assertion can fire on it.
             ctl.bail()?;
-            // Lemma 2.4: every popular center must be superclustered.
-            let spanned: HashMap<usize, usize> = sc.assignment.iter().copied().collect();
+            // Lemma 2.4: every popular center must be superclustered. Only
+            // membership is ever queried, so a sorted id list beats a map.
+            let mut spanned: Vec<usize> = sc.assignment.iter().map(|&(c, _)| c).collect();
+            spanned.sort_unstable();
             for &p in &w_i {
                 assert!(
-                    spanned.contains_key(&p),
+                    spanned.binary_search(&p).is_ok(),
                     "Lemma 2.4 violated: popular center {p} not superclustered in phase {i}"
                 );
             }
@@ -269,7 +272,7 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
             let u: Vec<usize> = centers
                 .iter()
                 .copied()
-                .filter(|c| !spanned.contains_key(c))
+                .filter(|c| spanned.binary_search(c).is_err())
                 .collect();
             (u, Some(sc.assignment), rs.members.len(), sc_edges)
         } else {
@@ -285,16 +288,16 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
         let interconnect_edges = h.len() - h_before;
 
         // --- Step 4: settle U_i and advance the clustering ---
-        let mut members_of: HashMap<u32, Vec<usize>> = HashMap::new();
-        for v in 0..n {
+        // `u_centers` is ascending (filtered from the ascending center
+        // list), so one membership probe per vertex settles every member of
+        // a settled cluster without materializing a members-of map.
+        debug_assert!(u_centers.windows(2).all(|w| w[0] < w[1]));
+        for (v, slot) in settled.iter_mut().enumerate().take(n) {
             if let Some(c) = clustering.center_of(v) {
-                members_of.entry(c as u32).or_default().push(v);
-            }
-        }
-        for &rc in &u_centers {
-            for &v in members_of.get(&(rc as u32)).into_iter().flatten() {
-                debug_assert!(settled[v].is_none(), "vertex {v} settled twice");
-                settled[v] = Some((i, rc as u32));
+                if u_centers.binary_search(&c).is_ok() {
+                    debug_assert!(slot.is_none(), "vertex {v} settled twice");
+                    *slot = Some((i, c as u32));
+                }
             }
         }
 

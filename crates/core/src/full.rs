@@ -272,6 +272,7 @@ pub(crate) fn run_full_ctl(
     if let Some(pool) = pool {
         sim.set_pool(Arc::clone(pool));
     }
+    sim.set_fast_forward(ctl.fast_forward_enabled());
     let mut phases = Vec::with_capacity(windows.len());
     for (i, w) in windows.iter().enumerate() {
         ctl.phase_started(i, 0, schedule.delta[i], schedule.deg[i]);

@@ -19,7 +19,6 @@
 use crate::algo1::PopularityInfo;
 use nas_congest::{Merge, Msg, NodeProgram, RoundCtx, RunHooks, RunStats, Simulator};
 use nas_graph::{EdgeSet, Graph};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Output of one interconnection step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,13 +55,17 @@ pub fn interconnect_centralized(
 #[derive(Debug, Clone)]
 pub struct TraceProtocol {
     is_initiator: bool,
-    /// Parent (vertex id) per known center, from Algorithm 1.
-    parent_of: BTreeMap<u32, u32>,
-    /// Centers already forwarded (dedup).
-    forwarded: BTreeSet<u32>,
-    /// Per-port outgoing queues.
-    queues: Vec<VecDeque<u32>>,
-    /// Whether the schedule has started (queues initialized at `local == 0`).
+    /// Parent (vertex id) per known center, from Algorithm 1, sorted by
+    /// center id (looked up by binary search).
+    parent_of: Vec<(u32, u32)>,
+    /// Centers already forwarded (dedup), kept sorted for binary search.
+    forwarded: Vec<u32>,
+    /// Outgoing `(port, center)` entries in arrival order. One flat FIFO
+    /// replaces per-port `VecDeque`s: sending the first pending entry of
+    /// each port every round and keeping the rest in order is exactly the
+    /// per-port-FIFO schedule, without `degree` queue allocations per node.
+    pending: Vec<(u32, u32)>,
+    /// Whether the schedule has started (`local == 0` ran).
     started: bool,
     /// Edges this node marked (as (self, neighbor)).
     marked: Vec<(u32, u32)>,
@@ -75,21 +78,23 @@ pub struct TraceProtocol {
 impl TraceProtocol {
     /// Creates the program for one node from its Algorithm 1 knowledge
     /// (schedule starts at round 0).
-    pub fn new(is_initiator: bool, knowledge: &BTreeMap<u32, crate::algo1::KnownCenter>) -> Self {
+    pub fn new(is_initiator: bool, knowledge: &crate::algo1::Knowledge) -> Self {
         Self::new_at(is_initiator, knowledge, 0)
     }
 
     /// Creates the program with its schedule offset to `start_round`.
     pub fn new_at(
         is_initiator: bool,
-        knowledge: &BTreeMap<u32, crate::algo1::KnownCenter>,
+        knowledge: &crate::algo1::Knowledge,
         start_round: u64,
     ) -> Self {
         TraceProtocol {
             is_initiator,
+            // `Knowledge::iter` is center-ascending, so this is already
+            // sorted for binary search.
             parent_of: knowledge.iter().map(|(&c, e)| (c, e.parent)).collect(),
-            forwarded: BTreeSet::new(),
-            queues: Vec::new(),
+            forwarded: Vec::new(),
+            pending: Vec::new(),
             started: false,
             marked: Vec::new(),
             initiated: 0,
@@ -104,7 +109,7 @@ impl TraceProtocol {
 
     /// Whether all outgoing queues have drained.
     pub fn drained(&self) -> bool {
-        self.queues.iter().all(|q| q.is_empty())
+        self.pending.is_empty()
     }
 
     fn port_of(ctx: &RoundCtx<'_>, id: u32) -> usize {
@@ -127,16 +132,17 @@ impl TraceProtocol {
 
     /// Enqueues a trace for `c` toward this node's parent for `c`.
     fn enqueue(&mut self, ctx: &RoundCtx<'_>, c: u32) {
-        if !self.forwarded.insert(c) {
-            return;
+        match self.forwarded.binary_search(&c) {
+            Ok(_) => return,
+            Err(i) => self.forwarded.insert(i, c),
         }
-        let parent = *self
-            .parent_of
-            .get(&c)
-            .unwrap_or_else(|| panic!("node {} asked to trace unknown center {c}", ctx.id()));
+        let parent = match self.parent_of.binary_search_by_key(&c, |&(k, _)| k) {
+            Ok(i) => self.parent_of[i].1,
+            Err(_) => panic!("node {} asked to trace unknown center {c}", ctx.id()),
+        };
         let port = Self::port_of(ctx, parent);
         self.marked.push((ctx.id() as u32, parent));
-        self.queues[port].push_back(c);
+        self.pending.push((port as u32, c));
     }
 }
 
@@ -147,33 +153,43 @@ impl NodeProgram for TraceProtocol {
         };
         if local == 0 {
             self.started = true;
-            self.queues = vec![VecDeque::new(); ctx.degree()];
             if self.is_initiator {
-                let centers: Vec<u32> = self.parent_of.keys().copied().collect();
-                self.initiated = centers.len();
-                for c in centers {
-                    self.enqueue(ctx, c);
+                self.initiated = self.parent_of.len();
+                for i in 0..self.parent_of.len() {
+                    let (c, parent) = self.parent_of[i];
+                    let port = Self::port_of(ctx, parent);
+                    self.marked.push((ctx.id() as u32, parent));
+                    self.pending.push((port as u32, c));
                 }
+                // All centers enqueued, in ascending order.
+                self.forwarded
+                    .extend(self.parent_of.iter().map(|&(c, _)| c));
             }
         } else {
-            let arrivals: Vec<u64> = ctx.inbox().iter().map(|inc| inc.msg.word(0)).collect();
-            for c in arrivals {
-                let c = c as u32;
+            for i in 0..ctx.inbox().len() {
+                let c = ctx.inbox()[i].msg.word(0) as u32;
                 if c == ctx.id() as u32 {
                     continue; // trace reached its target center
                 }
                 self.enqueue(ctx, c);
             }
         }
-        // Drain: one message per port per round. A parent receiving the same
-        // center from several children forwards it once (`forwarded` makes
-        // duplicates no-ops), so same-payload traces may merge to the
-        // smallest sender on the wire (`Merge::Dedup`).
-        for port in 0..self.queues.len() {
-            if let Some(c) = self.queues[port].pop_front() {
-                ctx.send(port, Msg::one(c as u64).merged(Merge::Dedup));
+        // Drain: one message per port per round — the first pending entry of
+        // each port goes out, the rest keep their order. A parent receiving
+        // the same center from several children forwards it once
+        // (`forwarded` makes duplicates no-ops), so same-payload traces may
+        // merge to the smallest sender on the wire (`Merge::Dedup`).
+        let mut w = 0usize;
+        for i in 0..self.pending.len() {
+            let (port, c) = self.pending[i];
+            if ctx.port_used(port as usize) {
+                self.pending[w] = (port, c);
+                w += 1;
+            } else {
+                ctx.send(port as usize, Msg::one(c as u64).merged(Merge::Dedup));
             }
         }
+        self.pending.truncate(w);
     }
 
     /// Non-idle until the schedule's first round has run: every node has a
@@ -183,7 +199,7 @@ impl NodeProgram for TraceProtocol {
     /// simulator, where nothing else would wake the node at its start round.
     /// Afterwards, idle exactly when the outgoing queues have drained.
     fn is_idle(&self) -> bool {
-        self.started && self.queues.iter().all(|q| q.is_empty())
+        self.started && self.pending.is_empty()
     }
 }
 

@@ -414,6 +414,10 @@ pub(crate) struct Conduit<'o> {
     exhausted: bool,
     phase_started_at: Option<Instant>,
     phase_wall: Vec<Duration>,
+    /// Whether simulators run under this conduit may fast-forward
+    /// eventless rounds (threaded into every engine operation's
+    /// [`nas_congest::RunHooks`]).
+    fast_forward: bool,
 }
 
 impl<'o> Conduit<'o> {
@@ -427,7 +431,16 @@ impl<'o> Conduit<'o> {
             exhausted: false,
             phase_started_at: None,
             phase_wall: Vec::new(),
+            fast_forward: true,
         }
+    }
+
+    pub(crate) fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    pub(crate) fn fast_forward_enabled(&self) -> bool {
+        self.fast_forward
     }
 
     /// A silent conduit with no budget — what the legacy entry points run
@@ -524,6 +537,30 @@ impl RoundObserver for Conduit<'_> {
         }
         true
     }
+
+    /// With a budget, bound each fast-forward span to the rounds left
+    /// before exhaustion (+1 so the span can *reach* the cancellation
+    /// point): cancellation then lands on exactly the same global round as
+    /// a non-skipping run. Unmetered conduits leave spans unbounded.
+    fn skip_allowance(&self) -> u64 {
+        match self.budget {
+            Some(b) => (b + 1).saturating_sub(self.simulated),
+            None => u64::MAX,
+        }
+    }
+
+    /// Skipped spans advance the same `simulated` counter as executed
+    /// rounds (so [`Event::RoundCompleted`] numbering stays globally
+    /// aligned across gaps) but emit no per-round events — a skipped round
+    /// provably carries no activity.
+    fn on_rounds_skipped(&mut self, skipped: u64) -> bool {
+        self.simulated += skipped;
+        if self.budget.is_some_and(|b| self.simulated > b) {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
 }
 
 /// The fluent entry point: configure a run, then [`Session::run`] it.
@@ -540,6 +577,7 @@ pub struct Session<'g, 'o> {
     backend: Backend,
     threads: Option<usize>,
     round_budget: Option<u64>,
+    fast_forward: bool,
     observer: Option<&'o mut dyn Observer>,
 }
 
@@ -552,6 +590,7 @@ impl<'g> Session<'g, 'static> {
             backend: Backend::default(),
             threads: None,
             round_budget: None,
+            fast_forward: true,
             observer: None,
         }
     }
@@ -635,6 +674,18 @@ impl<'g, 'o> Session<'g, 'o> {
         self
     }
 
+    /// Enables or disables round fast-forward on the simulating backends
+    /// (default **on**; see
+    /// [`nas_congest::Simulator::set_fast_forward`]). Reports — edges,
+    /// schedule, settled map, rounds, messages — are bit-identical either
+    /// way; only [`RunStats::skipped_rounds`] (and wall clock) differ. The
+    /// off position exists for the differential tests that pin exactly
+    /// that equivalence.
+    pub fn fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
+    }
+
     /// Attaches a streaming [`Observer`] for typed progress [`Event`]s.
     pub fn observer<'o2>(self, observer: &'o2 mut dyn Observer) -> Session<'g, 'o2> {
         Session {
@@ -643,6 +694,7 @@ impl<'g, 'o> Session<'g, 'o> {
             backend: self.backend,
             threads: self.threads,
             round_budget: self.round_budget,
+            fast_forward: self.fast_forward,
             observer: Some(observer),
         }
     }
@@ -661,6 +713,7 @@ impl<'g, 'o> Session<'g, 'o> {
             backend,
             threads,
             round_budget,
+            fast_forward,
             observer,
         } = self;
         // Only the simulating backends shard rounds over a pool; resolving
@@ -677,6 +730,7 @@ impl<'g, 'o> Session<'g, 'o> {
             }
         };
         let mut conduit = Conduit::new(observer, round_budget);
+        conduit.set_fast_forward(fast_forward);
         let start = Instant::now();
         let built: SpannerResult = match backend {
             Backend::Centralized => build_with_engine_ctl(

@@ -35,16 +35,19 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 /// Runs `programs` on the production plane for `rounds` rounds.
 /// `lanes > 1` attaches a pool and forces the sharded path
 /// (`par_threshold = 0`); `bcast` is the broadcast-record threshold
-/// (1 = every `send_all` takes the broadcast path).
+/// (1 = every `send_all` takes the broadcast path); `ff = false` disables
+/// round fast-forward so every eventless round executes.
 fn run_merged<P: NodeProgram + Send>(
     g: &Graph,
     programs: Vec<P>,
     rounds: u64,
     lanes: usize,
     bcast: usize,
+    ff: bool,
 ) -> Vec<P> {
     let mut sim = Simulator::new(g, programs);
     sim.set_bcast_threshold(bcast);
+    sim.set_fast_forward(ff);
     if lanes > 1 {
         sim.set_pool(Arc::new(WorkerPool::new(lanes)));
         sim.set_par_threshold(0);
@@ -60,10 +63,19 @@ fn run_reference<P: NodeProgram>(g: &Graph, programs: Vec<P>, rounds: u64) -> Ve
     sim.into_programs()
 }
 
-/// The lane/broadcast grid every per-protocol differential sweeps:
-/// sequential with default and aggressive broadcast thresholds, then the
-/// sharded path at 2 and 4 lanes.
-const GRID: [(usize, usize); 4] = [(1, 16), (1, 1), (2, 16), (4, 1)];
+/// The lane/broadcast/fast-forward grid every per-protocol differential
+/// sweeps: sequential with default and aggressive broadcast thresholds,
+/// the sharded path at 2 and 4 lanes (all with fast-forward on, the
+/// default), then skip-disabled legs sequential and sharded — the same
+/// execution with every eventless round actually stepped.
+const GRID: [(usize, usize, bool); 6] = [
+    (1, 16, true),
+    (1, 1, true),
+    (2, 16, true),
+    (4, 1, true),
+    (1, 16, false),
+    (4, 1, false),
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -81,8 +93,8 @@ proptest! {
         let mk = |v: usize| Algo1Protocol::new(v.is_multiple_of(stride), deg, delta);
         let rounds = algo1_rounds(deg, delta);
         let want = run_reference(&g, (0..n).map(mk).collect(), rounds);
-        for (lanes, bcast) in GRID {
-            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast);
+        for (lanes, bcast, ff) in GRID {
+            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast, ff);
             for v in 0..n {
                 prop_assert_eq!(
                     got[v].knowledge(), want[v].knowledge(),
@@ -107,8 +119,8 @@ proptest! {
         let mk = |v: usize| RulingProtocol::new(n, params, v.is_multiple_of(stride));
         let rounds = RulingProtocol::total_rounds(n, params);
         let want = run_reference(&g, (0..n).map(mk).collect(), rounds);
-        for (lanes, bcast) in GRID {
-            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast);
+        for (lanes, bcast, ff) in GRID {
+            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast, ff);
             for v in 0..n {
                 prop_assert_eq!(
                     got[v].is_member(), want[v].is_member(),
@@ -131,8 +143,8 @@ proptest! {
         let mk = |v: usize| SuperclusterProtocol::new(v.is_multiple_of(root_stride), v.is_multiple_of(2), depth);
         let rounds = SuperclusterProtocol::total_rounds(depth);
         let want = run_reference(&g, (0..n).map(mk).collect(), rounds);
-        for (lanes, bcast) in GRID {
-            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast);
+        for (lanes, bcast, ff) in GRID {
+            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast, ff);
             for v in 0..n {
                 prop_assert_eq!(
                     got[v].root(), want[v].root(),
@@ -164,8 +176,8 @@ proptest! {
         // Generous fixed window; both planes must have drained inside it.
         let rounds = delta * (deg as u64 + 1) + 2;
         let want = run_reference(&g, (0..n).map(mk).collect(), rounds);
-        for (lanes, bcast) in GRID {
-            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast);
+        for (lanes, bcast, ff) in GRID {
+            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast, ff);
             for v in 0..n {
                 prop_assert!(got[v].drained() && want[v].drained(), "queues not drained at v={}", v);
                 prop_assert_eq!(
@@ -182,23 +194,27 @@ proptest! {
 
     /// The whole construction end to end: the spanner `Report` — edges,
     /// schedule, settled map, and the CONGEST cost accounting — is
-    /// identical at 1, 2, and 4 lanes, and the edges/settlement match the
-    /// centralized (simulator-free) backend.
+    /// identical at 1, 2, and 4 lanes, with round fast-forward on and off,
+    /// and the edges/settlement match the centralized (simulator-free)
+    /// backend. The only permitted divergence between the skip-enabled and
+    /// skip-disabled runs is `skipped_rounds` itself (a skip-disabled run
+    /// executes every round, so it reports 0 there).
     #[test]
-    fn spanner_report_identical_across_lanes(
+    fn spanner_report_identical_across_lanes_and_fast_forward(
         g in arb_graph(),
         rho in prop_oneof![Just(0.4f64), Just(0.45), Just(0.49)],
     ) {
         let params = Params::practical(0.5, 4, rho);
-        let run = |threads: usize| {
+        let run = |threads: usize, ff: bool| {
             Session::on(&g)
                 .params(params)
                 .backend(Backend::Congest)
                 .threads(threads)
+                .fast_forward(ff)
                 .run()
                 .expect("spanner run")
         };
-        let base = run(1);
+        let base = run(1, true);
         let central = Session::on(&g)
             .params(params)
             .backend(Backend::Centralized)
@@ -209,14 +225,32 @@ proptest! {
             e.sort_unstable();
             e
         };
+        // Everything but the skip counter: what must agree between a
+        // skipping and a non-skipping execution.
+        let executed = |r: &nas_core::Report| {
+            let mut s = r.stats;
+            s.skipped_rounds = 0;
+            s
+        };
         prop_assert_eq!(edges(&base), edges(&central), "congest vs centralized edges");
         prop_assert_eq!(&base.settled, &central.settled, "congest vs centralized settled");
         for threads in [2usize, 4] {
-            let r = run(threads);
+            let r = run(threads, true);
             prop_assert_eq!(edges(&base), edges(&r), "edges diverge at {} lanes", threads);
             prop_assert_eq!(&base.schedule, &r.schedule, "schedule diverges at {} lanes", threads);
             prop_assert_eq!(&base.settled, &r.settled, "settled diverges at {} lanes", threads);
             prop_assert_eq!(base.stats, r.stats, "round/message accounting diverges at {} lanes", threads);
+        }
+        for threads in [1usize, 2, 4] {
+            let r = run(threads, false);
+            prop_assert_eq!(r.stats.skipped_rounds, 0, "skip-disabled run skipped rounds");
+            prop_assert_eq!(edges(&base), edges(&r), "edges diverge ff-off at {} lanes", threads);
+            prop_assert_eq!(&base.schedule, &r.schedule, "schedule diverges ff-off at {} lanes", threads);
+            prop_assert_eq!(&base.settled, &r.settled, "settled diverges ff-off at {} lanes", threads);
+            prop_assert_eq!(
+                executed(&base), executed(&r),
+                "executed-round accounting diverges ff-off at {} lanes", threads
+            );
         }
     }
 }
@@ -268,7 +302,7 @@ proptest! {
         let rounds = algo1_rounds(deg, delta);
         let want = run_reference(&g, (0..n).map(mk).collect(), rounds);
         for (lanes, bcast) in [(1usize, 16usize), (4, 1)] {
-            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast);
+            let got = run_merged(&g, (0..n).map(mk).collect(), rounds, lanes, bcast, true);
             for v in 0..n {
                 prop_assert_eq!(
                     got[v].knowledge(), want[v].knowledge(),
@@ -276,6 +310,70 @@ proptest! {
                 );
                 prop_assert_eq!(got[v].popular(), want[v].popular(), "popularity at v={}", v);
             }
+        }
+    }
+}
+
+/// A workload engineered to produce **long eventless gaps** between
+/// timer-wheel appointments: Algorithm 1 with a large `delta` on a short
+/// path finishes each forwarding wave within a few rounds of hop
+/// propagation, leaving the rest of every `delta`-round interval provably
+/// eventless until the next phase appointment. Fast-forward must skip a
+/// substantial share of the schedule here — and the skip must change
+/// nothing: knowledge tables, popularity, round count, message count, and
+/// word count all agree between skip-on, skip-off (sequential and
+/// sharded), and the unmerged reference.
+#[test]
+fn long_eventless_gaps_skip_without_output_drift() {
+    let g = generators::path(10);
+    let n = g.num_vertices();
+    let (deg, delta) = (2usize, 40u64);
+    let mk = |v: usize| Algo1Protocol::new(v.is_multiple_of(2), deg, delta);
+    let rounds = algo1_rounds(deg, delta);
+    let reference = run_reference(&g, (0..n).map(mk).collect(), rounds);
+
+    let run = |ff: bool, lanes: usize| {
+        let mut sim = Simulator::new(&g, (0..n).map(mk).collect());
+        sim.set_fast_forward(ff);
+        if lanes > 1 {
+            sim.set_pool(Arc::new(WorkerPool::new(lanes)));
+            sim.set_par_threshold(0);
+        }
+        sim.run_rounds(rounds);
+        let stats = *sim.stats();
+        (sim.into_programs(), stats)
+    };
+
+    let (on, on_stats) = run(true, 1);
+    // The gap engineering worked: most of the schedule is eventless and
+    // was skipped, and the clock still advanced the full span.
+    assert!(
+        on_stats.skipped_rounds > rounds / 2,
+        "expected most of {rounds} rounds skipped, got {}",
+        on_stats.skipped_rounds
+    );
+    assert_eq!(on_stats.rounds, rounds);
+    for lanes in [1usize, 4] {
+        let (off, off_stats) = run(false, lanes);
+        assert_eq!(off_stats.skipped_rounds, 0, "ff-off run skipped rounds");
+        assert_eq!(on_stats.rounds, off_stats.rounds, "round counts diverge");
+        assert_eq!(
+            on_stats.messages, off_stats.messages,
+            "message counts diverge"
+        );
+        assert_eq!(on_stats.words, off_stats.words, "word counts diverge");
+        for v in 0..n {
+            assert_eq!(on[v].knowledge(), off[v].knowledge(), "knowledge at v={v}");
+            assert_eq!(
+                on[v].knowledge(),
+                reference[v].knowledge(),
+                "knowledge vs reference at v={v}"
+            );
+            assert_eq!(
+                on[v].popular(),
+                reference[v].popular(),
+                "popularity at v={v}"
+            );
         }
     }
 }

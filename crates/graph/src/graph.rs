@@ -51,11 +51,35 @@ impl std::error::Error for GraphError {}
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(0, 2));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<u32>,
+    /// Lazily computed reverse-port table ([`Graph::rev_ports`]) — derived
+    /// topology, excluded from equality and cloned by recomputation.
+    rev_ports: std::sync::OnceLock<Box<[u32]>>,
 }
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        // The cache is derived data; a clone recomputes it on demand rather
+        // than copying O(m) words that may never be used.
+        Graph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            rev_ports: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // Topology only: whether the lazy cache has been populated is not an
+        // observable property of the graph.
+        self.offsets == other.offsets && self.targets == other.targets
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -75,7 +99,11 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), targets.len());
-        let g = Graph { offsets, targets };
+        let g = Graph {
+            offsets,
+            targets,
+            rev_ports: std::sync::OnceLock::new(),
+        };
         #[cfg(debug_assertions)]
         g.check_invariants();
         g
@@ -180,6 +208,50 @@ impl Graph {
     pub fn degree_sum(&self) -> usize {
         self.targets.len()
     }
+
+    /// The full CSR offset array (`n + 1` entries): `csr_offsets()[v]` is
+    /// the arc index of `neighbors(v)[0]`, and the final entry is
+    /// [`degree_sum`](Graph::degree_sum). The per-vertex view is
+    /// [`neighbor_range`](Graph::neighbor_range); this slice form lets
+    /// consumers that index arcs in bulk (message routers, parallel shard
+    /// balancers) share the array instead of rebuilding it.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The reverse-port table, parallel to the CSR arc array: for the arc
+    /// at index `a = csr_offsets()[v] + i` (i.e. `u = neighbors(v)[i]`),
+    /// `rev_ports()[a]` is the position of `v` in `neighbors(u)` — the port
+    /// on which `u` sees the edge back to `v`. Message-passing simulators
+    /// need this to translate a sender's out-port into the receiver's
+    /// in-port.
+    ///
+    /// Computed lazily in `O(m)` on first call (a single monotone-cursor
+    /// sweep — no per-arc binary search) and cached for the lifetime of the
+    /// graph, so any number of simulators over the same graph share one
+    /// table.
+    pub fn rev_ports(&self) -> &[u32] {
+        self.rev_ports.get_or_init(|| {
+            let n = self.num_vertices();
+            let mut rev = vec![0u32; self.targets.len()];
+            // Adjacency lists are sorted, so scanning senders `v` in
+            // ascending order encounters the in-arcs of every `u` in
+            // exactly the order of `neighbors(u)`: the next arc into `u`
+            // always lands at the cursor position.
+            let mut cursor = vec![0u32; n];
+            let mut a = 0usize;
+            for v in 0..n {
+                for &u in self.neighbors(v) {
+                    let u = u as usize;
+                    rev[a] = cursor[u];
+                    cursor[u] += 1;
+                    a += 1;
+                }
+            }
+            rev.into_boxed_slice()
+        })
+    }
 }
 
 /// Iterator over the undirected edges of a [`Graph`], yielding `(u, v)` with
@@ -275,6 +347,35 @@ mod tests {
         assert_eq!(g.degree(0), 0);
         assert_eq!(g.degree(4), 0);
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rev_ports_invert_every_arc() {
+        let g = triangle_plus_pendant();
+        let rev = g.rev_ports();
+        assert_eq!(rev.len(), g.degree_sum());
+        for v in 0..g.num_vertices() {
+            let base = g.neighbor_range(v).start;
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                let p = rev[base + i] as usize;
+                assert_eq!(g.neighbors(u as usize)[p], v as u32, "arc {v}->{u}");
+            }
+        }
+        // The cache is invisible to equality and survives a clone only as a
+        // recomputation.
+        let h = g.clone();
+        assert_eq!(g, h);
+        assert_eq!(h.rev_ports(), rev);
+    }
+
+    #[test]
+    fn csr_offsets_match_neighbor_ranges() {
+        let g = triangle_plus_pendant();
+        let off = g.csr_offsets();
+        assert_eq!(off.len(), g.num_vertices() + 1);
+        for v in 0..g.num_vertices() {
+            assert_eq!(off[v]..off[v + 1], g.neighbor_range(v));
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap, EpochMarks, LaneScratch};
-pub use edgeset::EdgeSet;
+pub use edgeset::{EdgeSet, FxBuildHasher, FxHasher};
 pub use graph::{Graph, GraphError};
 pub use sssp::{SsspBatchScratch, SsspScratch};
 pub use weighted::{WeightDist, WeightedGraph, WeightedGraphBuilder};

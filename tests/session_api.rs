@@ -54,8 +54,11 @@ fn all_backends_agree_through_the_session_surface() {
 /// The event-plane ordering contract, on both phase-emitting simulated
 /// backends: per phase a `PhaseStarted` … (`RoundCompleted`)* …
 /// `PhaseFinished` bracket, phases in schedule order, exactly one trailing
-/// `BuildFinished`, and global round numbering that is consecutive across
-/// phase boundaries.
+/// `BuildFinished`, and global round numbering that is strictly increasing
+/// across phase boundaries. Numbering may gap where the simulator
+/// fast-forwarded a span of provably eventless rounds (no `RoundCompleted`
+/// fires for those); emitted + skipped rounds must reconcile exactly with
+/// the report's totals.
 #[test]
 fn event_stream_is_properly_bracketed_and_numbered() {
     let g = generators::connected_gnp(40, 0.12, 7);
@@ -83,8 +86,11 @@ fn event_stream_is_properly_bracketed_and_numbered() {
                     round, messages, ..
                 } => {
                     assert!(open_phase.is_some(), "{backend}: round outside a phase");
-                    assert_eq!(round, next_round, "{backend}: round numbering");
-                    next_round += 1;
+                    // Gaps are fast-forwarded eventless spans; numbering
+                    // must still be strictly increasing and globally
+                    // aligned (a skipped span advances the counter).
+                    assert!(round >= next_round, "{backend}: round numbering");
+                    next_round = round + 1;
                     streamed_messages += messages;
                 }
                 Event::PhaseFinished { phase, stats } => {
@@ -116,15 +122,25 @@ fn event_stream_is_properly_bracketed_and_numbered() {
             Some(true),
             "{backend}: BuildFinished must be last"
         );
+        assert!(
+            next_round <= report.rounds(),
+            "{backend}: streamed round numbers must stay within the total"
+        );
+        let emitted = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::RoundCompleted { .. }))
+            .count() as u64;
         assert_eq!(
-            next_round,
+            emitted + report.stats.skipped_rounds,
             report.rounds(),
-            "{backend}: every simulated round must be streamed"
+            "{backend}: every simulated round must be streamed or skipped"
         );
         assert_eq!(
             streamed_messages,
             report.messages(),
-            "{backend}: streamed message counts must reconcile with stats"
+            "{backend}: streamed message counts must reconcile with stats \
+             (skipped rounds carry no messages)"
         );
         // Per-phase rounds from the stream equal the report's records.
         let per_phase: Vec<u64> = log
@@ -179,8 +195,12 @@ fn budget_cancellation_emits_no_build_finished() {
             .any(|e| matches!(e, Event::BuildFinished { .. })),
         "a cancelled build must not report completion"
     );
-    // The stream stops right after the budget-crossing round.
-    assert_eq!(log.rounds_seen() as u64, full.rounds() / 2 + 1);
+    // The stream stops at the budget-crossing round: nothing past the
+    // budget is emitted (fast-forwarded eventless spans are metered by the
+    // same counter, so cancellation cannot overshoot), and at least one
+    // round must have streamed before cancellation.
+    assert!(log.rounds_seen() > 0);
+    assert!(log.rounds_seen() as u64 <= full.rounds() / 2 + 1);
 }
 
 #[test]
