@@ -115,7 +115,7 @@ impl BenchCli {
     /// operator-facing binaries, not a library surface.
     pub fn weight_dist(&self) -> Option<WeightDist> {
         self.opt_str("--weights").map(|spec| {
-            parse_weight_dist(&spec).unwrap_or_else(|| {
+            parse_weight_spec(&spec).unwrap_or_else(|| {
                 panic!("--weights expects unit, uniform:C, or range:LO:HI, got {spec:?}")
             })
         })
@@ -139,8 +139,12 @@ impl BenchCli {
     }
 }
 
-/// Parses a `--weights` spec; `None` on malformed input.
-fn parse_weight_dist(spec: &str) -> Option<WeightDist> {
+/// Parses a `--weights`-style spec (`unit`, `uniform:C`, `range:LO:HI`);
+/// `None` on malformed input. Public because non-CLI surfaces accept the
+/// same dialect (e.g. `nas-serve`'s `POST /rebuild` body), where malformed
+/// input must be a structured error rather than the panic
+/// [`BenchCli::weight_dist`] reserves for operator typos.
+pub fn parse_weight_spec(spec: &str) -> Option<WeightDist> {
     if spec == "unit" {
         return Some(WeightDist::unit());
     }
@@ -174,8 +178,11 @@ mod tests {
             WeightDist::Constant(3),
             WeightDist::Uniform { lo: 2, hi: 9 },
         ] {
-            assert_eq!(parse_weight_dist(&d.to_string()), Some(d));
+            assert_eq!(parse_weight_spec(&d.to_string()), Some(d));
         }
+        // The public non-panicking surface rejects malformed specs softly.
+        assert_eq!(parse_weight_spec("range:9:1"), None);
+        assert_eq!(parse_weight_spec("gaussian:3"), None);
     }
 
     #[test]

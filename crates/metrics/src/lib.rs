@@ -12,7 +12,7 @@ pub mod stretch;
 pub mod tables;
 pub mod weighted;
 
-pub use oracle::{compare, QueryQuality, SpannerOracle, WeightedSpannerOracle};
+pub use oracle::{compare, OracleStats, QueryQuality, SpannerOracle, WeightedSpannerOracle};
 pub use report::{to_markdown_table, ExperimentRecord};
 pub use stretch::{stretch_audit, stretch_audit_sampled, DistanceBucket, StretchAudit};
 pub use tables::TableBuilder;

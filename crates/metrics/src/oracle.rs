@@ -19,6 +19,39 @@ use nas_graph::sssp::{auto_delta, SsspBatchScratch, SsspScratch};
 use nas_graph::{Graph, WeightedGraph};
 use nas_par::WorkerPool;
 
+/// A uniform counter snapshot for either oracle flavor — the one struct a
+/// monitoring surface (e.g. `nas-serve`'s `/stats` endpoint) reads instead
+/// of stitching together per-oracle accessors.
+///
+/// All counters are cumulative over the oracle's lifetime except
+/// [`cached_rows`](OracleStats::cached_rows), which is the *current* cache
+/// occupancy (0 or 1 — both oracles keep a single-row cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Point queries answered (`distance` calls).
+    pub point_queries: u64,
+    /// Point queries answered from the cached row, without a traversal
+    /// (including symmetric hits on the reversed endpoint pair).
+    pub cache_hits: u64,
+    /// Full-row traversals executed — BFS for [`SpannerOracle`],
+    /// delta-stepping SSSP for [`WeightedSpannerOracle`] — across both the
+    /// point and batch paths. Equals `bfs_runs()` / `sssp_runs()`.
+    pub traversals: u64,
+    /// Rows currently held in the cache (0 or 1).
+    pub cached_rows: u64,
+}
+
+impl OracleStats {
+    /// Point-query cache hit rate in `[0, 1]`; 0 before any query.
+    pub fn hit_rate(&self) -> f64 {
+        if self.point_queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.point_queries as f64
+        }
+    }
+}
+
 /// Distance oracle over a spanner `H`.
 ///
 /// Point queries run BFS from the source on demand; the row is cached, so
@@ -37,6 +70,8 @@ pub struct SpannerOracle {
     /// [`distances_from`](SpannerOracle::distances_from) shim.
     legacy_row: Vec<Option<u32>>,
     bfs_runs: u64,
+    point_queries: u64,
+    cache_hits: u64,
 }
 
 impl SpannerOracle {
@@ -50,6 +85,8 @@ impl SpannerOracle {
             batch_scratch: BatchScratch::new(),
             legacy_row: Vec::new(),
             bfs_runs: 0,
+            point_queries: 0,
+            cache_hits: 0,
         }
     }
 
@@ -64,6 +101,23 @@ impl SpannerOracle {
         self.bfs_runs
     }
 
+    /// Rows currently held in the single-row cache (0 or 1).
+    pub fn cached_rows(&self) -> u64 {
+        self.cache_source.is_some() as u64
+    }
+
+    /// The uniform counter snapshot ([`OracleStats`]) for this oracle:
+    /// `traversals` is [`bfs_runs`](SpannerOracle::bfs_runs), point-query
+    /// counters cover the [`distance`](SpannerOracle::distance) surface.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            point_queries: self.point_queries,
+            cache_hits: self.cache_hits,
+            traversals: self.bfs_runs,
+            cached_rows: self.cached_rows(),
+        }
+    }
+
     /// The spanner distance `d_H(u, v)`, or `None` if disconnected in `H`.
     ///
     /// The graph is undirected, so `d_H(u, v) = d_H(v, u)`: a cached row
@@ -75,10 +129,13 @@ impl SpannerOracle {
     pub fn distance(&mut self, u: usize, v: usize) -> Option<u32> {
         let n = self.spanner.num_vertices();
         assert!(u < n && v < n, "query out of range");
+        self.point_queries += 1;
         if self.cache_source == Some(u) {
+            self.cache_hits += 1;
             return self.cache_row.get(v);
         }
         if self.cache_source == Some(v) {
+            self.cache_hits += 1;
             return self.cache_row.get(u);
         }
         self.refill_cache(u);
@@ -179,6 +236,8 @@ pub struct WeightedSpannerOracle {
     scratch: SsspScratch,
     batch_scratch: SsspBatchScratch,
     sssp_runs: u64,
+    point_queries: u64,
+    cache_hits: u64,
 }
 
 impl WeightedSpannerOracle {
@@ -204,6 +263,8 @@ impl WeightedSpannerOracle {
             scratch: SsspScratch::new(),
             batch_scratch: SsspBatchScratch::new(),
             sssp_runs: 0,
+            point_queries: 0,
+            cache_hits: 0,
         }
     }
 
@@ -224,6 +285,24 @@ impl WeightedSpannerOracle {
         self.sssp_runs
     }
 
+    /// Rows currently held in the single-row cache (0 or 1).
+    pub fn cached_rows(&self) -> u64 {
+        self.cache_source.is_some() as u64
+    }
+
+    /// The uniform counter snapshot ([`OracleStats`]) for this oracle:
+    /// `traversals` is [`sssp_runs`](WeightedSpannerOracle::sssp_runs),
+    /// point-query counters cover the
+    /// [`distance`](WeightedSpannerOracle::distance) surface.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            point_queries: self.point_queries,
+            cache_hits: self.cache_hits,
+            traversals: self.sssp_runs,
+            cached_rows: self.cached_rows(),
+        }
+    }
+
     /// The weighted spanner distance `d_H(u, v)`, or `None` if
     /// disconnected in `H`. Symmetric like the unweighted oracle: a cached
     /// row for *either* endpoint answers without a fresh traversal.
@@ -234,10 +313,13 @@ impl WeightedSpannerOracle {
     pub fn distance(&mut self, u: usize, v: usize) -> Option<u32> {
         let n = self.spanner.num_vertices();
         assert!(u < n && v < n, "query out of range");
+        self.point_queries += 1;
         if self.cache_source == Some(u) {
+            self.cache_hits += 1;
             return self.cache_row.get(v);
         }
         if self.cache_source == Some(v) {
+            self.cache_hits += 1;
             return self.cache_row.get(u);
         }
         self.refill_cache(u);
@@ -458,6 +540,54 @@ mod tests {
         let legacy = o.distances_from(7).to_vec();
         assert_eq!(legacy, o.distance_map_from(7).to_options());
         assert_eq!(o.bfs_runs(), 1, "shared cache between the two paths");
+    }
+
+    /// The unified [`OracleStats`] snapshot agrees with the per-oracle
+    /// accessors on both flavors, and the hit counters track the point
+    /// path (cache hits, symmetric hits, batch traversals).
+    #[test]
+    fn oracle_stats_unifies_both_flavors() {
+        let g = generators::grid2d(6, 6);
+        let mut o = SpannerOracle::new(g.clone());
+        assert_eq!(o.stats(), OracleStats::default());
+        assert_eq!(o.stats().hit_rate(), 0.0);
+        o.distance(0, 35); // miss: BFS from 0
+        o.distance(0, 7); // hit
+        o.distance(35, 0); // symmetric hit
+        let s = o.stats();
+        assert_eq!(
+            s,
+            OracleStats {
+                point_queries: 3,
+                cache_hits: 2,
+                traversals: o.bfs_runs(),
+                cached_rows: o.cached_rows(),
+            }
+        );
+        assert_eq!(s.traversals, 1);
+        assert_eq!(s.cached_rows, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // The batch path counts traversals but no point queries.
+        let pool = nas_par::WorkerPool::new(2);
+        o.distances_batch(&[3, 9], &pool);
+        assert_eq!(o.stats().traversals, 3);
+        assert_eq!(o.stats().point_queries, 3);
+
+        let wg = nas_graph::WeightedGraph::uniform(g, 2);
+        let mut w = WeightedSpannerOracle::new(wg);
+        assert_eq!(w.stats(), OracleStats::default());
+        w.distance(0, 35);
+        w.distance(35, 0);
+        assert_eq!(
+            w.stats(),
+            OracleStats {
+                point_queries: 2,
+                cache_hits: 1,
+                traversals: w.sssp_runs(),
+                cached_rows: w.cached_rows(),
+            }
+        );
+        assert_eq!(w.stats().traversals, 1);
     }
 
     #[test]

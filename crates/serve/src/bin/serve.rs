@@ -1,0 +1,79 @@
+//! The `serve` daemon: build a spanner once, keep the oracles warm, and
+//! answer distance/stretch queries over HTTP until told to stop.
+//!
+//! Usage: `serve [--addr HOST:PORT] [--conn-workers W] [--threads T]
+//!               [--workload gnp|grid|path|pref_attach|torus]
+//!               [--n N] [--deg D] [--seed S]
+//!               [--eps E] [--kappa K] [--rho R]
+//!               [--weights unit|uniform:C|range:LO:HI]
+//!               [--backend centralized|congest|local|full]`
+//!
+//! Defaults: `127.0.0.1:8077`, 4 connection workers, the shared
+//! `--threads`/`NAS_THREADS` pool sizing, and the [`BuildSpec`] default
+//! (G(n,p), n = 2000, deg = 8, practical parameters, hop distances,
+//! centralized backend).
+//!
+//! The process prints one line — `nas-serve listening on ADDR (epoch 1)` —
+//! once it is accepting, then runs until `POST /shutdown` arrives.
+
+use nas_bench::BenchCli;
+use nas_serve::handlers::admin::parse_backend;
+use nas_serve::store::Workload;
+use nas_serve::{BuildSpec, ServeConfig, Server};
+
+fn main() {
+    let cli = BenchCli::parse();
+    let threads = cli.init_pool();
+
+    let mut spec = BuildSpec::default();
+    if let Some(name) = cli.opt_str("--workload") {
+        spec.workload = Workload::parse(&name).unwrap_or_else(|| {
+            panic!("--workload expects gnp, grid, path, pref_attach, or torus, got {name:?}")
+        });
+    }
+    spec.n = cli.n(spec.n);
+    spec.deg = cli.opt_usize("--deg").unwrap_or(spec.deg);
+    spec.seed = cli.seed(spec.seed);
+    if let Some(eps) = cli.opt_str("--eps") {
+        spec.params.eps = eps
+            .parse()
+            .unwrap_or_else(|_| panic!("--eps expects a number, got {eps:?}"));
+    }
+    if let Some(kappa) = cli.opt_usize("--kappa") {
+        spec.params.kappa = kappa as u32;
+    }
+    if let Some(rho) = cli.opt_str("--rho") {
+        spec.params.rho = rho
+            .parse()
+            .unwrap_or_else(|_| panic!("--rho expects a number, got {rho:?}"));
+    }
+    spec.weights = cli.weight_dist();
+    if let Some(name) = cli.opt_str("--backend") {
+        spec.backend = parse_backend(&name).unwrap_or_else(|| {
+            panic!("--backend expects centralized, congest, local, or full, got {name:?}")
+        });
+    }
+
+    let config = ServeConfig {
+        addr: cli
+            .opt_str("--addr")
+            .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        workers: cli.opt_usize("--conn-workers").unwrap_or(4),
+        spec,
+    };
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "nas-serve listening on {} (epoch 1, {threads} pool lanes)",
+        server.local_addr()
+    );
+    // Runs until POST /shutdown flips the flag and the threads drain.
+    server.join();
+    println!("nas-serve stopped");
+}

@@ -1,0 +1,102 @@
+//! `POST /batch` — many pairs in one request, filled through the pooled
+//! [`DistanceBatch`](nas_graph::dist::DistanceBatch) path.
+
+use super::distance::{mode_name, parse_mode};
+use super::{pair_fields, query_error, Ctx, Metrics};
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::store::MAX_BATCH_PAIRS;
+
+/// Handles `POST /batch`.
+///
+/// Body: `{"pairs":[[src,dst],…]}` (at most
+/// [`MAX_BATCH_PAIRS`] pairs); an optional `"mode":"exact"|"spanner"|"both"`
+/// field or `?mode=` query parameter restricts the planes computed.
+/// Responds `{"epoch","mode","count","results":[{"src","dst","exact",
+/// "spanner","stretch"},…]}` with results in request order. Distinct
+/// sources cost one pooled row fill each per plane; repeated sources are
+/// deduplicated.
+pub fn post(req: &Request, ctx: &Ctx<'_>) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let doc = match Json::parse(body) {
+        Ok(d) => d,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let pairs = match parse_pairs(&doc) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    let mode = match doc.get("mode") {
+        // The body's mode wins over the query string when both appear.
+        Some(Json::Str(s)) => match crate::store::QueryMode::parse(s) {
+            Some(m) => m,
+            None => {
+                return Response::error(
+                    400,
+                    &format!("mode must be exact, spanner, or both, got {s:?}"),
+                )
+            }
+        },
+        Some(_) => return Response::error(400, "mode must be a string"),
+        None => match parse_mode(req) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        },
+    };
+    let snapshot = ctx.store.snapshot();
+    let answers = match snapshot.batch(&pairs, mode, ctx.store.pool()) {
+        Ok(a) => a,
+        Err(e) => return query_error(e),
+    };
+    Metrics::bump(&ctx.metrics.batch);
+    Metrics::add(&ctx.metrics.batch_pairs, pairs.len() as u64);
+    let mut out = String::with_capacity(64 + 64 * answers.len());
+    out.push_str(&format!(
+        "{{\"epoch\":{},\"mode\":\"{}\",\"count\":{},\"results\":[",
+        snapshot.epoch,
+        mode_name(mode),
+        answers.len(),
+    ));
+    for (i, (&(u, v), a)) in pairs.iter().zip(&answers).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"src\":{u},\"dst\":{v},{}}}", pair_fields(a)));
+    }
+    out.push_str("]}");
+    Response::json(out)
+}
+
+/// Extracts and validates the `"pairs"` array.
+fn parse_pairs(doc: &Json) -> Result<Vec<(usize, usize)>, Response> {
+    let items = doc
+        .get("pairs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(400, "body must be an object with a \"pairs\" array"))?;
+    if items.len() > MAX_BATCH_PAIRS {
+        return Err(Response::error(
+            413,
+            &format!(
+                "batch of {} pairs exceeds the cap of {MAX_BATCH_PAIRS}",
+                items.len()
+            ),
+        ));
+    }
+    items
+        .iter()
+        .map(|item| {
+            let pair = item.as_array().filter(|p| p.len() == 2);
+            let uv = pair.and_then(|p| Some((p[0].as_u64()?, p[1].as_u64()?)));
+            match uv {
+                Some((u, v)) => Ok((u as usize, v as usize)),
+                None => Err(Response::error(
+                    400,
+                    "every pair must be a two-element array of vertex indices",
+                )),
+            }
+        })
+        .collect()
+}

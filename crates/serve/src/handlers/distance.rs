@@ -1,0 +1,68 @@
+//! `GET /distance?src=&dst=[&mode=]` — one pair, answered from the warm
+//! single-row oracle caches.
+
+use super::{pair_fields, query_error, Ctx, Metrics};
+use crate::http::{Request, Response};
+use crate::store::QueryMode;
+
+/// Handles `GET /distance`.
+///
+/// Responds `{"epoch","src","dst","mode","exact","spanner","stretch"}`;
+/// distances are `null` when the pair is disconnected or the `mode`
+/// excluded that plane. 400 on missing/non-numeric `src`/`dst`, an unknown
+/// `mode`, or out-of-range vertices.
+pub fn get(req: &Request, ctx: &Ctx<'_>) -> Response {
+    let (src, dst) = match (parse_vertex(req, "src"), parse_vertex(req, "dst")) {
+        (Ok(s), Ok(d)) => (s, d),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let mode = match parse_mode(req) {
+        Ok(m) => m,
+        Err(resp) => return resp,
+    };
+    let snapshot = ctx.store.snapshot();
+    match snapshot.distance(src, dst, mode) {
+        Ok(answer) => {
+            Metrics::bump(&ctx.metrics.distance);
+            Response::json(format!(
+                "{{\"epoch\":{},\"src\":{},\"dst\":{},\"mode\":\"{}\",{}}}",
+                snapshot.epoch,
+                src,
+                dst,
+                mode_name(mode),
+                pair_fields(&answer),
+            ))
+        }
+        Err(e) => query_error(e),
+    }
+}
+
+/// The stable name of a query mode (inverse of [`QueryMode::parse`]).
+pub(super) fn mode_name(mode: QueryMode) -> &'static str {
+    match mode {
+        QueryMode::Exact => "exact",
+        QueryMode::Spanner => "spanner",
+        QueryMode::Both => "both",
+    }
+}
+
+/// `mode=` query parameter, defaulting to [`QueryMode::Both`].
+pub(super) fn parse_mode(req: &Request) -> Result<QueryMode, Response> {
+    match req.query_param("mode") {
+        None => Ok(QueryMode::Both),
+        Some(s) => QueryMode::parse(s).ok_or_else(|| {
+            Response::error(
+                400,
+                &format!("mode must be exact, spanner, or both, got {s:?}"),
+            )
+        }),
+    }
+}
+
+fn parse_vertex(req: &Request, name: &str) -> Result<usize, Response> {
+    let raw = req
+        .query_param(name)
+        .ok_or_else(|| Response::error(400, &format!("missing required parameter {name}")))?;
+    raw.parse()
+        .map_err(|_| Response::error(400, &format!("{name} must be a vertex index, got {raw:?}")))
+}

@@ -1,0 +1,109 @@
+//! HTTP endpoint handlers — the stateless translation layer.
+//!
+//! Handlers own **no** state: every request is translated into calls on
+//! the [`Store`] (the handler/store split described
+//! in the crate docs). [`route`] is the single dispatch point the server's
+//! connection loop calls per parsed request; it never panics on user
+//! input — every malformed parameter or body becomes a 4xx JSON error.
+//!
+//! | endpoint | module |
+//! |----------|--------|
+//! | `GET /distance` | [`distance`] |
+//! | `POST /batch` | [`batch`] |
+//! | `GET /health`, `GET /stats`, `POST /rebuild`, `POST /shutdown` | [`admin`] |
+
+pub mod admin;
+pub mod batch;
+pub mod distance;
+
+use crate::http::{Method, Request, Response};
+use crate::store::{QueryError, Store};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Monotone request counters for `/stats` — plain relaxed atomics, written
+/// by every connection thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// All requests routed (including errors).
+    pub requests: AtomicU64,
+    /// `GET /distance` requests answered.
+    pub distance: AtomicU64,
+    /// `POST /batch` requests answered.
+    pub batch: AtomicU64,
+    /// Total pairs across all `/batch` requests.
+    pub batch_pairs: AtomicU64,
+    /// Successful rebuilds.
+    pub rebuilds: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything a handler may touch, borrowed for one request.
+pub struct Ctx<'a> {
+    /// The snapshot store.
+    pub store: &'a Store,
+    /// The server's request counters.
+    pub metrics: &'a Metrics,
+    /// Set by `POST /shutdown`; the server drains and exits once true.
+    pub shutdown: &'a AtomicBool,
+}
+
+/// Dispatches one parsed request to its handler and returns the response.
+pub fn route(req: &Request, ctx: &Ctx<'_>) -> Response {
+    Metrics::bump(&ctx.metrics.requests);
+    let response = match (req.method, req.path.as_str()) {
+        (Method::Get, "/health") => admin::health(ctx),
+        (Method::Get, "/stats") => admin::stats(ctx),
+        (Method::Get, "/distance") => distance::get(req, ctx),
+        (Method::Post, "/batch") => batch::post(req, ctx),
+        (Method::Post, "/rebuild") => admin::rebuild(req, ctx),
+        (Method::Post, "/shutdown") => admin::shutdown(ctx),
+        (_, "/health" | "/stats" | "/distance" | "/batch" | "/rebuild" | "/shutdown") => {
+            Response::error(405, "method not allowed for this endpoint")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    };
+    if response.status >= 400 {
+        Metrics::bump(&ctx.metrics.errors);
+    }
+    response
+}
+
+/// Maps a store-level query error onto its HTTP response.
+fn query_error(e: QueryError) -> Response {
+    match e {
+        QueryError::OutOfRange { .. } => Response::error(400, &e.to_string()),
+        QueryError::TooManyPairs { .. } => Response::error(413, &e.to_string()),
+    }
+}
+
+/// Formats one `Option<Option<u32>>` distance leg: not-requested and
+/// unreachable both serialize as `null` (the `mode` field disambiguates).
+fn distance_json(v: Option<Option<u32>>) -> String {
+    crate::json::opt_u64(v.flatten().map(u64::from))
+}
+
+/// Formats a pair answer's fields (`"exact":…,"spanner":…,"stretch":…`).
+fn pair_fields(a: &crate::store::PairAnswer) -> String {
+    format!(
+        "\"exact\":{},\"spanner\":{},\"stretch\":{}",
+        distance_json(a.exact),
+        distance_json(a.spanner),
+        a.stretch()
+            .map_or_else(|| "null".to_string(), crate::json::num),
+    )
+}

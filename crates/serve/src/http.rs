@@ -1,0 +1,541 @@
+//! A minimal, hand-rolled HTTP/1.1 layer over `std` byte buffers.
+//!
+//! The build environment has no registry access, so there is no hyper or
+//! tokio here — just the subset of RFC 9112 the daemon needs: request-line
+//! and header parsing, `Content-Length` bodies, keep-alive, pipelining.
+//! The parser is an **incremental pull parser** ([`RequestParser`]): the
+//! connection loop feeds it raw reads of arbitrary size via
+//! [`RequestParser::push`] and drains complete requests via
+//! [`RequestParser::next_request`]; anything split across reads (request
+//! line, a header, the body) simply waits for more bytes, and any bytes
+//! after a complete request stay buffered for the next one (pipelining).
+//! Malformed input is a typed [`HttpError`], never a panic — pinned by
+//! `tests/proptest_http.rs` on adversarial byte streams.
+//!
+//! Hard limits keep a hostile peer from ballooning memory: request head
+//! (request line + headers) at most [`MAX_HEAD_BYTES`], body at most
+//! [`MAX_BODY_BYTES`]; `Transfer-Encoding` is not implemented and is
+//! rejected rather than misinterpreted.
+
+use std::fmt;
+
+/// Maximum bytes of request head (request line + headers) accepted.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum request body size accepted (`Content-Length` cap).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Request methods the daemon routes; anything else parses as
+/// [`Method::Other`] and is rejected at the routing layer (405), not the
+/// parsing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// Any other syntactically valid token method.
+    Other,
+}
+
+/// One fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers as `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`; HTTP/1.0
+    /// requires an explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of the query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of the (case-insensitively named) header, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a byte stream failed to parse as an HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+    /// A header line has no `:`, an empty name, or non-ASCII name bytes.
+    BadHeader,
+    /// `Content-Length` is non-numeric, or repeated with different values.
+    BadContentLength,
+    /// `Transfer-Encoding` present (not implemented — rejected, never
+    /// misframed).
+    UnsupportedTransferEncoding,
+    /// Request head exceeds [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::UnsupportedVersion => "unsupported HTTP version",
+            HttpError::BadHeader => "malformed header",
+            HttpError::BadContentLength => "invalid Content-Length",
+            HttpError::UnsupportedTransferEncoding => "Transfer-Encoding not supported",
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BodyTooLarge => "request body too large",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Incremental HTTP/1.1 request parser (see the module docs).
+///
+/// One parser per connection: [`push`](RequestParser::push) raw bytes as
+/// they arrive, then loop [`next_request`](RequestParser::next_request)
+/// until it yields `Ok(None)` (needs more bytes) — pipelined requests
+/// drain one per call. After an `Err` the stream is unrecoverable (HTTP
+/// framing is lost): respond 400 and close.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned requests.
+    pos: usize,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes to the buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact once the consumed prefix dominates, so a long-lived
+        // keep-alive connection cannot grow the buffer without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a returned request.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Tries to parse the next complete request out of the buffer.
+    ///
+    /// `Ok(Some(_))` consumes the request's bytes; `Ok(None)` means the
+    /// buffered bytes are a valid *prefix* and more input is needed;
+    /// `Err(_)` means the stream is not valid HTTP.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        let avail = &self.buf[self.pos..];
+        let head_end = match find_head_end(avail) {
+            Some(e) => e,
+            None => {
+                if avail.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                return Ok(None);
+            }
+        };
+        if head_end > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        // The head is complete: parse it (ASCII only — reject bytes > 127
+        // in the request line / header names via the checks below).
+        let head = &avail[..head_end];
+        let mut lines = split_crlf_lines(head)?;
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)??;
+        let (method, path, query) = parse_request_line(request_line)?;
+        let http11 = parse_version(request_line)?;
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            let line = line?;
+            let (name, value) = parse_header(line)?;
+            if name == "content-length" {
+                let v: usize = value.parse().map_err(|_| HttpError::BadContentLength)?;
+                match content_length {
+                    Some(prev) if prev != v => return Err(HttpError::BadContentLength),
+                    _ => content_length = Some(v),
+                }
+            } else if name == "transfer-encoding" {
+                return Err(HttpError::UnsupportedTransferEncoding);
+            }
+            headers.push((name, value));
+        }
+
+        let body_len = content_length.unwrap_or(0);
+        if body_len > MAX_BODY_BYTES {
+            return Err(HttpError::BodyTooLarge);
+        }
+        // head_end includes the blank line's CRLF CRLF.
+        let total = head_end + 4 + body_len;
+        if avail.len() < total {
+            return Ok(None); // body split across reads: wait
+        }
+        let body = avail[head_end + 4..total].to_vec();
+
+        let keep_alive = {
+            let conn = headers
+                .iter()
+                .find(|(k, _)| k == "connection")
+                .map(|(_, v)| v.to_ascii_lowercase());
+            match conn.as_deref() {
+                Some("close") => false,
+                Some("keep-alive") => true,
+                _ => http11,
+            }
+        };
+
+        self.pos += total;
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            keep_alive,
+        }))
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator (start of the blank line), if
+/// the head is complete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Splits the head into `\r\n`-terminated lines, rejecting bare `\n` /
+/// bare `\r` line endings and non-ASCII bytes.
+fn split_crlf_lines(head: &[u8]) -> Result<LineIter<'_>, HttpError> {
+    Ok(LineIter { rest: head })
+}
+
+struct LineIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for LineIter<'a> {
+    type Item = Result<&'a str, HttpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let (line, rest) = match self.rest.windows(2).position(|w| w == b"\r\n") {
+            Some(i) => (&self.rest[..i], &self.rest[i + 2..]),
+            None => (self.rest, &self.rest[self.rest.len()..]),
+        };
+        self.rest = rest;
+        // Reject embedded control bytes (a bare \r or \n inside a line is
+        // impossible here by construction of the split, but NUL and other
+        // controls are not) and non-ASCII.
+        if line
+            .iter()
+            .any(|&b| !(b.is_ascii() && (b == b'\t' || !b.is_ascii_control())))
+        {
+            return Some(Err(HttpError::BadHeader));
+        }
+        Some(Ok(std::str::from_utf8(line).expect("ascii checked")))
+    }
+}
+
+/// A parsed request line: method, path, decoded query pairs.
+type RequestLine = (Method, String, Vec<(String, String)>);
+
+/// `METHOD SP TARGET SP HTTP/1.x` → method, path, parsed query.
+fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !v.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(is_token_byte) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine);
+    }
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => Method::Other,
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+    Ok((method, path, query))
+}
+
+/// Accepts exactly HTTP/1.0 and HTTP/1.1; returns `true` for 1.1.
+fn parse_version(line: &str) -> Result<bool, HttpError> {
+    match line.rsplit(' ').next() {
+        Some("HTTP/1.1") => Ok(true),
+        Some("HTTP/1.0") => Ok(false),
+        _ => Err(HttpError::UnsupportedVersion),
+    }
+}
+
+/// `a=1&b=2` → ordered pairs; keys without `=` get an empty value. No
+/// percent-decoding — the daemon's parameters are numeric or plain
+/// identifiers.
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// `Name: value` → (lowercased name, trimmed value).
+fn parse_header(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+    // Obs-fold (a header starting with whitespace) and whitespace before
+    // the colon are both rejected: they are classic request-smuggling
+    // vectors.
+    if name.is_empty() || name != name.trim() || !name.bytes().all(is_token_byte) {
+        return Err(HttpError::BadHeader);
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// RFC 9110 token bytes (the characters legal in methods and header names).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// A response under construction; [`Response::write_to`] emits the status
+/// line, `Content-Length`, `Content-Type`, and `Connection` headers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (JSON for every daemon endpoint).
+    pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A JSON error response `{"error": msg}` with the given status.
+    pub fn error(status: u16, msg: &str) -> Self {
+        Response {
+            status,
+            body: format!("{{\"error\":{}}}", crate::json::escape(msg)).into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// The standard reason phrase for the status codes the daemon emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the full response (head + body) into `out`; `keep_alive`
+    /// selects the `Connection` header.
+    pub fn write_to(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+                self.status,
+                self.reason(),
+                self.content_type,
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut p = RequestParser::new();
+        p.push(bytes);
+        p.next_request()
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let r = parse_one(b"GET /distance?src=1&dst=2 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/distance");
+        assert_eq!(r.query_param("src"), Some("1"));
+        assert_eq!(r.query_param("dst"), Some("2"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.keep_alive);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r = parse_one(b"POST /batch HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn split_reads_resume() {
+        let full = b"POST /batch HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            let mut p = RequestParser::new();
+            p.push(&full[..cut]);
+            assert_eq!(p.next_request().unwrap(), None, "cut at {cut}");
+            p.push(&full[cut..]);
+            let r = p.next_request().unwrap().unwrap();
+            assert_eq!(r.body, b"hello");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let mut p = RequestParser::new();
+        p.push(b"GET /health HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/health");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/stats");
+        assert_eq!(p.next_request().unwrap(), None);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn connection_semantics() {
+        let close = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+        let old = parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive);
+        let old_ka = parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            parse_one(b"NOT A REQUEST AT ALL\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+        assert_eq!(
+            parse_one(b"GET noslash HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        );
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_rejected() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 10)
+        );
+        assert_eq!(parse_one(huge.as_bytes()), Err(HttpError::HeadTooLarge));
+        // An incomplete head that already exceeds the cap errors too.
+        let mut p = RequestParser::new();
+        p.push(format!("GET / HTTP/1.1\r\nx: {}", "a".repeat(MAX_HEAD_BYTES + 10)).as_bytes());
+        assert_eq!(p.next_request(), Err(HttpError::HeadTooLarge));
+        let decl = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse_one(decl.as_bytes()), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn response_serializes() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\":true}".into()).write_to(&mut out, true);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("content-length: 11\r\n"), "{s}");
+        assert!(s.contains("connection: keep-alive\r\n"), "{s}");
+        assert!(s.ends_with("{\"ok\":true}"), "{s}");
+        let mut out = Vec::new();
+        Response::error(404, "no such endpoint").write_to(&mut out, false);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 404 Not Found\r\n"), "{s}");
+        assert!(s.contains("connection: close\r\n"), "{s}");
+        assert!(s.ends_with("{\"error\":\"no such endpoint\"}"), "{s}");
+    }
+}

@@ -1,0 +1,330 @@
+//! The daemon's network front: a `std::net::TcpListener` acceptor handing
+//! connections to a fixed set of worker threads.
+//!
+//! One acceptor thread accepts sockets and pushes them onto an internal
+//! queue; `workers` persistent threads pop connections and run the
+//! keep-alive request loop ([`RequestParser`] → [`route`] → response).
+//! Heavy work inside a request — pooled batch fills — shards over the
+//! shared `nas-par` [`WorkerPool`](nas_par::WorkerPool), which serializes
+//! concurrent broadcasts internally, so the fixed worker model stays
+//! deterministic no matter how many connections are in flight.
+//!
+//! Shutdown is cooperative: `POST /shutdown` (or
+//! [`ServerHandle::shutdown`]) sets a flag; the acceptor wakes itself with
+//! a loopback connection and stops, workers finish their current request,
+//! notice the flag on the next read-timeout tick, and exit.
+//! [`Server::join`] reaps every thread — after it returns, the port is
+//! released.
+
+use crate::handlers::{route, Ctx, Metrics};
+use crate::http::{RequestParser, Response};
+use crate::store::{BuildError, BuildSpec, Store};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks on one read before re-checking the shutdown
+/// flag (also the granularity of idle-timeout accounting).
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Idle keep-alive connections are dropped after this long without a byte.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server configuration: where to listen, how many connection workers, and
+/// what to build at startup.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// The initial snapshot's build spec.
+    pub spec: BuildSpec,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            spec: BuildSpec::default(),
+        }
+    }
+}
+
+/// Why the server failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The initial snapshot build failed.
+    Build(BuildError),
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Build(e) => write!(f, "initial build failed: {e}"),
+            ServeError::Io(e) => write!(f, "listener error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BuildError> for ServeError {
+    fn from(e: BuildError) -> Self {
+        ServeError::Build(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The connection queue between the acceptor and the workers.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Pops a connection, or `None` once `stop` is set and the queue has
+    /// drained.
+    fn pop(&self, stop: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, READ_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+}
+
+/// Shared server state: the store, metrics, and shutdown flag.
+struct Inner {
+    store: Store,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    queue: ConnQueue,
+    addr: SocketAddr,
+}
+
+/// A running daemon. Dropping it does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or `POST /shutdown`) and then
+/// [`Server::join`].
+pub struct Server {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown and wakes the acceptor.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.inner.addr);
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+}
+
+impl Server {
+    /// Builds the initial snapshot, binds, and starts the acceptor and
+    /// worker threads. Returns as soon as the server is accepting.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let store = Store::open(config.spec)?;
+        let inner = Arc::new(Inner {
+            store,
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            queue: ConnQueue::default(),
+            addr,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nas-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn connection worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("nas-serve-accept".to_string())
+                .spawn(move || acceptor_loop(listener, &inner))
+                .expect("failed to spawn acceptor")
+        };
+
+        Ok(Server {
+            inner,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (read the ephemeral port back from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// A cloneable handle for remote shutdown.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Whether shutdown has been requested (by handle or `POST /shutdown`).
+    pub fn shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has fully stopped (acceptor and all workers
+    /// reaped). Call [`ServerHandle::shutdown`] first — or wait for a
+    /// `POST /shutdown` to arrive.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, inner: &Inner) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client): drop it.
+                    drop(stream);
+                    return;
+                }
+                inner.queue.push(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionAborted => continue,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(stream) = inner.queue.pop(&inner.shutdown) {
+        serve_connection(stream, inner);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // Shutdown may have arrived over HTTP (`POST /shutdown`), in
+            // which case nothing has woken the blocking accept yet — do it
+            // here so `Server::join` can reap the acceptor.
+            let _ = TcpStream::connect(inner.addr);
+        }
+    }
+}
+
+/// The per-connection request loop: parse (incrementally, keep-alive,
+/// pipelined), route, respond. Returns when the peer closes, a parse error
+/// poisons the stream, the idle timeout lapses, or shutdown is requested.
+fn serve_connection(mut stream: TcpStream, inner: &Inner) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    let mut write_buf = Vec::with_capacity(4 * 1024);
+    let mut idle = Duration::ZERO;
+    loop {
+        // Drain every complete buffered request before reading again
+        // (pipelining), so a burst is answered without extra syscalls.
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    let ctx = Ctx {
+                        store: &inner.store,
+                        metrics: &inner.metrics,
+                        shutdown: &inner.shutdown,
+                    };
+                    let response = route(&req, &ctx);
+                    let keep_alive = req.keep_alive && !inner.shutdown.load(Ordering::SeqCst);
+                    write_buf.clear();
+                    response.write_to(&mut write_buf, keep_alive);
+                    if stream.write_all(&write_buf).is_err() || !keep_alive {
+                        return;
+                    }
+                    idle = Duration::ZERO;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing is lost: answer 400 once and hang up.
+                    write_buf.clear();
+                    Response::error(400, &e.to_string()).write_to(&mut write_buf, false);
+                    let _ = stream.write_all(&write_buf);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                parser.push(&read_buf[..n]);
+                idle = Duration::ZERO;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle += READ_TICK;
+                if idle >= IDLE_TIMEOUT {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! The daemon's state plane: build specs, immutable query snapshots, and
+//! the epoch-versioned [`Store`] that swaps them atomically.
+//!
+//! The architecture is the classic handler/store split (the ROADMAP's
+//! named exemplar): `handlers/` hold **no** state and only translate HTTP
+//! to calls on this module. A [`Snapshot`] is everything one build
+//! produced — base graph, spanner, and warm oracles — frozen behind an
+//! `Arc`. The [`Store`] keeps the current `Arc<Snapshot>` behind an
+//! `RwLock` used only as a pointer cell: readers clone the `Arc` (a
+//! refcount bump, never blocked by a build) and then query their private
+//! snapshot for as long as they like; [`Store::rebuild`] constructs the
+//! next snapshot **outside** any lock and swaps the pointer at the end.
+//! In-flight requests that cloned the old `Arc` keep answering from the
+//! pre-swap state — the consistency contract the integration tests pin —
+//! and the old snapshot is freed when its last reader drops it.
+//!
+//! Each snapshot owns a [`SpannerOracle`] pair (or the weighted twins):
+//! one over the base graph `G` for exact distances, one over the spanner
+//! `H`. Both keep their single-row caches and pooled batch scratch warm
+//! behind one mutex, so the zero-alloc steady state of the flat distance
+//! plane carries over to a long-lived server: repeated `/batch` requests
+//! of the same shape allocate nothing new.
+
+use nas_core::{Backend, Params, Session, SessionError, StretchSummary};
+use nas_graph::dist::DistanceBatch;
+use nas_graph::{generators, Graph, WeightDist, WeightedGraph};
+use nas_metrics::{OracleStats, SpannerOracle, WeightedSpannerOracle};
+use nas_par::WorkerPool;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Largest number of pairs one `/batch` request may carry.
+pub const MAX_BATCH_PAIRS: usize = 65_536;
+
+/// The synthetic graph families the daemon can build and rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `G(n, p)` with `p = deg / n`.
+    Gnp,
+    /// A `√n × √n` grid.
+    Grid,
+    /// A path on `n` vertices.
+    Path,
+    /// Preferential attachment with `deg / 2` edges per new vertex.
+    PrefAttach,
+    /// A `√n × √n` torus.
+    Torus,
+}
+
+impl Workload {
+    /// The stable name used in CLI flags, JSON bodies, and `/stats`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Gnp => "gnp",
+            Workload::Grid => "grid",
+            Workload::Path => "path",
+            Workload::PrefAttach => "pref_attach",
+            Workload::Torus => "torus",
+        }
+    }
+
+    /// Parses a workload name; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Workload> {
+        match name {
+            "gnp" => Some(Workload::Gnp),
+            "grid" => Some(Workload::Grid),
+            "path" => Some(Workload::Path),
+            "pref_attach" => Some(Workload::PrefAttach),
+            "torus" => Some(Workload::Torus),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that determines one build — the daemon's startup
+/// configuration and the payload of `POST /rebuild`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildSpec {
+    /// Graph family.
+    pub workload: Workload,
+    /// Vertices.
+    pub n: usize,
+    /// Average-degree knob for the random families (ignored by
+    /// grid/path/torus).
+    pub deg: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Spanner construction parameters `(ε, κ, ρ)`.
+    pub params: Params,
+    /// `None` builds the hop-distance plane (BFS oracles); `Some` assigns
+    /// seeded edge weights and builds the weighted plane (delta-stepping
+    /// oracles).
+    pub weights: Option<WeightDist>,
+    /// Execution backend for the construction (centralized by default;
+    /// the CONGEST backend additionally reports measured rounds in
+    /// `/stats`).
+    pub backend: Backend,
+}
+
+impl Default for BuildSpec {
+    fn default() -> Self {
+        BuildSpec {
+            workload: Workload::Gnp,
+            n: 2_000,
+            deg: 8,
+            seed: 1,
+            params: Params::practical(0.5, 4, 0.45),
+            weights: None,
+            backend: Backend::Centralized,
+        }
+    }
+}
+
+impl BuildSpec {
+    /// Materializes the base graph this spec describes.
+    pub fn build_graph(&self) -> Graph {
+        let side = (self.n as f64).sqrt().round().max(2.0) as usize;
+        match self.workload {
+            Workload::Gnp => generators::gnp(self.n, self.deg as f64 / self.n as f64, self.seed),
+            Workload::Grid => generators::grid2d(side, side),
+            Workload::Path => generators::path(self.n),
+            Workload::PrefAttach => {
+                generators::preferential_attachment(self.n, (self.deg / 2).max(1), self.seed)
+            }
+            Workload::Torus => generators::torus2d(side, side),
+        }
+    }
+}
+
+/// Why a build (initial or rebuild) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The spec is unusable before the construction even starts.
+    InvalidSpec(String),
+    /// The construction itself rejected the parameters.
+    Session(SessionError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidSpec(msg) => write!(f, "invalid build spec: {msg}"),
+            BuildError::Session(e) => write!(f, "construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SessionError> for BuildError {
+    fn from(e: SessionError) -> Self {
+        BuildError::Session(e)
+    }
+}
+
+/// Which distance plane(s) a query touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Exact distances on the base graph only.
+    Exact,
+    /// Spanner distances only — the cheap leg a spanner exists for.
+    Spanner,
+    /// Both, plus the per-pair stretch (the default).
+    #[default]
+    Both,
+}
+
+impl QueryMode {
+    /// Parses `exact` / `spanner` / `both`.
+    pub fn parse(s: &str) -> Option<QueryMode> {
+        match s {
+            "exact" => Some(QueryMode::Exact),
+            "spanner" => Some(QueryMode::Spanner),
+            "both" => Some(QueryMode::Both),
+            _ => None,
+        }
+    }
+
+    fn wants_exact(&self) -> bool {
+        matches!(self, QueryMode::Exact | QueryMode::Both)
+    }
+
+    fn wants_spanner(&self) -> bool {
+        matches!(self, QueryMode::Spanner | QueryMode::Both)
+    }
+}
+
+/// One pair's answer. The outer `Option` distinguishes "not requested by
+/// the [`QueryMode`]" from the inner "unreachable in that graph".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairAnswer {
+    /// Exact distance in `G` (`None` = not requested; `Some(None)` =
+    /// disconnected pair).
+    pub exact: Option<Option<u32>>,
+    /// Distance in the spanner `H`.
+    pub spanner: Option<Option<u32>>,
+}
+
+impl PairAnswer {
+    /// `d_H / d_G` when both legs were computed and reachable, with the
+    /// `d_G = 0` diagonal reporting stretch 1.
+    pub fn stretch(&self) -> Option<f64> {
+        let exact = self.exact.flatten()?;
+        let spanner = self.spanner.flatten()?;
+        Some(if exact == 0 {
+            1.0
+        } else {
+            spanner as f64 / exact as f64
+        })
+    }
+}
+
+/// A query-time failure (HTTP 400, never a panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A vertex index is not in `0..n`.
+    OutOfRange {
+        /// The offending index.
+        v: usize,
+        /// The snapshot's vertex count.
+        n: usize,
+    },
+    /// A `/batch` request exceeded [`MAX_BATCH_PAIRS`].
+    TooManyPairs {
+        /// Pairs in the request.
+        got: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::OutOfRange { v, n } => {
+                write!(f, "vertex {v} out of range (n = {n})")
+            }
+            QueryError::TooManyPairs { got } => {
+                write!(
+                    f,
+                    "batch of {got} pairs exceeds the cap of {MAX_BATCH_PAIRS}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The warm, mutable query machinery of one snapshot: the oracle pair and
+/// the pooled batch buffers, reused across requests so the steady state
+/// allocates nothing new.
+struct QueryState {
+    oracles: Oracles,
+    /// Deduplicated batch sources (reused).
+    sources: Vec<usize>,
+    /// source vertex → row index in the batch fills (reused; cleared per
+    /// request, capacity retained).
+    source_slot: HashMap<usize, usize>,
+    exact_batch: DistanceBatch,
+    spanner_batch: DistanceBatch,
+}
+
+/// The oracle pair, in whichever flavor the spec's weight setting picked.
+enum Oracles {
+    Unweighted {
+        exact: SpannerOracle,
+        spanner: SpannerOracle,
+    },
+    Weighted {
+        exact: WeightedSpannerOracle,
+        spanner: WeightedSpannerOracle,
+    },
+}
+
+impl Oracles {
+    fn point(&mut self, graph: Which, u: usize, v: usize) -> Option<u32> {
+        match (self, graph) {
+            (Oracles::Unweighted { exact, .. }, Which::Exact) => exact.distance(u, v),
+            (Oracles::Unweighted { spanner, .. }, Which::Spanner) => spanner.distance(u, v),
+            (Oracles::Weighted { exact, .. }, Which::Exact) => exact.distance(u, v),
+            (Oracles::Weighted { spanner, .. }, Which::Spanner) => spanner.distance(u, v),
+        }
+    }
+
+    fn fill_batch(
+        &mut self,
+        graph: Which,
+        sources: &[usize],
+        out: &mut DistanceBatch,
+        pool: &WorkerPool,
+    ) {
+        match (self, graph) {
+            (Oracles::Unweighted { exact, .. }, Which::Exact) => {
+                exact.distances_batch_into(sources, out, pool)
+            }
+            (Oracles::Unweighted { spanner, .. }, Which::Spanner) => {
+                spanner.distances_batch_into(sources, out, pool)
+            }
+            (Oracles::Weighted { exact, .. }, Which::Exact) => {
+                exact.distances_batch_into(sources, out, pool)
+            }
+            (Oracles::Weighted { spanner, .. }, Which::Spanner) => {
+                spanner.distances_batch_into(sources, out, pool)
+            }
+        }
+    }
+
+    fn stats(&self) -> (OracleStats, OracleStats) {
+        match self {
+            Oracles::Unweighted { exact, spanner } => (exact.stats(), spanner.stats()),
+            Oracles::Weighted { exact, spanner } => (exact.stats(), spanner.stats()),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    Exact,
+    Spanner,
+}
+
+/// One immutable build result plus its warm query machinery — what every
+/// request clones an `Arc` of. See the module docs for the swap protocol.
+pub struct Snapshot {
+    /// Monotone version, bumped by every successful rebuild.
+    pub epoch: u64,
+    /// The spec this snapshot was built from.
+    pub spec: BuildSpec,
+    /// Vertices.
+    pub n: usize,
+    /// Edges in the base graph `G`.
+    pub graph_edges: usize,
+    /// Edges in the spanner `H`.
+    pub spanner_edges: usize,
+    /// Construction wall time in milliseconds.
+    pub build_wall_ms: f64,
+    /// Simulated CONGEST rounds of the construction (0 on the centralized
+    /// backend).
+    pub rounds: u64,
+    /// Messages of the construction (0 on the centralized backend).
+    pub messages: u64,
+    /// The schedule's stretch guarantees.
+    pub stretch: StretchSummary,
+    state: Mutex<QueryState>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a spec: generate the graph, run the
+    /// construction, and warm up the oracle pair.
+    pub fn build(spec: BuildSpec, epoch: u64) -> Result<Snapshot, BuildError> {
+        if spec.n < 2 {
+            return Err(BuildError::InvalidSpec(format!(
+                "n = {} is too small to serve distances",
+                spec.n
+            )));
+        }
+        let start = Instant::now();
+        let graph = spec.build_graph();
+        let report = Session::on(&graph)
+            .params(spec.params)
+            .backend(spec.backend)
+            .run()?;
+        let n = graph.num_vertices();
+        let graph_edges = graph.num_edges();
+        let spanner_edges = report.num_edges();
+        let oracles = match spec.weights {
+            None => Oracles::Unweighted {
+                spanner: SpannerOracle::new(report.to_graph()),
+                exact: SpannerOracle::new(graph),
+            },
+            Some(dist) => {
+                let weighted = WeightedGraph::from_graph(graph, dist, spec.seed);
+                Oracles::Weighted {
+                    spanner: WeightedSpannerOracle::new(report.to_weighted_graph(&weighted)),
+                    exact: WeightedSpannerOracle::new(weighted),
+                }
+            }
+        };
+        Ok(Snapshot {
+            epoch,
+            n,
+            graph_edges,
+            spanner_edges,
+            build_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            rounds: report.rounds(),
+            messages: report.messages(),
+            stretch: report.stretch,
+            spec,
+            state: Mutex::new(QueryState {
+                oracles,
+                sources: Vec::new(),
+                source_slot: HashMap::new(),
+                exact_batch: DistanceBatch::new(),
+                spanner_batch: DistanceBatch::new(),
+            }),
+        })
+    }
+
+    /// Whether this snapshot serves weighted distances.
+    pub fn weighted(&self) -> bool {
+        self.spec.weights.is_some()
+    }
+
+    fn check(&self, v: usize) -> Result<(), QueryError> {
+        if v < self.n {
+            Ok(())
+        } else {
+            Err(QueryError::OutOfRange { v, n: self.n })
+        }
+    }
+
+    /// One pair's distances under `mode`, from the warm single-row caches.
+    pub fn distance(&self, u: usize, v: usize, mode: QueryMode) -> Result<PairAnswer, QueryError> {
+        self.check(u)?;
+        self.check(v)?;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(PairAnswer {
+            exact: mode
+                .wants_exact()
+                .then(|| st.oracles.point(Which::Exact, u, v)),
+            spanner: mode
+                .wants_spanner()
+                .then(|| st.oracles.point(Which::Spanner, u, v)),
+        })
+    }
+
+    /// Many pairs at once: sources are deduplicated, each distinct source
+    /// costs one pooled BFS/SSSP row fill per requested plane, and the
+    /// batch buffers are reused across requests (zero allocation in the
+    /// steady state for same-shape batches).
+    pub fn batch(
+        &self,
+        pairs: &[(usize, usize)],
+        mode: QueryMode,
+        pool: &WorkerPool,
+    ) -> Result<Vec<PairAnswer>, QueryError> {
+        if pairs.len() > MAX_BATCH_PAIRS {
+            return Err(QueryError::TooManyPairs { got: pairs.len() });
+        }
+        for &(u, v) in pairs {
+            self.check(u)?;
+            self.check(v)?;
+        }
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let QueryState {
+            oracles,
+            sources,
+            source_slot,
+            exact_batch,
+            spanner_batch,
+        } = &mut *guard;
+        sources.clear();
+        source_slot.clear();
+        for &(u, _) in pairs {
+            let next = sources.len();
+            source_slot.entry(u).or_insert_with(|| {
+                sources.push(u);
+                next
+            });
+        }
+        if sources.is_empty() {
+            return Ok(Vec::new());
+        }
+        if mode.wants_exact() {
+            oracles.fill_batch(Which::Exact, sources, exact_batch, pool);
+        }
+        if mode.wants_spanner() {
+            oracles.fill_batch(Which::Spanner, sources, spanner_batch, pool);
+        }
+        Ok(pairs
+            .iter()
+            .map(|&(u, v)| {
+                let row = source_slot[&u];
+                PairAnswer {
+                    exact: mode.wants_exact().then(|| exact_batch.get(row, v)),
+                    spanner: mode.wants_spanner().then(|| spanner_batch.get(row, v)),
+                }
+            })
+            .collect())
+    }
+
+    /// The unified counter snapshots of the `(exact, spanner)` oracles.
+    pub fn oracle_stats(&self) -> (OracleStats, OracleStats) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .oracles
+            .stats()
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("n", &self.n)
+            .field("spanner_edges", &self.spanner_edges)
+            .field("weighted", &self.weighted())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The epoch-versioned snapshot cell (see the module docs for the swap
+/// protocol and consistency contract).
+pub struct Store {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes rebuilds; never held while answering queries.
+    rebuild_gate: Mutex<()>,
+    pool: Arc<WorkerPool>,
+}
+
+impl Store {
+    /// Builds the initial snapshot (epoch 1) and opens the store over the
+    /// process-wide worker pool.
+    pub fn open(spec: BuildSpec) -> Result<Store, BuildError> {
+        Store::open_with_pool(spec, nas_par::global_arc())
+    }
+
+    /// [`Store::open`] with an explicit worker pool (tests).
+    pub fn open_with_pool(spec: BuildSpec, pool: Arc<WorkerPool>) -> Result<Store, BuildError> {
+        let snapshot = Snapshot::build(spec, 1)?;
+        Ok(Store {
+            current: RwLock::new(Arc::new(snapshot)),
+            rebuild_gate: Mutex::new(()),
+            pool,
+        })
+    }
+
+    /// The current snapshot — a refcount bump; the returned `Arc` stays
+    /// valid (and consistent) across any number of concurrent rebuilds.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// The worker pool batch fills shard over. `nas-par` serializes
+    /// concurrent broadcasts internally, so connection threads may share
+    /// it freely.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Builds a new snapshot from `spec` and swaps it in atomically.
+    ///
+    /// The build runs on the calling thread with **no lock held** that any
+    /// reader needs: queries proceed against the old snapshot for the
+    /// whole build and only the final pointer swap takes the write lock
+    /// (for the duration of one `Arc` clone). Concurrent rebuilds are
+    /// serialized; each gets `previous epoch + 1`. On error the store is
+    /// untouched.
+    pub fn rebuild(&self, spec: BuildSpec) -> Result<Arc<Snapshot>, BuildError> {
+        let _gate = self.rebuild_gate.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.epoch() + 1;
+        let next = Arc::new(Snapshot::build(spec, epoch)?);
+        let swapped = Arc::clone(&next);
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = next;
+        Ok(swapped)
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> BuildSpec {
+        BuildSpec {
+            n: 300,
+            ..BuildSpec::default()
+        }
+    }
+
+    #[test]
+    fn build_and_query_point_and_batch() {
+        let store = Store::open_with_pool(small_spec(), Arc::new(WorkerPool::new(2))).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert!(!snap.weighted());
+        let a = snap.distance(0, 5, QueryMode::Both).unwrap();
+        // Spanner distances never undercut exact ones.
+        if let (Some(Some(e)), Some(Some(s))) = (a.exact, a.spanner) {
+            assert!(s >= e);
+            assert!(a.stretch().unwrap() >= 1.0);
+        }
+        // Batch answers match point answers pair for pair.
+        let pairs: Vec<(usize, usize)> = (0..20).map(|i| (i % 7, (i * 13) % 300)).collect();
+        let batch = snap.batch(&pairs, QueryMode::Both, store.pool()).unwrap();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let point = snap.distance(u, v, QueryMode::Both).unwrap();
+            assert_eq!(batch[i], point, "pair ({u}, {v})");
+        }
+        // Mode restriction leaves the other leg uncomputed.
+        let only = snap.distance(1, 2, QueryMode::Spanner).unwrap();
+        assert_eq!(only.exact, None);
+        assert!(only.spanner.is_some());
+        assert_eq!(only.stretch(), None);
+    }
+
+    #[test]
+    fn weighted_snapshots_serve_weighted_distances() {
+        let spec = BuildSpec {
+            weights: Some(WeightDist::Uniform { lo: 1, hi: 9 }),
+            ..small_spec()
+        };
+        let store = Store::open_with_pool(spec, Arc::new(WorkerPool::new(1))).unwrap();
+        let snap = store.snapshot();
+        assert!(snap.weighted());
+        let a = snap.distance(0, 250, QueryMode::Both).unwrap();
+        if let (Some(Some(e)), Some(Some(s))) = (a.exact, a.spanner) {
+            assert!(s >= e);
+        }
+        let (exact_stats, spanner_stats) = snap.oracle_stats();
+        assert!(exact_stats.traversals >= 1);
+        assert!(spanner_stats.traversals >= 1);
+    }
+
+    #[test]
+    fn rebuild_bumps_epoch_and_old_snapshots_stay_consistent() {
+        let store = Store::open_with_pool(small_spec(), Arc::new(WorkerPool::new(1))).unwrap();
+        let old = store.snapshot();
+        let before = old.distance(0, 7, QueryMode::Both).unwrap();
+        let rebuilt = store
+            .rebuild(BuildSpec {
+                seed: 2,
+                ..small_spec()
+            })
+            .unwrap();
+        assert_eq!(rebuilt.epoch, 2);
+        assert_eq!(store.epoch(), 2);
+        // The retained pre-swap Arc still answers — identically.
+        assert_eq!(old.epoch, 1);
+        assert_eq!(old.distance(0, 7, QueryMode::Both).unwrap(), before);
+        // Failed rebuilds leave the store untouched.
+        let err = store
+            .rebuild(BuildSpec {
+                n: 1,
+                ..small_spec()
+            })
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidSpec(_)));
+        assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn query_errors_are_typed() {
+        let store = Store::open_with_pool(small_spec(), Arc::new(WorkerPool::new(1))).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(
+            snap.distance(0, 300, QueryMode::Both).unwrap_err(),
+            QueryError::OutOfRange { v: 300, n: 300 }
+        );
+        let too_many = vec![(0usize, 1usize); MAX_BATCH_PAIRS + 1];
+        assert_eq!(
+            snap.batch(&too_many, QueryMode::Both, store.pool())
+                .unwrap_err(),
+            QueryError::TooManyPairs {
+                got: MAX_BATCH_PAIRS + 1
+            }
+        );
+        assert!(snap
+            .batch(&[], QueryMode::Both, store.pool())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in [
+            Workload::Gnp,
+            Workload::Grid,
+            Workload::Path,
+            Workload::PrefAttach,
+            Workload::Torus,
+        ] {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+            assert!(
+                BuildSpec {
+                    workload: w,
+                    n: 100,
+                    ..BuildSpec::default()
+                }
+                .build_graph()
+                .num_vertices()
+                    >= 99
+            );
+        }
+        assert_eq!(Workload::parse("mesh"), None);
+        assert_eq!(QueryMode::parse("exact"), Some(QueryMode::Exact));
+        assert_eq!(QueryMode::parse("nope"), None);
+    }
+}

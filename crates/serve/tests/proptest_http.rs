@@ -1,0 +1,269 @@
+//! Property tests for the hand-rolled HTTP/1.1 request parser.
+//!
+//! The parser sits directly on untrusted socket bytes, so the contract
+//! under test is blunt: **no input may panic it**, every well-formed
+//! request must parse identically no matter how the bytes are sliced
+//! across `push` calls, and malformed framing must surface as a typed
+//! [`HttpError`] rather than a wrong-but-plausible `Request`. Covered per
+//! the PR's acceptance bar: arbitrary garbage, malformed request lines,
+//! headers split across reads at every cut point, oversized and absent
+//! `Content-Length`, and pipelined keep-alive streams.
+//!
+//! The workspace's offline proptest stand-in has no regex string
+//! strategies, so printable strings are sampled as index vectors and
+//! mapped through small alphabets in the test bodies.
+
+use nas_serve::http::{HttpError, Method, Request, RequestParser, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+
+/// Maps sampled indices into lowercase identifiers (`[a-z]+`).
+fn letters(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| (b'a' + (i % 26) as u8) as char)
+        .collect()
+}
+
+/// Maps sampled indices into arbitrary printable ASCII (`[ -~]`, no CR/LF).
+fn printable(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| (b' ' + (i % 95) as u8) as char)
+        .collect()
+}
+
+/// Parses a complete byte string in one push, draining every request.
+fn parse_all(bytes: &[u8]) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    parser.push(bytes);
+    let mut out = Vec::new();
+    while let Some(req) = parser.next_request()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Feeds the same bytes in `chunk`-sized slices, draining after each
+/// push, so every cut point inside the request line, header names, and
+/// the CRLF pairs is eventually exercised.
+fn parse_chunked(bytes: &[u8], chunk: usize) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new();
+    let mut out = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        parser.push(piece);
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => out.push(req),
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic: every outcome is a parsed request, a
+    /// clean "need more bytes", or a typed error.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        bytes in prop::collection::vec(0u32..256, 0..512),
+        chunk in 1usize..64,
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = parse_all(&bytes);
+        let _ = parse_chunked(&bytes, chunk);
+    }
+
+    /// Printable-garbage lines (the realistic malformed-client case) are
+    /// rejected as typed errors — never misparsed into a request — unless
+    /// the line genuinely spells METHOD SP TARGET SP HTTP/1.x.
+    #[test]
+    fn malformed_request_lines_reject(
+        picks in prop::collection::vec(0usize..95, 0..80),
+    ) {
+        let line = printable(&picks);
+        let wire = format!("{line}\r\n\r\n");
+        if let Ok(reqs) = parse_all(wire.as_bytes()) {
+            for r in &reqs {
+                prop_assert!(
+                    line.contains("HTTP/1."),
+                    "parsed {:?} from garbage line {line:?}",
+                    r.path
+                );
+            }
+        }
+    }
+
+    /// A well-formed GET parses identically regardless of how the bytes
+    /// are split across reads — including cuts inside the request line,
+    /// inside header names, and between CR and LF.
+    #[test]
+    fn split_reads_are_invisible(
+        path_picks in prop::collection::vec(0usize..26, 1..9),
+        key_picks in prop::collection::vec(0usize..26, 1..6),
+        qv in 0usize..10_000,
+        header_picks in prop::collection::vec(0usize..95, 0..21),
+        chunk in 1usize..40,
+    ) {
+        let path_seg = letters(&path_picks);
+        let qk = letters(&key_picks);
+        let hv = printable(&header_picks);
+        let wire = format!(
+            "GET /{path_seg}?{qk}={qv} HTTP/1.1\r\nHost: x\r\nX-Tag: {hv}\r\n\r\n"
+        );
+        let whole = parse_all(wire.as_bytes()).expect("well-formed request");
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(whole[0].method, Method::Get);
+        prop_assert_eq!(&whole[0].path, &format!("/{path_seg}"));
+        prop_assert_eq!(whole[0].query_param(&qk), Some(qv.to_string().as_str()));
+        prop_assert!(whole[0].keep_alive);
+        let pieces = parse_chunked(wire.as_bytes(), chunk).expect("chunked parse");
+        prop_assert_eq!(pieces.len(), 1);
+        prop_assert_eq!(&pieces[0], &whole[0]);
+    }
+
+    /// POST bodies frame by Content-Length exactly: the parser waits for
+    /// the full body, takes not one byte more, and leaves the remainder
+    /// buffered for the next request.
+    #[test]
+    fn content_length_frames_exactly(
+        body in prop::collection::vec(0u32..256, 0..200),
+        trailing_len in 0usize..20,
+        chunk in 1usize..50,
+    ) {
+        let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+        let mut wire = format!(
+            "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(&body);
+        wire.extend(std::iter::repeat_n(b'G', trailing_len));
+
+        let mut parser = RequestParser::new();
+        for piece in wire.chunks(chunk.max(1)) {
+            parser.push(piece);
+        }
+        let req = parser
+            .next_request()
+            .expect("valid framing")
+            .expect("complete request");
+        prop_assert_eq!(req.method, Method::Post);
+        prop_assert_eq!(&req.body, &body);
+        // Exactly the trailing bytes remain buffered for the next request.
+        prop_assert_eq!(parser.pending(), trailing_len);
+    }
+
+    /// Bad Content-Length values (non-numeric, embedded junk) are typed
+    /// errors, not panics or misframes; only genuine numbers frame a body.
+    #[test]
+    fn bad_content_length_rejects(
+        picks in prop::collection::vec(0usize..95, 0..12),
+    ) {
+        let value = printable(&picks);
+        let wire = format!("POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\nxxxx");
+        match parse_all(wire.as_bytes()) {
+            Ok(reqs) => {
+                let parsed: usize = value
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("accepted Content-Length {value:?}"));
+                for r in &reqs {
+                    prop_assert_eq!(r.body.len(), parsed);
+                }
+            }
+            Err(e) => prop_assert!(
+                matches!(e, HttpError::BadContentLength | HttpError::BadHeader),
+                "unexpected error {:?} for Content-Length {:?}",
+                e,
+                value
+            ),
+        }
+    }
+
+    /// Pipelined keep-alive: `k` back-to-back requests pushed as one blob
+    /// (in arbitrary chunk sizes) come out as `k` requests in order.
+    #[test]
+    fn pipelined_requests_stream_in_order(
+        k in 1usize..6,
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for i in 0..k {
+            let body = format!("{{\"i\":{i}}}");
+            wire.extend_from_slice(
+                format!(
+                    "POST /batch?i={i} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        let reqs = parse_chunked(&wire, chunk).expect("pipelined parse");
+        prop_assert_eq!(reqs.len(), k);
+        for (i, r) in reqs.iter().enumerate() {
+            prop_assert_eq!(r.query_param("i"), Some(i.to_string().as_str()));
+            prop_assert_eq!(r.body.as_slice(), format!("{{\"i\":{i}}}").as_bytes());
+            prop_assert!(r.keep_alive);
+        }
+    }
+}
+
+// Deterministic edge cases that deserve exact assertions rather than
+// random sampling.
+
+#[test]
+fn oversized_head_is_rejected_not_buffered_forever() {
+    let mut parser = RequestParser::new();
+    parser.push(b"GET / HTTP/1.1\r\n");
+    let filler = format!("X-Pad: {}\r\n", "a".repeat(1000));
+    for _ in 0..(MAX_HEAD_BYTES / filler.len() + 2) {
+        parser.push(filler.as_bytes());
+    }
+    assert!(matches!(
+        parser.next_request(),
+        Err(HttpError::HeadTooLarge)
+    ));
+}
+
+#[test]
+fn oversized_content_length_is_rejected_up_front() {
+    // The parser must refuse before any body bytes arrive — a declared
+    // 8 GiB body cannot make it buffer.
+    let wire = b"POST / HTTP/1.1\r\nContent-Length: 8589934592\r\n\r\n";
+    let mut parser = RequestParser::new();
+    parser.push(wire);
+    assert!(matches!(
+        parser.next_request(),
+        Err(HttpError::BodyTooLarge | HttpError::BadContentLength)
+    ));
+}
+
+#[test]
+fn absent_content_length_means_empty_body() {
+    let reqs = parse_all(b"POST /rebuild HTTP/1.1\r\nHost: x\r\n\r\n").expect("parse");
+    assert_eq!(reqs.len(), 1);
+    assert!(reqs[0].body.is_empty());
+}
+
+#[test]
+fn transfer_encoding_is_refused() {
+    let wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    assert!(matches!(
+        parse_all(wire),
+        Err(HttpError::UnsupportedTransferEncoding)
+    ));
+}
+
+#[test]
+fn connection_close_turns_keep_alive_off() {
+    let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
+    assert!(!reqs[0].keep_alive);
+    let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").expect("parse");
+    assert!(!reqs[0].keep_alive, "HTTP/1.0 defaults to close");
+    let reqs = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("parse");
+    assert!(reqs[0].keep_alive, "explicit keep-alive overrides 1.0");
+}
