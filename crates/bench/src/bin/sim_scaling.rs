@@ -29,7 +29,19 @@
 //! Usage: `sim_scaling [--n N] [--threads T] [--compare-threads A,B,..]
 //!                     [--smoke] [--spanner-n N] [--audit-samples K]
 //!                     [--skip-spanner] [--workloads A,B,..]
-//!                     [--weights unit|uniform:C|range:LO:HI]`
+//!                     [--weights unit|uniform:C|range:LO:HI]
+//!                     [--store flat|compact] [--huge-n N]`
+//!
+//! `--store compact` routes the flood and spanner legs through the
+//! delta/varint [`CompactGraph`] plane: transcripts and spanners are
+//! bit-identical to the flat store (pinned by the golden-transcript and
+//! session tests), only the adjacency bytes shrink — each record then
+//! carries the measured `bytes_per_edge`. `--huge-n N` appends an
+//! order-of-magnitude leg at `N` (say `10^7`): a grid flood that builds
+//! the compact store, **drops the flat graph**, and floods entirely from
+//! compressed adjacency (the `leg_rss_mib` acceptance gate for 10^7-node
+//! runs), plus a grid spanner construction at the same `N` on the
+//! compact store.
 //!
 //! `--threads` sets the worker-pool lane count (default: `NAS_THREADS` env,
 //! else available parallelism); `--threads 1` runs the pure sequential path
@@ -56,8 +68,8 @@
 use nas_bench::BenchCli;
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
-use nas_core::{Backend, Report, Session};
-use nas_graph::{Graph, WeightDist, WeightedGraph};
+use nas_core::{Backend, Report, Session, Store};
+use nas_graph::{CompactGraph, Graph, WeightDist, WeightedGraph};
 use nas_metrics::{stretch_audit_sampled, stretch_audit_weighted_sampled};
 use nas_par::WorkerPool;
 use std::sync::Arc;
@@ -130,6 +142,14 @@ struct Record {
     /// Per-phase breakdown (`protocol == "spanner"` records only):
     /// `(name, CONGEST rounds, wall ms)` per protocol phase.
     phases: Vec<(String, u64, f64)>,
+    /// Which adjacency store the leg read — `"flat"` (u32 CSR) or
+    /// `"compact"` (delta/varint). Audit legs always run the flat
+    /// distance plane.
+    store: &'static str,
+    /// Measured compression of the compact store in bytes per undirected
+    /// edge (both directions' encodings plus the sampled offset index,
+    /// divided by `m`) — `None` (JSON `null`) on flat-store legs.
+    bytes_per_edge: Option<f64>,
 }
 
 /// Extra fields of an audit record.
@@ -186,11 +206,16 @@ impl Record {
                 .collect();
             format!(",\"phases\":[{}]", body.join(","))
         };
+        let bpe = match self.bytes_per_edge {
+            Some(v) if v.is_finite() => format!("{v:.3}"),
+            _ => "null".to_string(),
+        };
         // The workload names are generator slugs (alphanumerics, '(', ')',
         // ',', '.', '-') — no JSON escaping needed beyond quoting.
         format!(
             "{{\"protocol\":\"{}\",\"workload\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
-             \"backend\":\"{}\",\"weighted\":{},\"delta\":{},\
+             \"backend\":\"{}\",\"store\":\"{}\",\"bytes_per_edge\":{bpe},\
+             \"weighted\":{},\"delta\":{},\
              \"rounds\":{},\"messages\":{},\"busiest_round_messages\":{},\
              \"skipped_rounds\":{},\"knowledge_peak_bytes\":{},\
              \"wall_ms\":{:.3},\"mmsg_per_s\":{mmsg},\"peak_rss_process_mib\":{rss},\
@@ -201,6 +226,7 @@ impl Record {
             self.m,
             self.threads,
             self.backend,
+            self.store,
             self.weighted,
             json_u64(self.delta.map(u64::from)),
             json_u64(self.rounds),
@@ -225,10 +251,43 @@ fn write_bench_json(records: &[Record]) {
     }
 }
 
-fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
-    let n = g.num_vertices();
+/// The adjacency a flood leg reads from: a borrowed flat graph, or an
+/// owned compact store — the latter lets the 10^7 leg drop the flat graph
+/// before the run so `leg_rss_mib` measures the compressed plane alone.
+enum FloodStore<'g> {
+    Flat(&'g Graph),
+    Compact(Arc<CompactGraph>),
+}
+
+impl FloodStore<'_> {
+    fn n(&self) -> usize {
+        match self {
+            FloodStore::Flat(g) => g.num_vertices(),
+            FloodStore::Compact(c) => c.num_vertices(),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match self {
+            FloodStore::Flat(g) => g.num_edges(),
+            FloodStore::Compact(c) => c.num_edges(),
+        }
+    }
+}
+
+fn run_flood(name: &str, input: FloodStore<'_>, pool: Option<&Arc<WorkerPool>>) -> Record {
+    let n = input.n();
+    let m = input.m();
     let threads = pool.map(|p| p.threads()).unwrap_or(1);
-    let mut sim = Simulator::new(g, Flood::network(n, &[0]));
+    let programs = Flood::network(n, &[0]);
+    let (store, bytes_per_edge, mut sim) = match input {
+        FloodStore::Flat(g) => ("flat", None, Simulator::new(g, programs)),
+        FloodStore::Compact(c) => (
+            "compact",
+            Some(c.bytes_per_edge()),
+            Simulator::new_compact(c, programs),
+        ),
+    };
     if let Some(pool) = pool {
         sim.set_pool(Arc::clone(pool));
     }
@@ -239,20 +298,19 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
     let s = sim.stats();
     let reached = sim.programs().iter().filter(|p| p.dist.is_some()).count();
     println!(
-        "flood    | {name:<28} | n={n:>8} m={:>8} | threads={threads} | rounds={:>7} msgs={:>9} busiest={:>8} | reached={reached:>8} | {:>9.3?} ({:.2} Mmsg/s) | peak_rss={:.0} MiB",
-        g.num_edges(),
+        "flood    | {name:<28} | n={n:>8} m={m:>8} | threads={threads} store={store} | rounds={:>7} msgs={:>9} busiest={:>8} | reached={reached:>8} | {:>9.3?} ({:.2} Mmsg/s) | leg_rss={:.0} MiB",
         s.rounds,
         s.messages,
         s.busiest_round_messages,
         wall,
         s.messages as f64 / wall.as_secs_f64() / 1e6,
-        peak_rss_mib().unwrap_or(f64::NAN),
+        rss_now_mib().unwrap_or(f64::NAN),
     );
     Record {
         protocol: "flood",
         workload: name.to_string(),
         n,
-        m: g.num_edges(),
+        m,
         threads,
         backend: if threads > 1 {
             "congest-arena-par"
@@ -272,12 +330,18 @@ fn run_flood(name: &str, g: &Graph, pool: Option<&Arc<WorkerPool>>) -> Record {
         delta: None,
         audit: None,
         phases: Vec::new(),
+        store,
+        bytes_per_edge,
     }
 }
 
-fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
+fn run_spanner(name: &str, g: &Graph, threads: usize, store: Store) -> (Record, Report) {
     let n = g.num_vertices();
     let params = nas_core::Params::practical(0.5, 4, 0.45);
+    // The construction encodes its own store inside the Session; this
+    // second encode only prices the compression for the record.
+    let bytes_per_edge =
+        (store == Store::Compact).then(|| CompactGraph::from_graph(g).bytes_per_edge());
     let t = Instant::now();
     // No .threads() here: init_pool() already sized the process-wide pool
     // to --threads, and an unset knob inherits it — a dedicated per-run
@@ -285,6 +349,7 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
     let r = Session::on(g)
         .params(params)
         .backend(Backend::Congest)
+        .store(store)
         .run()
         .expect("valid parameters");
     let wall = t.elapsed();
@@ -328,6 +393,8 @@ fn run_spanner(name: &str, g: &Graph, threads: usize) -> (Record, Report) {
         delta: None,
         audit: None,
         phases,
+        store: store.name(),
+        bytes_per_edge,
     };
     (record, r)
 }
@@ -387,6 +454,8 @@ fn run_audit(name: &str, g: &Graph, report: &Report, threads: usize, samples: us
             effective_beta: audit.effective_beta,
         }),
         phases: Vec::new(),
+        store: "flat",
+        bytes_per_edge: None,
     }
 }
 
@@ -453,6 +522,8 @@ fn run_weighted_audit(
             effective_beta: audit.effective_beta,
         }),
         phases: Vec::new(),
+        store: "flat",
+        bytes_per_edge: None,
     }
 }
 
@@ -478,6 +549,11 @@ fn main() {
         None => vec![threads],
     };
     let seed = cli.seed(42);
+    // --store compact runs the flood/spanner legs off the delta/varint
+    // plane (bit-identical transcripts, bytes_per_edge recorded).
+    let store = cli.store();
+    // --huge-n N appends the order-of-magnitude grid legs at N.
+    let huge_n = cli.opt_usize("--huge-n");
     // The weighted audit leg runs unconditionally; --weights only changes
     // the distribution the seeded assignment draws from.
     let weight_dist = cli
@@ -512,7 +588,11 @@ fn main() {
     for &t in &flood_thread_counts {
         let pool = (t > 1).then(|| Arc::new(WorkerPool::new(t)));
         for (name, g) in &flood_suite {
-            records.push(run_flood(name, g, pool.as_ref()));
+            let input = match store {
+                Store::Flat => FloodStore::Flat(g),
+                Store::Compact => FloodStore::Compact(Arc::new(CompactGraph::from_graph(g))),
+            };
+            records.push(run_flood(name, input, pool.as_ref()));
         }
     }
 
@@ -552,7 +632,7 @@ fn main() {
             } else {
                 g
             };
-            let (record, report) = run_spanner(&name, &g, threads);
+            let (record, report) = run_spanner(&name, &g, threads, store);
             records.push(record);
             records.push(run_audit(&name, &g, &report, threads, audit_samples));
             records.push(run_weighted_audit(
@@ -565,6 +645,32 @@ fn main() {
                 seed,
             ));
         }
+    }
+
+    // The order-of-magnitude legs: a grid flood run entirely from the
+    // compact store (the flat graph is dropped before the simulation
+    // starts, so leg_rss_mib prices the compressed plane, not the u32
+    // CSR it was encoded from) and a grid spanner construction at the
+    // same size. Always compact — the whole point of --huge-n is the
+    // size the flat store cannot reach comfortably.
+    if let Some(huge_n) = huge_n {
+        let side = (huge_n as f64).sqrt().round().max(2.0) as usize;
+        let name = format!("grid({side}x{side})");
+        let compact = {
+            let g = nas_graph::generators::grid2d(side, side);
+            Arc::new(CompactGraph::from_graph(&g))
+            // flat grid dropped here
+        };
+        let pool = (threads > 1).then(|| Arc::new(WorkerPool::new(threads)));
+        records.push(run_flood(
+            &name,
+            FloodStore::Compact(compact),
+            pool.as_ref(),
+        ));
+
+        let g = nas_graph::generators::grid2d(side, side);
+        let (record, _report) = run_spanner(&name, &g, threads, Store::Compact);
+        records.push(record);
     }
 
     write_bench_json(&records);

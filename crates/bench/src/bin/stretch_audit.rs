@@ -3,7 +3,13 @@
 //! the measured effective β against the paper's worst-case envelope.
 //!
 //! Usage: `stretch_audit [--threads T] [--seed S] [--smoke]
-//!                       [--weights unit|uniform:C|range:LO:HI]`
+//!                       [--weights unit|uniform:C|range:LO:HI]
+//!                       [--store flat|compact]`
+//!
+//! `--store compact` re-runs every workload's construction on the CONGEST
+//! backend over the delta/varint compact adjacency plane and asserts the
+//! spanner edge set is identical to the audited flat run — the audit
+//! tables therefore apply to the compact store verbatim.
 //!
 //! `--threads` sizes the shared worker pool the audits fan their BFS runs
 //! out on (default: `NAS_THREADS` env, else available parallelism). The
@@ -19,7 +25,8 @@
 //! reports empirical figures — stretch, effective β, mean dilation — and
 //! asserts only connectivity, not the envelope.
 
-use nas_bench::{default_params, run_ours, workloads, BenchCli};
+use nas_bench::{default_params, run_ours, run_session_stored, workloads, BenchCli};
+use nas_core::{Backend, Store};
 use nas_graph::WeightedGraph;
 use nas_metrics::{stretch_audit_weighted, tables::fmt_f64, TableBuilder};
 
@@ -54,8 +61,23 @@ fn main() {
             "Δ (bucket width)",
         ])
     });
+    let store = cli.store();
     for (name, g) in workloads(n, seed) {
         let r = run_ours(&name, &g, params);
+        if store == Store::Compact {
+            // The compact plane must not change the object being audited:
+            // the CONGEST construction over delta/varint adjacency yields
+            // the same spanner edge for edge, so the table below covers it.
+            let rc = run_session_stored(&name, &g, params, Backend::Congest, store);
+            let mut flat: Vec<_> = r.result.spanner.iter().collect();
+            let mut compact: Vec<_> = rc.result.spanner.iter().collect();
+            flat.sort_unstable();
+            compact.sort_unstable();
+            assert_eq!(
+                flat, compact,
+                "{name}: compact-store spanner drifted from the flat run"
+            );
+        }
         let (alpha_env, env) = r.result.schedule.stretch_envelope();
         let ok = r.audit.satisfies(alpha_env - 1.0, env)
             && r.audit.effective_beta <= env

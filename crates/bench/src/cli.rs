@@ -16,6 +16,9 @@
 //! * `--weights SPEC` — edge-weight distribution for the weighted legs
 //!   ([`BenchCli::weight_dist`]): `unit`, `uniform:C` (every edge weight
 //!   `C`), or `range:LO:HI` (seeded uniform integers in `[LO, HI]`).
+//! * `--store flat|compact` — adjacency store for the simulated legs
+//!   ([`BenchCli::store`]): the flat u32 CSR, or the delta/varint
+//!   compressed plane (bit-identical transcripts, smaller resident set).
 //!
 //! Binaries with extra switches (e.g. `sim_scaling`'s
 //! `--compare-threads`) read them through the generic accessors
@@ -69,6 +72,20 @@ impl BenchCli {
             v.parse()
                 .unwrap_or_else(|_| panic!("{name} expects a numeric value, got {v:?}"))
         })
+    }
+
+    /// The `--store flat|compact` switch as a [`nas_core::Store`]
+    /// (default: flat).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message on an unknown store name.
+    pub fn store(&self) -> nas_core::Store {
+        match self.opt_str("--store").as_deref() {
+            None | Some("flat") => nas_core::Store::Flat,
+            Some("compact") => nas_core::Store::Compact,
+            Some(other) => panic!("--store expects flat or compact, got {other:?}"),
+        }
     }
 
     /// Like [`BenchCli::opt_usize`] for `u64` values.

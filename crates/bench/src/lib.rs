@@ -96,9 +96,23 @@ pub struct MeasuredRun {
 /// Runs a configured [`Session`] on a backend and audits the spanner
 /// exactly — the one measurement path every experiment shares.
 pub fn run_session(name: &str, g: &Graph, params: Params, backend: Backend) -> MeasuredRun {
+    run_session_stored(name, g, params, backend, nas_core::Store::Flat)
+}
+
+/// [`run_session`] with an explicit adjacency [`Store`](nas_core::Store) —
+/// the compact delta/varint plane produces bit-identical reports on the
+/// simulating backends, so audits and tables carry over verbatim.
+pub fn run_session_stored(
+    name: &str,
+    g: &Graph,
+    params: Params,
+    backend: Backend,
+    store: nas_core::Store,
+) -> MeasuredRun {
     let result = Session::on(g)
         .params(params)
         .backend(backend)
+        .store(store)
         .run()
         .expect("valid parameters");
     let audit = stretch_audit(g, &result.to_graph(), params.eps);

@@ -28,6 +28,7 @@
 //! from "was cancelled" without inspecting the observer.
 
 use crate::sim::{NodeProgram, Simulator};
+use nas_graph::CompactGraph;
 use nas_par::WorkerPool;
 use std::sync::Arc;
 
@@ -135,6 +136,12 @@ pub struct RunHooks<'a> {
     /// Defaults to `true`; the differential tests flip it to compare
     /// skip-enabled and skip-disabled executions of the same build.
     pub fast_forward: bool,
+    /// The compact adjacency store to put each attached simulator on
+    /// ([`Simulator::set_compact`]), if any. Must describe the same
+    /// topology as the graph the simulators are built over; this is how a
+    /// driver whose protocol entry points take `&Graph` opts every run of a
+    /// staged engine into the compact read path without signature changes.
+    pub compact: Option<Arc<CompactGraph>>,
 }
 
 impl RunHooks<'static> {
@@ -146,6 +153,7 @@ impl RunHooks<'static> {
             pool: None,
             stopped: false,
             fast_forward: true,
+            compact: None,
         }
     }
 }
@@ -158,16 +166,21 @@ impl<'a> RunHooks<'a> {
             pool: None,
             stopped: false,
             fast_forward: true,
+            compact: None,
         }
     }
 
-    /// Attaches the carried pool (if any) and the fast-forward setting to
-    /// `sim`. Call once per simulator, before running it.
+    /// Attaches the carried pool (if any), the fast-forward setting, and
+    /// the compact store (if any) to `sim`. Call once per simulator, before
+    /// running it.
     pub fn attach<P: NodeProgram + Send>(&self, sim: &mut Simulator<'_, P>) {
         if let Some(pool) = self.pool {
             sim.set_pool(Arc::clone(pool));
         }
         sim.set_fast_forward(self.fast_forward);
+        if let Some(store) = &self.compact {
+            sim.set_compact(Arc::clone(store));
+        }
     }
 }
 

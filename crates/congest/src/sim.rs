@@ -30,7 +30,7 @@ use crate::msg::{Incoming, Merge, Msg, MAX_WORDS};
 use crate::observe::{NoopRoundObserver, RoundInfo, RoundObserver};
 use crate::stats::RunStats;
 use crate::trace::{RoundDigest, Transcript};
-use nas_graph::Graph;
+use nas_graph::{CompactGraph, Graph};
 use nas_par::WorkerPool;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -386,6 +386,144 @@ pub(crate) fn build_port_maps(graph: &Graph) -> (&[u32], &[usize]) {
     (graph.rev_ports(), graph.csr_offsets())
 }
 
+/// The simulator's adjacency plane: either the flat CSR [`Graph`] (borrowed,
+/// zero-copy) or the delta/varint [`CompactGraph`] store (shared, decoded
+/// per visit into pooled scratch). Selected at construction
+/// ([`Simulator::new`] / [`Simulator::new_compact`]) or switched before the
+/// first round ([`Simulator::set_compact`]); both planes produce
+/// bit-identical transcripts, stats, and program states.
+enum Topology<'g> {
+    /// Borrowed flat CSR adjacency.
+    Flat(&'g Graph),
+    /// Shared compressed adjacency (no reverse-port table: sender ports are
+    /// recovered at delivery by binary search in the receiver's sorted
+    /// neighbor list).
+    Compact(Arc<CompactGraph>),
+}
+
+impl Topology<'_> {
+    fn num_vertices(&self) -> usize {
+        match self {
+            Topology::Flat(g) => g.num_vertices(),
+            Topology::Compact(c) => c.num_vertices(),
+        }
+    }
+
+    fn max_degree(&self) -> usize {
+        match self {
+            Topology::Flat(g) => g.max_degree(),
+            Topology::Compact(c) => c.max_degree(),
+        }
+    }
+}
+
+/// Monomorphized adjacency access for the round paths. The paths are generic
+/// over this trait, so each store gets its own specialized copy of
+/// `step_seq`/`step_par` — **no virtual call per neighbor** on the hot path.
+///
+/// The flat impl borrows neighbor slices straight from the CSR and resolves
+/// reverse ports from the graph's cached table. The compact impl decodes
+/// each visited vertex's adjacency into a pooled scratch `Vec` and defers
+/// port resolution: staged messages carry the *sender id* in `from_port`,
+/// converted to the receiver-side port after the scatter pass (and before
+/// the merge pass) by binary search in the receiver's sorted neighbor list.
+/// Sorted adjacency makes sender order equal port order, so delivery order,
+/// merge tie-breaks, and digests are bit-identical between the two stores.
+trait AdjAccess: Sync {
+    /// Whether staged `from_port` fields carry sender *ids* that must be
+    /// converted to ports at delivery time.
+    const DEFERRED_PORTS: bool;
+
+    /// `v`'s sorted neighbor ids. `scratch` is the pooled decode buffer;
+    /// the flat store ignores it and borrows from the CSR.
+    fn adj<'s>(&'s self, v: usize, scratch: &'s mut Vec<u32>) -> &'s [u32];
+
+    /// The reverse port of vertex `v` in the neighbor list of its `port`-th
+    /// neighbor. Only called when [`AdjAccess::DEFERRED_PORTS`] is false.
+    fn rev_port(&self, v: usize, port: usize) -> u32;
+
+    /// Shard-balancer weight proportional to `v`'s degree. The compact
+    /// store returns 0 (its degrees cost a decode); cut placement only ever
+    /// affects wall clock, never transcripts.
+    fn degree_weight(&self, v: usize) -> u64;
+}
+
+/// [`AdjAccess`] over the flat CSR: zero-copy neighbor slices plus the
+/// graph's cached reverse-port table.
+struct FlatAdj<'g> {
+    graph: &'g Graph,
+    rev: &'g [u32],
+    offs: &'g [usize],
+}
+
+impl<'g> FlatAdj<'g> {
+    fn new(graph: &'g Graph) -> Self {
+        let (rev, offs) = build_port_maps(graph);
+        FlatAdj { graph, rev, offs }
+    }
+}
+
+impl AdjAccess for FlatAdj<'_> {
+    const DEFERRED_PORTS: bool = false;
+
+    #[inline]
+    fn adj<'s>(&'s self, v: usize, _scratch: &'s mut Vec<u32>) -> &'s [u32] {
+        self.graph.neighbors(v)
+    }
+
+    #[inline]
+    fn rev_port(&self, v: usize, port: usize) -> u32 {
+        self.rev[self.offs[v] + port]
+    }
+
+    #[inline]
+    fn degree_weight(&self, v: usize) -> u64 {
+        (self.offs[v + 1] - self.offs[v]) as u64
+    }
+}
+
+/// [`AdjAccess`] over the compact store: decodes into pooled scratch and
+/// defers port resolution to the delivery-time conversion pass.
+struct CompactAdj {
+    store: Arc<CompactGraph>,
+}
+
+impl AdjAccess for CompactAdj {
+    const DEFERRED_PORTS: bool = true;
+
+    #[inline]
+    fn adj<'s>(&'s self, v: usize, scratch: &'s mut Vec<u32>) -> &'s [u32] {
+        self.store.decode_into(v, scratch);
+        scratch
+    }
+
+    fn rev_port(&self, _v: usize, _port: usize) -> u32 {
+        unreachable!("compact-store ports are deferred to the conversion pass")
+    }
+
+    #[inline]
+    fn degree_weight(&self, _v: usize) -> u64 {
+        0
+    }
+}
+
+/// Converts one freshly scattered inbox range from deferred sender ids to
+/// receiver-side ports: each entry's `from_port` currently holds the sender
+/// id; its port is the sender's position in the receiver's sorted neighbor
+/// list. Runs after the scatter pass and before the merge pass, so merge
+/// tie-breaks and next round's digests see exactly the flat store's values.
+fn convert_deferred_ports(range: &mut [Incoming], neighbors: &[u32]) {
+    for inc in range {
+        let s = inc.from_port;
+        let port = neighbors.partition_point(|&x| x < s);
+        debug_assert!(
+            port < neighbors.len() && neighbors[port] == s,
+            "staged sender {s} is not a neighbor of the receiver"
+        );
+        inc.from_port = port as u32;
+    }
+}
+
 /// Per-lane staging arena for the parallel visit phase. Allocated once when
 /// a pool is attached ([`Simulator::set_pool`]); reused every round, so the
 /// steady state stays allocation-free.
@@ -409,6 +547,8 @@ struct WorkerArena {
     words: u64,
     /// Messages staged by this lane this round.
     staged: u64,
+    /// Pooled adjacency decode buffer (compact store only; empty on flat).
+    adj: Vec<u32>,
 }
 
 /// Per-receiver-range merge scratch for the parallel counting/scatter
@@ -417,6 +557,8 @@ struct RangeArena {
     /// Receivers in this range staged this round, sorted ascending after the
     /// counting phase.
     touched: Vec<u32>,
+    /// Pooled adjacency decode buffer (compact store only; empty on flat).
+    adj: Vec<u32>,
 }
 
 /// State for the sharded parallel round path (see the crate-level
@@ -474,7 +616,10 @@ struct InboxRange {
 /// automatically; a non-`Send` program (e.g. one holding an `Rc`) would
 /// also be unusable on the parallel path by construction.
 pub struct Simulator<'g, P> {
-    graph: &'g Graph,
+    /// The adjacency plane: borrowed flat CSR or shared compact store.
+    topo: Topology<'g>,
+    /// Vertex count, cached off the topology.
+    n: usize,
     programs: Vec<P>,
     /// Flat arena of messages to deliver in the *upcoming* round, grouped by
     /// receiver via `inbox_ranges`.
@@ -523,15 +668,9 @@ pub struct Simulator<'g, P> {
     /// Scratch: msg_active ∪ nonidle when `due` is non-empty (the 3-way
     /// union is built as two 2-way merges).
     visit_pre: Vec<u32>,
-    /// Reverse port map, parallel to the CSR arc array: `rev_port[arc]` is
-    /// the port of the arc's *source* in the *target*'s neighbor list.
-    /// Borrowed from the graph's lazily-computed cache
-    /// ([`Graph::rev_ports`]), so every simulator over the same graph
-    /// shares one table.
-    rev_port: &'g [u32],
-    /// `arc_offsets[v]` is the index of `v`'s first arc in `rev_port` (the
-    /// graph's own CSR offsets, [`Graph::csr_offsets`]).
-    arc_offsets: &'g [usize],
+    /// Scratch: pooled adjacency decode buffer for the sequential path
+    /// (compact store only; stays empty on flat).
+    adj_scratch: Vec<u32>,
     round: u64,
     stats: RunStats,
     /// Scratch: per-port "sent" flags, reused across nodes and rounds.
@@ -566,12 +705,29 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     ///
     /// Panics if `programs.len() != graph.num_vertices()`.
     pub fn new(graph: &'g Graph, programs: Vec<P>) -> Self {
-        let n = graph.num_vertices();
+        Self::with_topology(Topology::Flat(graph), programs)
+    }
+
+    /// Creates a simulator whose adjacency reads come from the delta/varint
+    /// [`CompactGraph`] store — no flat CSR and no reverse-port table are
+    /// ever materialized. Transcripts, stats, and program states are
+    /// bit-identical to a flat-store run over the same topology (pinned by
+    /// the `compact_store` differential tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != store.num_vertices()`.
+    pub fn new_compact(store: Arc<CompactGraph>, programs: Vec<P>) -> Simulator<'static, P> {
+        Simulator::with_topology(Topology::Compact(store), programs)
+    }
+
+    fn with_topology(topo: Topology<'g>, programs: Vec<P>) -> Self {
+        let n = topo.num_vertices();
         assert_eq!(programs.len(), n, "need exactly one program per vertex");
-        let (rev_port, arc_offsets) = build_port_maps(graph);
-        let max_deg = graph.max_degree();
+        let max_deg = topo.max_degree();
         Simulator {
-            graph,
+            topo,
+            n,
             programs,
             inbox_data: Vec::new(),
             next_data: Vec::new(),
@@ -588,8 +744,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             timer_armed: vec![u64::MAX; n],
             due: Vec::new(),
             visit_pre: Vec::new(),
-            rev_port,
-            arc_offsets,
+            adj_scratch: Vec::new(),
             round: 0,
             stats: RunStats::new(),
             sent_scratch: vec![false; max_deg],
@@ -612,7 +767,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// rounds); the steady-state round stays zero-allocation, pool or not
     /// (pinned by `tests/zero_alloc.rs`).
     pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
-        let n = self.graph.num_vertices();
+        let n = self.n;
         let t = pool.threads();
         let max_deg = self.sent_scratch.len();
         let chunk = n.div_ceil(t).max(1);
@@ -626,11 +781,13 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                 wakes: Vec::new(),
                 words: 0,
                 staged: 0,
+                adj: Vec::new(),
             })
             .collect();
         let ranges = (0..t)
             .map(|_| RangeArena {
                 touched: Vec::new(),
+                adj: Vec::new(),
             })
             .collect();
         self.par = Some(ParPlane {
@@ -721,9 +878,51 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         self.transcript.as_ref()
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        self.graph
+    /// Switches an already-constructed (but not yet stepped) simulator onto
+    /// the compact adjacency store. `store` must describe exactly the same
+    /// topology as the graph the simulator was built over — this is how
+    /// driver code whose protocol entry points take `&Graph` (the staged
+    /// spanner engine) opts a run into the compact read path without
+    /// changing any signatures (see `RunHooks::attach`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any round has already executed, or if `store`'s vertex
+    /// count or maximum degree disagree with the current topology.
+    pub fn set_compact(&mut self, store: Arc<CompactGraph>) {
+        assert_eq!(
+            self.round, 0,
+            "set_compact must be called before the first round"
+        );
+        assert_eq!(
+            store.num_vertices(),
+            self.n,
+            "compact store does not match the simulator's topology"
+        );
+        assert_eq!(
+            store.max_degree(),
+            self.sent_scratch.len(),
+            "compact store does not match the simulator's topology"
+        );
+        self.topo = Topology::Compact(store);
+    }
+
+    /// The underlying flat graph, when this simulator runs on the flat
+    /// store (`None` in compact mode).
+    pub fn flat_graph(&self) -> Option<&'g Graph> {
+        match self.topo {
+            Topology::Flat(g) => Some(g),
+            Topology::Compact(_) => None,
+        }
+    }
+
+    /// The compact store, when this simulator runs on it (`None` in flat
+    /// mode).
+    pub fn compact_store(&self) -> Option<&Arc<CompactGraph>> {
+        match &self.topo {
+            Topology::Flat(_) => None,
+            Topology::Compact(c) => Some(c),
+        }
     }
 
     /// Read access to all node programs (e.g. to harvest results).
@@ -776,7 +975,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// [`NodeProgram::next_wake`]).
     pub fn active_nodes(&self) -> usize {
         if self.wake_all {
-            return self.graph.num_vertices();
+            return self.n;
         }
         // Count the union of the two sorted lists without materializing it.
         let (a, b) = (&self.msg_active, &self.nonidle);
@@ -821,10 +1020,32 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// parallel path with identical observable behavior.
     pub fn step(&mut self) {
         self.build_visit();
-        if self.par.is_some() && self.visit.len() >= self.par_threshold {
-            self.step_par();
-        } else {
-            self.step_seq();
+        let parallel = self.par.is_some() && self.visit.len() >= self.par_threshold;
+        // Resolve the adjacency plane once per round and monomorphize the
+        // round path over it (no per-neighbor dispatch). The flat adapter
+        // copies `'g` borrows out of the topology; the compact adapter
+        // clones the `Arc` — both outlive the `&mut self` round call.
+        match &self.topo {
+            Topology::Flat(g) => {
+                // Copies the `&'g Graph` out of the field so the adapter's
+                // borrows are independent of the `self.topo` borrow.
+                let adj = FlatAdj::new(g);
+                if parallel {
+                    self.step_par_impl(&adj);
+                } else {
+                    self.step_seq_impl(&adj);
+                }
+            }
+            Topology::Compact(c) => {
+                let adj = CompactAdj {
+                    store: Arc::clone(c),
+                };
+                if parallel {
+                    self.step_par_impl(&adj);
+                } else {
+                    self.step_seq_impl(&adj);
+                }
+            }
         }
     }
 
@@ -833,7 +1054,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
     /// whose timed wake-up is due, all sorted ascending —
     /// receiver-ascending digest order is part of the determinism contract.
     fn build_visit(&mut self) {
-        let n = self.graph.num_vertices();
+        let n = self.n;
         self.visit.clear();
         // Pop every timer at or before this round (normally exactly this
         // round: earlier keys were popped by earlier steps). Also done on a
@@ -864,16 +1085,19 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         }
     }
 
-    /// The sequential round path (visit list already built by `step`).
-    fn step_seq(&mut self) {
-        let n = self.graph.num_vertices();
+    /// The sequential round path (visit list already built by `step`),
+    /// monomorphized over the adjacency store. On the compact store, staged
+    /// `from_port` fields carry sender ids, converted to ports by the
+    /// conversion pass between scatter and merge (see [`AdjAccess`]).
+    fn step_seq_impl<A: AdjAccess>(&mut self, adj: &A) {
+        let n = self.n;
         let mut digest = self.transcript.is_some().then(RoundDigest::new);
         let mut sent_this_round = 0u64;
 
         // 2. Visit: deliver, digest, run the program, stage its sends.
         for idx in 0..self.visit.len() {
             let v = self.visit[idx] as usize;
-            let neighbors = self.graph.neighbors(v);
+            let neighbors = adj.adj(v, &mut self.adj_scratch);
             let deg = neighbors.len();
             let sent = &mut self.sent_scratch[..deg];
             sent.fill(false);
@@ -910,7 +1134,6 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             // Stage the outbox; actual routing happens in the counting +
             // scatter passes below. A broadcast record counts against every
             // neighbor here but stays one staged entry.
-            let arc_base = self.arc_offsets[v];
             for &(port, msg) in self.outbox_scratch.iter() {
                 if port == BCAST_PORT {
                     for &u in neighbors {
@@ -930,7 +1153,11 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                     sent_this_round += deg as u64;
                 } else {
                     let u = neighbors[port as usize];
-                    let from_port = self.rev_port[arc_base + port as usize];
+                    let from_port = if A::DEFERRED_PORTS {
+                        v as u32
+                    } else {
+                        adj.rev_port(v, port as usize)
+                    };
                     if self.count[u as usize] == 0 {
                         self.touched.push(u);
                     }
@@ -999,12 +1226,17 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         for &(u, inc) in &self.staged {
             if u == BCAST_RECV {
                 let s = inc.from_port as usize;
-                let arc_base = self.arc_offsets[s];
-                for (p, &u2) in self.graph.neighbors(s).iter().enumerate() {
+                let nb = adj.adj(s, &mut self.adj_scratch);
+                for (p, &u2) in nb.iter().enumerate() {
+                    let from_port = if A::DEFERRED_PORTS {
+                        s as u32
+                    } else {
+                        adj.rev_port(s, p)
+                    };
                     let rg = &mut self.inbox_ranges[u2 as usize];
                     let pos = rg.start as usize + rg.len as usize;
                     self.next_data[pos] = Incoming {
-                        from_port: self.rev_port[arc_base + p],
+                        from_port,
                         msg: inc.msg,
                     };
                     rg.len += 1;
@@ -1018,6 +1250,21 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         }
         for &r in &self.touched {
             self.count[r as usize] = 0;
+        }
+
+        // 5a. Conversion pass (compact store only): staged `from_port`
+        //     fields hold sender ids; resolve each to the sender's port in
+        //     the receiver's sorted neighbor list *before* the merge pass,
+        //     so merge tie-breaks and next round's digests see exactly the
+        //     flat store's values.
+        if A::DEFERRED_PORTS {
+            for &r in &self.touched {
+                let r = r as usize;
+                let rg = self.inbox_ranges[r];
+                let start = rg.start as usize;
+                let nb = adj.adj(r, &mut self.adj_scratch);
+                convert_deferred_ports(&mut self.next_data[start..start + rg.len as usize], nb);
+            }
         }
 
         // 5b. Merge pass: collapse each receiver's range when all its
@@ -1058,13 +1305,15 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         self.stats.busiest_round_messages = self.stats.busiest_round_messages.max(sent_this_round);
     }
 
-    /// The sharded parallel round path. Bit-identical to
-    /// [`step_seq`](Simulator::step_seq) at every thread count — see the
-    /// crate-level "Determinism under parallelism" notes for why contiguous
-    /// shards preserve the sender-ascending delivery order and the
-    /// receiver-ascending digest order.
-    fn step_par(&mut self) {
-        let n = self.graph.num_vertices();
+    /// The sharded parallel round path, monomorphized over the adjacency
+    /// store. Bit-identical to `step_seq_impl` at every thread count — see
+    /// the crate-level "Determinism under parallelism" notes for why
+    /// contiguous shards preserve the sender-ascending delivery order and
+    /// the receiver-ascending digest order. On the compact store, staged
+    /// `from_port` fields carry sender ids, converted to ports per receiver
+    /// range between scatter and merge (see [`AdjAccess`]).
+    fn step_par_impl<A: AdjAccess>(&mut self, adj: &A) {
+        let n = self.n;
 
         // Phase 0 (sequential): the delivery digest (the visit list was
         // built by `step`). The digest folds `(receiver, port, words)` in
@@ -1090,7 +1339,6 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         // Split-borrow the simulator so the phases below can hand disjoint
         // &mut pieces to the pool while sharing the read-only plane.
         let Simulator {
-            graph,
             programs,
             inbox_data,
             next_data,
@@ -1102,8 +1350,6 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             staged: _,
             nonidle_next,
             visit,
-            rev_port,
-            arc_offsets,
             timers,
             timer_armed,
             round,
@@ -1112,10 +1358,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             par,
             ..
         } = self;
-        let graph: &Graph = graph;
         let visit: &[u32] = visit;
-        let rev_port: &[u32] = rev_port;
-        let arc_offsets: &[usize] = arc_offsets;
         let round_now = *round;
         let par = par.as_mut().expect("step_par requires an attached pool");
         let ParPlane {
@@ -1147,7 +1390,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
             let inbox_ranges: &[InboxRange] = inbox_ranges;
             nas_par::fill_balanced_cuts_weighted(vcuts, visit.len(), t, |i| {
                 let v = visit[i] as usize;
-                1 + (arc_offsets[v + 1] - arc_offsets[v]) as u64 + u64::from(inbox_ranges[v].len)
+                1 + adj.degree_weight(v) + u64::from(inbox_ranges[v].len)
             });
         }
         pcuts.clear();
@@ -1192,7 +1435,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                     let base = pcuts[w];
                     for &vu in &visit[vcuts[w]..vcuts[w + 1]] {
                         let v = vu as usize;
-                        let neighbors = graph.neighbors(v);
+                        let neighbors = adj.adj(v, &mut arena.adj);
                         let deg = neighbors.len();
                         let sent = &mut arena.sent[..deg];
                         sent.fill(false);
@@ -1219,7 +1462,6 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                         );
                         progs[v - base].round(&mut ctx);
 
-                        let arc_base = arc_offsets[v];
                         for k in 0..arena.outbox.len() {
                             let (port, msg) = arena.outbox[k];
                             if port == BCAST_PORT {
@@ -1242,7 +1484,11 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                                 arena.staged += deg as u64;
                             } else {
                                 let u = neighbors[port as usize];
-                                let from_port = rev_port[arc_base + port as usize];
+                                let from_port = if A::DEFERRED_PORTS {
+                                    vu
+                                } else {
+                                    adj.rev_port(v, port as usize)
+                                };
                                 arena.buckets[u as usize / chunk]
                                     .push((u, Incoming { from_port, msg }));
                                 arena.words += msg.len() as u64;
@@ -1281,7 +1527,7 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                             if u == BCAST_RECV {
                                 // Broadcast record: count the sender's
                                 // neighbors inside this range.
-                                let nb = graph.neighbors(inc.from_port as usize);
+                                let nb = adj.adj(inc.from_port as usize, &mut range.adj);
                                 let a = nb.partition_point(|&x| x < lo);
                                 let b = nb.partition_point(|&x| x < hi);
                                 for &u2 in &nb[a..b] {
@@ -1376,15 +1622,17 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
         let merged_total = AtomicU64::new(0);
         {
             let workers_ro: &[WorkerArena] = workers;
-            let ranges_ro: &[RangeArena] = ranges;
             let merged_total = &merged_total;
-            nas_par::for_each_part_mut2(
+            nas_par::for_each_part_mut3(
                 pool,
                 &mut next_data[..acc],
                 dcuts,
                 inbox_ranges.as_mut_slice(),
                 ncuts,
-                |j, data_part, rng_part| {
+                ranges.as_mut_slice(),
+                ucuts,
+                |j, data_part, rng_part, range| {
+                    let range = &mut range[0];
                     let base = dcuts[j];
                     let lo = ncuts[j];
                     let hi = ncuts[j + 1];
@@ -1392,15 +1640,19 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                         for &(u, inc) in &arena.buckets[j] {
                             if u == BCAST_RECV {
                                 let s = inc.from_port as usize;
-                                let nb = graph.neighbors(s);
-                                let arc_base = arc_offsets[s];
+                                let nb = adj.adj(s, &mut range.adj);
                                 let a = nb.partition_point(|&x| (x as usize) < lo);
                                 let b = nb.partition_point(|&x| (x as usize) < hi);
                                 for (off, &u2) in nb[a..b].iter().enumerate() {
+                                    let from_port = if A::DEFERRED_PORTS {
+                                        s as u32
+                                    } else {
+                                        adj.rev_port(s, a + off)
+                                    };
                                     let rg = &mut rng_part[u2 as usize - lo];
                                     let pos = rg.start as usize + rg.len as usize;
                                     data_part[pos - base] = Incoming {
-                                        from_port: rev_port[arc_base + a + off],
+                                        from_port,
                                         msg: inc.msg,
                                     };
                                     rg.len += 1;
@@ -1413,8 +1665,23 @@ impl<'g, P: NodeProgram + Send> Simulator<'g, P> {
                             }
                         }
                     }
+                    // Conversion pass (compact store only): resolve deferred
+                    // sender ids to receiver-side ports before merging, so
+                    // merge tie-breaks and next round's digests see exactly
+                    // the flat store's values.
+                    if A::DEFERRED_PORTS {
+                        for &r in &range.touched {
+                            let rg = rng_part[r as usize - lo];
+                            let start = rg.start as usize - base;
+                            let nb = adj.adj(r as usize, &mut range.adj);
+                            convert_deferred_ports(
+                                &mut data_part[start..start + rg.len as usize],
+                                nb,
+                            );
+                        }
+                    }
                     let mut merged_here = 0u64;
-                    for &r in &ranges_ro[j].touched {
+                    for &r in &range.touched {
                         let r = r as usize;
                         let rg = rng_part[r - lo];
                         let len = rg.len as usize;

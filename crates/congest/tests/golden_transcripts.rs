@@ -9,17 +9,23 @@
 
 use nas_congest::programs::Flood;
 use nas_congest::Simulator;
-use nas_graph::generators;
+use nas_graph::{generators, CompactGraph};
 use nas_par::WorkerPool;
 use std::sync::Arc;
 
-fn run_flood_with(
+fn run_flood_store(
     g: &nas_graph::Graph,
     sources: &[usize],
     pool: Option<Arc<WorkerPool>>,
     fast_forward: bool,
+    compact: bool,
 ) -> (u64, usize, u64, u64, u64) {
-    let mut sim = Simulator::new(g, Flood::network(g.num_vertices(), sources));
+    let programs = Flood::network(g.num_vertices(), sources);
+    let mut sim = if compact {
+        Simulator::new_compact(Arc::new(CompactGraph::from_graph(g)), programs)
+    } else {
+        Simulator::new(g, programs)
+    };
     if let Some(pool) = pool {
         sim.set_pool(pool);
         // The golden graphs are small; force the parallel path so the
@@ -33,6 +39,15 @@ fn run_flood_with(
     let t = sim.transcript().unwrap();
     let s = sim.stats();
     (t.digest(), t.len(), s.rounds, s.messages, s.words)
+}
+
+fn run_flood_with(
+    g: &nas_graph::Graph,
+    sources: &[usize],
+    pool: Option<Arc<WorkerPool>>,
+    fast_forward: bool,
+) -> (u64, usize, u64, u64, u64) {
+    run_flood_store(g, sources, pool, fast_forward, false)
 }
 
 fn run_flood(g: &nas_graph::Graph, sources: &[usize]) -> (u64, usize, u64, u64, u64) {
@@ -111,6 +126,32 @@ fn flood_transcripts_match_pre_refactor_goldens() {
             c.name
         );
         assert_eq!(words, c.messages, "{}: words drifted with ff off", c.name);
+
+        // The compact delta/varint store must reproduce the same goldens
+        // verbatim — the store changes how adjacency is *read*, never what
+        // the network observably does — sequentially and sharded.
+        let (digest, len, rounds, messages, words) =
+            run_flood_store(&c.graph, &c.sources, None, true, true);
+        assert_eq!(digest, c.digest, "{}: digest drifted on compact", c.name);
+        assert_eq!(len, c.rounds, "{}: length drifted on compact", c.name);
+        assert_eq!(
+            rounds, c.rounds as u64,
+            "{}: rounds drifted on compact",
+            c.name
+        );
+        assert_eq!(
+            messages, c.messages,
+            "{}: messages drifted on compact",
+            c.name
+        );
+        assert_eq!(words, c.messages, "{}: words drifted on compact", c.name);
+        let pool = Arc::new(WorkerPool::new(4));
+        let (digest, ..) = run_flood_store(&c.graph, &c.sources, Some(pool), true, true);
+        assert_eq!(
+            digest, c.digest,
+            "{}: digest drifted on pooled compact",
+            c.name
+        );
 
         // The same goldens must hold verbatim on the sharded parallel path
         // at every thread count — the transcripts are part of the public

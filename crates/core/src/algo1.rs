@@ -137,11 +137,13 @@ impl SmallKnowledge {
         match self.entries.binary_search_by_key(&c, |&(k, _)| k) {
             Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, e)),
             Err(i) => {
-                // Skip the 1→2→4 growth ladder: nearly every table that
-                // gets one entry gets several (a node hears from most of
-                // its neighbors), so start at a small chunk.
+                // Skip the 1→2 growth step: nearly every table that gets
+                // one entry gets several (a node hears from most of its
+                // neighbors). Kept to 4 — at 10^7 vertices every entry of
+                // initial reserve is ~120 MiB of RSS, so the floor is the
+                // knowledge plane's biggest memory lever.
                 if self.entries.capacity() == 0 {
-                    self.entries.reserve(8);
+                    self.entries.reserve(4);
                 }
                 self.entries.insert(i, (c, e));
                 None
@@ -168,6 +170,14 @@ impl SmallKnowledge {
     /// allocator actually holds).
     pub fn heap_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<(u32, KnownCenter)>()
+    }
+
+    /// Drops excess capacity (reserve floor, growth slack). Harvest paths
+    /// call this on every table they retain: the knowledge plane lives on
+    /// through interconnection, and at 10^7 vertices the slack alone is
+    /// hundreds of MiB of RSS.
+    pub fn shrink_to_fit(&mut self) {
+        self.entries.shrink_to_fit();
     }
 }
 
@@ -398,6 +408,11 @@ pub fn algo1_centralized(g: &Graph, is_center: &[bool], deg: usize, delta: u64) 
 
     let popular = collect_popular(&knowledge, is_center, deg);
     note_knowledge_peak(&knowledge);
+    // Peak noted; the retained tables go on a diet for the rest of the
+    // phase (interconnection reads them but never grows them).
+    for k in &mut knowledge {
+        k.shrink_to_fit();
+    }
     PopularityInfo {
         knowledge,
         popular,
@@ -684,13 +699,19 @@ pub fn algo1_distributed_hooked(
     hooks.attach(&mut sim);
     sim.run_rounds_observed(algo1_rounds(deg, delta), hooks);
     let stats = *sim.stats();
-    let knowledge: Vec<Knowledge> = sim
+    let mut knowledge: Vec<Knowledge> = sim
         .into_programs()
         .into_iter()
         .map(|p| p.into_knowledge())
         .collect();
     let popular = collect_popular(&knowledge, is_center, deg);
     note_knowledge_peak(&knowledge);
+    // Peak noted; shrink what the rest of the phase retains (see the
+    // centralized twin) — the reserve floor and growth slack dominate RSS
+    // at 10^7 vertices.
+    for k in &mut knowledge {
+        k.shrink_to_fit();
+    }
     (
         PopularityInfo {
             knowledge,

@@ -45,7 +45,7 @@ use crate::engine::{CentralizedEngine, CongestEngine, PhaseEngine};
 use crate::params::{ParamError, Params, Schedule};
 use crate::session::{Conduit, SessionError};
 use nas_congest::{RunHooks, RunStats};
-use nas_graph::{EdgeSet, Graph};
+use nas_graph::{CompactGraph, EdgeSet, Graph};
 use nas_par::WorkerPool;
 use nas_ruling::RulingParams;
 use serde::{Deserialize, Serialize};
@@ -168,18 +168,26 @@ pub fn build_with_engine<E: PhaseEngine>(
     engine: &mut E,
 ) -> Result<SpannerResult, ParamError> {
     let mut ctl = Conduit::noop();
-    build_with_engine_ctl(g, params, engine, &mut ctl, None).map_err(SessionError::expect_param)
+    build_with_engine_ctl(g, params, engine, &mut ctl, None, None)
+        .map_err(SessionError::expect_param)
 }
 
 /// Builds the per-call execution hooks an engine operation runs under: the
-/// conduit as the round observer, plus the session's worker pool.
-fn hooks<'a>(ctl: &'a mut Conduit<'_>, pool: Option<&'a Arc<WorkerPool>>) -> RunHooks<'a> {
+/// conduit as the round observer, the session's worker pool, and (when the
+/// session selected the compact store) the shared [`CompactGraph`] every
+/// attached simulator reads its adjacency from.
+fn hooks<'a>(
+    ctl: &'a mut Conduit<'_>,
+    pool: Option<&'a Arc<WorkerPool>>,
+    store: Option<&Arc<CompactGraph>>,
+) -> RunHooks<'a> {
     let fast_forward = ctl.fast_forward_enabled();
     RunHooks {
         observer: Some(ctl),
         pool,
         stopped: false,
         fast_forward,
+        compact: store.map(Arc::clone),
     }
 }
 
@@ -194,6 +202,7 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
     engine: &mut E,
     ctl: &mut Conduit<'_>,
     pool: Option<&Arc<WorkerPool>>,
+    store: Option<&Arc<CompactGraph>>,
 ) -> Result<SpannerResult, SessionError> {
     let n = g.num_vertices();
     let schedule = params.schedule(n)?;
@@ -241,8 +250,14 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
         }
 
         // --- Step 1: Algorithm 1 (popular detection + neighborhood maps) ---
-        let info =
-            engine.detect_popular(g, &centers, &is_center, deg, delta, &mut hooks(ctl, pool));
+        let info = engine.detect_popular(
+            g,
+            &centers,
+            &is_center,
+            deg,
+            delta,
+            &mut hooks(ctl, pool, store),
+        );
         ctl.bail()?;
         let w_i = info.popular.clone();
 
@@ -250,10 +265,16 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
         let (u_centers, assignment, rs_len, sc_edges) = if i < ell {
             let q = u32::try_from(2 * delta).expect("2δ fits u32 by MAX_DELTA");
             let rp = RulingParams::new(q.max(1), schedule.ruling_c);
-            let rs = engine.ruling_set(g, &w_i, rp, &mut hooks(ctl, pool));
+            let rs = engine.ruling_set(g, &w_i, rp, &mut hooks(ctl, pool, store));
             ctl.bail()?;
             let depth = schedule.sc_depth(i);
-            let sc = engine.supercluster(g, &rs.members, &centers, depth, &mut hooks(ctl, pool));
+            let sc = engine.supercluster(
+                g,
+                &rs.members,
+                &centers,
+                depth,
+                &mut hooks(ctl, pool, store),
+            );
             // A cancelled superclustering run is truncated garbage — bail
             // before the Lemma 2.4 assertion can fire on it.
             ctl.bail()?;
@@ -282,7 +303,14 @@ pub(crate) fn build_with_engine_ctl<E: PhaseEngine>(
 
         // --- Step 3: interconnection from the settled clusters ---
         let h_before = h.len();
-        let inter = engine.interconnect(g, &info, &u_centers, deg, delta, &mut hooks(ctl, pool));
+        let inter = engine.interconnect(
+            g,
+            &info,
+            &u_centers,
+            deg,
+            delta,
+            &mut hooks(ctl, pool, store),
+        );
         ctl.bail()?;
         h.union_with(&inter.edges);
         let interconnect_edges = h.len() - h_before;

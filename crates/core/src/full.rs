@@ -34,7 +34,7 @@ use crate::params::{ParamError, Params, Schedule};
 use crate::session::{Conduit, SessionError};
 use crate::supercluster::SuperclusterProtocol;
 use nas_congest::{NodeProgram, RoundCtx, RunStats, Simulator};
-use nas_graph::{EdgeSet, Graph};
+use nas_graph::{CompactGraph, EdgeSet, Graph};
 use nas_par::WorkerPool;
 use nas_ruling::{RulingParams, RulingProtocol};
 use std::sync::Arc;
@@ -238,7 +238,8 @@ pub fn run_full_protocol(g: &Graph, params: Params) -> Result<FullProtocolResult
     let pool = (global.threads() > 1).then_some(global);
     let mut ctl = Conduit::noop();
     let (spanner, stats, schedule, _phases) =
-        run_full_ctl(g, params, &mut ctl, pool.as_ref()).map_err(SessionError::expect_param)?;
+        run_full_ctl(g, params, &mut ctl, pool.as_ref(), None)
+            .map_err(SessionError::expect_param)?;
     Ok(FullProtocolResult {
         spanner,
         stats,
@@ -261,6 +262,7 @@ pub(crate) fn run_full_ctl(
     params: Params,
     ctl: &mut Conduit<'_>,
     pool: Option<&Arc<WorkerPool>>,
+    store: Option<&Arc<CompactGraph>>,
 ) -> Result<(EdgeSet, RunStats, Schedule, Vec<PhaseStats>), SessionError> {
     let n = g.num_vertices();
     let schedule = params.schedule(n)?;
@@ -271,6 +273,9 @@ pub(crate) fn run_full_ctl(
     let mut sim = Simulator::new(g, programs);
     if let Some(pool) = pool {
         sim.set_pool(Arc::clone(pool));
+    }
+    if let Some(store) = store {
+        sim.set_compact(Arc::clone(store));
     }
     sim.set_fast_forward(ctl.fast_forward_enabled());
     let mut phases = Vec::with_capacity(windows.len());

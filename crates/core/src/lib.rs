@@ -87,5 +87,5 @@ pub use local::build_local;
 pub use local::{LocalEngine, LocalRunResult};
 pub use params::{betas, Mode, ParamError, Params, Schedule};
 pub use session::{
-    Backend, Event, EventLog, Observer, Report, Session, SessionError, StretchSummary,
+    Backend, Event, EventLog, Observer, Report, Session, SessionError, Store, StretchSummary,
 };

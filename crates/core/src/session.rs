@@ -70,7 +70,7 @@ use crate::full::run_full_ctl;
 use crate::local::LocalEngine;
 use crate::params::{Mode, ParamError, Params, Schedule};
 use nas_congest::{RoundInfo, RoundObserver, RunStats};
-use nas_graph::{EdgeSet, Graph, WeightedGraph};
+use nas_graph::{CompactGraph, EdgeSet, Graph, WeightedGraph};
 use nas_par::WorkerPool;
 use std::fmt;
 use std::sync::Arc;
@@ -114,6 +114,43 @@ impl Backend {
 }
 
 impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which adjacency representation the **simulating** backends read.
+///
+/// Transcripts, spanners, stats — everything a run reports — are
+/// bit-identical between the stores (pinned by differential tests down in
+/// `nas-congest`); the knob trades decode time for memory. On
+/// [`Backend::Centralized`] and [`Backend::Local`] nothing is simulated, so
+/// the knob has no effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Store {
+    /// The flat CSR of the input [`Graph`] plus a lazily built
+    /// reverse-port table — fastest, `O(m)` extra memory.
+    #[default]
+    Flat,
+    /// The delta/varint [`nas_graph::CompactGraph`]: the
+    /// session encodes the input graph once and every simulator decodes
+    /// adjacency per visit into pooled scratch. No reverse-port table is
+    /// ever materialized; ~3–6× less adjacency memory at the cost of
+    /// decode work.
+    Compact,
+}
+
+impl Store {
+    /// A short stable name, for logs and benchmark records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Store::Flat => "flat",
+            Store::Compact => "compact",
+        }
+    }
+}
+
+impl fmt::Display for Store {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -301,6 +338,9 @@ pub struct StretchSummary {
 pub struct Report {
     /// The backend that executed the run.
     pub backend: Backend,
+    /// The adjacency store the run's simulators read ([`Store::Flat`]
+    /// whenever nothing was simulated).
+    pub store: Store,
     /// The parameters the run was configured with.
     pub params: Params,
     /// The fully derived per-phase schedule.
@@ -575,6 +615,7 @@ pub struct Session<'g, 'o> {
     graph: &'g Graph,
     params: Params,
     backend: Backend,
+    store: Store,
     threads: Option<usize>,
     round_budget: Option<u64>,
     fast_forward: bool,
@@ -588,6 +629,7 @@ impl<'g> Session<'g, 'static> {
             graph,
             params: Params::practical(0.5, 4, 0.45),
             backend: Backend::default(),
+            store: Store::default(),
             threads: None,
             round_budget: None,
             fast_forward: true,
@@ -653,6 +695,17 @@ impl<'g, 'o> Session<'g, 'o> {
         self
     }
 
+    /// Selects the adjacency store the simulating backends read (default
+    /// [`Store::Flat`]). With [`Store::Compact`] the session encodes the
+    /// graph into a [`nas_graph::CompactGraph`] once and
+    /// every simulator of the run decodes neighbors on the fly — reports
+    /// stay bit-identical, only memory and wall clock move. A no-op on the
+    /// non-simulating backends.
+    pub fn store(mut self, store: Store) -> Self {
+        self.store = store;
+        self
+    }
+
     /// Sizes the worker pool the simulating backends shard their rounds
     /// over. `1` forces pure sequential execution; values `> 1` create a
     /// dedicated pool for this run. Unset inherits the process-wide pool
@@ -692,6 +745,7 @@ impl<'g, 'o> Session<'g, 'o> {
             graph: self.graph,
             params: self.params,
             backend: self.backend,
+            store: self.store,
             threads: self.threads,
             round_budget: self.round_budget,
             fast_forward: self.fast_forward,
@@ -711,6 +765,7 @@ impl<'g, 'o> Session<'g, 'o> {
             graph,
             params,
             backend,
+            store,
             threads,
             round_budget,
             fast_forward,
@@ -729,6 +784,12 @@ impl<'g, 'o> Session<'g, 'o> {
                 (global.threads() > 1).then_some(global)
             }
         };
+        // The compact store only changes what *simulators* read; encode it
+        // once here so every sub-simulation of the run shares one copy.
+        // Non-simulating backends never decode it — skip the encode.
+        let wants_store = matches!(backend, Backend::Congest | Backend::Full);
+        let compact: Option<Arc<CompactGraph>> = (wants_store && store == Store::Compact)
+            .then(|| Arc::new(CompactGraph::from_graph(graph)));
         let mut conduit = Conduit::new(observer, round_budget);
         conduit.set_fast_forward(fast_forward);
         let start = Instant::now();
@@ -739,6 +800,7 @@ impl<'g, 'o> Session<'g, 'o> {
                 &mut CentralizedEngine,
                 &mut conduit,
                 pool.as_ref(),
+                compact.as_ref(),
             )?,
             Backend::Congest => build_with_engine_ctl(
                 graph,
@@ -746,6 +808,7 @@ impl<'g, 'o> Session<'g, 'o> {
                 &mut CongestEngine::new(),
                 &mut conduit,
                 pool.as_ref(),
+                compact.as_ref(),
             )?,
             Backend::Local => build_with_engine_ctl(
                 graph,
@@ -753,10 +816,11 @@ impl<'g, 'o> Session<'g, 'o> {
                 &mut LocalEngine::new(),
                 &mut conduit,
                 pool.as_ref(),
+                compact.as_ref(),
             )?,
             Backend::Full => {
                 let (spanner, stats, schedule, phases) =
-                    run_full_ctl(graph, params, &mut conduit, pool.as_ref())?;
+                    run_full_ctl(graph, params, &mut conduit, pool.as_ref(), compact.as_ref())?;
                 SpannerResult {
                     spanner,
                     schedule,
@@ -773,6 +837,11 @@ impl<'g, 'o> Session<'g, 'o> {
         let (alpha_envelope, beta_envelope) = built.schedule.stretch_envelope();
         Ok(Report {
             backend,
+            store: if compact.is_some() {
+                Store::Compact
+            } else {
+                Store::Flat
+            },
             params,
             stretch: StretchSummary {
                 alpha_nominal: built.schedule.alpha_nominal(),
@@ -827,6 +896,36 @@ mod tests {
         assert!(reports[0].settled.iter().all(|s| s.is_some()));
         assert_eq!(reports[0].settled, reports[1].settled);
         assert!(reports[3].settled.is_empty());
+    }
+
+    #[test]
+    fn compact_store_reports_are_bit_identical() {
+        let g = generators::connected_gnp(40, 0.12, 21);
+        for backend in [Backend::Congest, Backend::Full] {
+            let flat = Session::on(&g).backend(backend).run().unwrap();
+            assert_eq!(flat.store, Store::Flat);
+            for threads in [1usize, 4] {
+                let compact = Session::on(&g)
+                    .backend(backend)
+                    .store(Store::Compact)
+                    .threads(threads)
+                    .run()
+                    .unwrap();
+                assert_eq!(compact.store, Store::Compact);
+                assert_eq!(
+                    sorted(&compact.spanner),
+                    sorted(&flat.spanner),
+                    "{backend} spanner drifted on compact at {threads} threads"
+                );
+                assert_eq!(compact.stats, flat.stats, "{backend} stats drifted");
+                assert_eq!(compact.settled, flat.settled, "{backend} settled drifted");
+                assert_eq!(compact.phases, flat.phases, "{backend} phases drifted");
+            }
+        }
+        // On a non-simulating backend the knob is a recorded no-op.
+        let r = Session::on(&g).store(Store::Compact).run().unwrap();
+        assert_eq!(r.store, Store::Flat);
+        assert_eq!(Store::Compact.to_string(), "compact");
     }
 
     #[test]

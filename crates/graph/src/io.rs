@@ -1,6 +1,6 @@
 //! Reading and writing graphs in simple interchange formats.
 //!
-//! Four formats are supported:
+//! Five formats are supported:
 //!
 //! * **edge list** — one `u v` pair per line, `#`-comments allowed; the
 //!   vertex count is `max id + 1` unless a `p <n>` header line is present;
@@ -12,15 +12,29 @@
 //!   `a u v w` arc lines (1-based ids), the format of the DIMACS
 //!   shortest-path challenge road graphs. Each undirected edge may appear
 //!   as one arc or both; parallel arcs collapse to the lightest weight.
+//! * **compact binary** — a [`CompactGraph`] serialized verbatim
+//!   ([`write_compact`] / [`read_compact`]): a fixed header followed by
+//!   the delta/varint block stream and the sampled offset index. The
+//!   cheapest way to ship a large graph — no re-encoding on either side,
+//!   and the on-disk size equals the in-memory compact footprint.
 //!
 //! These cover the common ways real-world benchmark graphs are shipped, so
 //! the experiment binaries can run on external inputs too.
+//!
+//! # Streaming
+//!
+//! Every text reader works line-by-line through one reused buffer — no
+//! reader materializes the input, and with a header present edges flow
+//! straight into the graph builder, so peak memory is the builder's edge
+//! buffer, never the file. Malformed lines and out-of-range endpoints are
+//! reported with their 1-based line number the moment they are read.
 
 use crate::builder::GraphBuilder;
+use crate::compact::{CompactError, CompactGraph};
 use crate::graph::Graph;
 use crate::weighted::{WeightedGraph, WeightedGraphBuilder};
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Errors from graph parsing.
 #[derive(Debug)]
@@ -43,6 +57,10 @@ pub enum ParseGraphError {
         /// The declared vertex count.
         n: usize,
     },
+    /// A compact binary stream with a wrong magic or unsupported version.
+    BadHeader(String),
+    /// A compact binary payload that failed structural validation.
+    Corrupt(CompactError),
 }
 
 impl fmt::Display for ParseGraphError {
@@ -55,6 +73,8 @@ impl fmt::Display for ParseGraphError {
             ParseGraphError::VertexOutOfRange { line, vertex, n } => {
                 write!(f, "line {line}: vertex {vertex} out of range (n = {n})")
             }
+            ParseGraphError::BadHeader(why) => write!(f, "bad compact header: {why}"),
+            ParseGraphError::Corrupt(e) => write!(f, "corrupt compact payload: {e}"),
         }
     }
 }
@@ -63,6 +83,7 @@ impl std::error::Error for ParseGraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Corrupt(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +92,31 @@ impl std::error::Error for ParseGraphError {
 impl From<std::io::Error> for ParseGraphError {
     fn from(e: std::io::Error) -> Self {
         ParseGraphError::Io(e)
+    }
+}
+
+impl From<CompactError> for ParseGraphError {
+    fn from(e: CompactError) -> Self {
+        ParseGraphError::Corrupt(e)
+    }
+}
+
+/// Drives `f` over the trimmed content of every line, reusing one `String`
+/// buffer for the whole stream — the allocation-per-line of
+/// `BufRead::lines` is what kept the old readers from scaling.
+fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), ParseGraphError>,
+) -> Result<(), ParseGraphError> {
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            return Ok(());
+        }
+        lineno += 1;
+        f(lineno, buf.trim())?;
     }
 }
 
@@ -83,14 +129,14 @@ impl From<std::io::Error> for ParseGraphError {
 ///
 /// Returns [`ParseGraphError`] on I/O failures or malformed content.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
-    let mut declared_n: Option<usize> = None;
-    let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (u, v, line)
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let t = line.trim();
+    // With a header the edges stream straight into the builder (range
+    // checked as they arrive); without one they buffer in `pending` until
+    // end of stream pins `n = max id + 1`.
+    let mut pending: Vec<(usize, usize)> = Vec::new();
+    let mut streaming: Option<(usize, GraphBuilder)> = None;
+    for_each_line(reader, |lineno, t| {
         if t.is_empty() || t.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let mut parts = t.split_whitespace();
         match parts.next() {
@@ -98,42 +144,69 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
                 let n = parts
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|_| streaming.is_none())
                     .ok_or_else(|| ParseGraphError::BadLine {
                         line: lineno,
                         content: t.to_string(),
                     })?;
-                declared_n = Some(n);
+                let mut b = GraphBuilder::with_capacity(n, pending.len());
+                for &(u, v) in &pending {
+                    for &x in &[u, v] {
+                        if x >= n {
+                            return Err(ParseGraphError::VertexOutOfRange {
+                                line: lineno,
+                                vertex: x,
+                                n,
+                            });
+                        }
+                    }
+                    b.add_edge(u, v);
+                }
+                pending = Vec::new();
+                streaming = Some((n, b));
             }
             Some(a) => {
                 let u = a.parse::<usize>().ok();
                 let v = parts.next().and_then(|s| s.parse::<usize>().ok());
-                match (u, v) {
-                    (Some(u), Some(v)) => edges.push((u, v, lineno)),
+                let (u, v) = match (u, v) {
+                    (Some(u), Some(v)) => (u, v),
                     _ => {
                         return Err(ParseGraphError::BadLine {
                             line: lineno,
                             content: t.to_string(),
                         })
                     }
+                };
+                match &mut streaming {
+                    Some((n, b)) => {
+                        for &x in &[u, v] {
+                            if x >= *n {
+                                return Err(ParseGraphError::VertexOutOfRange {
+                                    line: lineno,
+                                    vertex: x,
+                                    n: *n,
+                                });
+                            }
+                        }
+                        b.add_edge(u, v);
+                    }
+                    None => pending.push((u, v)),
                 }
             }
             None => unreachable!("split of non-empty trimmed line"),
         }
+        Ok(())
+    })?;
+    if let Some((_, b)) = streaming {
+        return Ok(b.build());
     }
-    let n = declared_n.unwrap_or_else(|| {
-        edges
-            .iter()
-            .map(|&(u, v, _)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0)
-    });
-    let mut b = GraphBuilder::with_capacity(n, edges.len());
-    for (u, v, line) in edges {
-        for &x in &[u, v] {
-            if x >= n {
-                return Err(ParseGraphError::VertexOutOfRange { line, vertex: x, n });
-            }
-        }
+    let n = pending
+        .iter()
+        .map(|&(u, v)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = GraphBuilder::with_capacity(n, pending.len());
+    for (u, v) in pending {
         b.add_edge(u, v);
     }
     Ok(b.build())
@@ -160,12 +233,9 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
 pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
     let mut n: Option<usize> = None;
     let mut builder: Option<GraphBuilder> = None;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let t = line.trim();
+    for_each_line(reader, |lineno, t| {
         if t.is_empty() || t.starts_with('c') || t.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let mut parts = t.split_whitespace();
         match parts.next() {
@@ -219,7 +289,8 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
                 })
             }
         }
-    }
+        Ok(())
+    })?;
     Ok(builder
         .map(|b| b.build())
         .unwrap_or_else(|| GraphBuilder::new(0).build()))
@@ -248,14 +319,13 @@ pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
 ///
 /// Returns [`ParseGraphError`] on I/O failures or malformed content.
 pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
-    let mut declared_n: Option<usize> = None;
-    let mut edges: Vec<(usize, usize, u32, usize)> = Vec::new(); // (u, v, w, line)
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let t = line.trim();
+    // Mirrors `read_edge_list`: header → stream into the builder,
+    // headerless → buffer triples until `n` is known.
+    let mut pending: Vec<(usize, usize, u32)> = Vec::new();
+    let mut streaming: Option<(usize, WeightedGraphBuilder)> = None;
+    for_each_line(reader, |lineno, t| {
         if t.is_empty() || t.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let mut parts = t.split_whitespace();
         match parts.next() {
@@ -263,43 +333,70 @@ pub fn read_weighted_edge_list<R: BufRead>(reader: R) -> Result<WeightedGraph, P
                 let n = parts
                     .next()
                     .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|_| streaming.is_none())
                     .ok_or_else(|| ParseGraphError::BadLine {
                         line: lineno,
                         content: t.to_string(),
                     })?;
-                declared_n = Some(n);
+                let mut b = WeightedGraphBuilder::with_capacity(n, pending.len());
+                for &(u, v, w) in &pending {
+                    for &x in &[u, v] {
+                        if x >= n {
+                            return Err(ParseGraphError::VertexOutOfRange {
+                                line: lineno,
+                                vertex: x,
+                                n,
+                            });
+                        }
+                    }
+                    b.add_edge(u, v, w);
+                }
+                pending = Vec::new();
+                streaming = Some((n, b));
             }
             Some(a) => {
                 let u = a.parse::<usize>().ok();
                 let v = parts.next().and_then(|s| s.parse::<usize>().ok());
                 let w = parts.next().and_then(|s| s.parse::<u32>().ok());
-                match (u, v, w) {
-                    (Some(u), Some(v), Some(w)) => edges.push((u, v, w, lineno)),
+                let (u, v, w) = match (u, v, w) {
+                    (Some(u), Some(v), Some(w)) => (u, v, w),
                     _ => {
                         return Err(ParseGraphError::BadLine {
                             line: lineno,
                             content: t.to_string(),
                         })
                     }
+                };
+                match &mut streaming {
+                    Some((n, b)) => {
+                        for &x in &[u, v] {
+                            if x >= *n {
+                                return Err(ParseGraphError::VertexOutOfRange {
+                                    line: lineno,
+                                    vertex: x,
+                                    n: *n,
+                                });
+                            }
+                        }
+                        b.add_edge(u, v, w);
+                    }
+                    None => pending.push((u, v, w)),
                 }
             }
             None => unreachable!("split of non-empty trimmed line"),
         }
+        Ok(())
+    })?;
+    if let Some((_, b)) = streaming {
+        return Ok(b.build());
     }
-    let n = declared_n.unwrap_or_else(|| {
-        edges
-            .iter()
-            .map(|&(u, v, _, _)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0)
-    });
-    let mut b = WeightedGraphBuilder::with_capacity(n, edges.len());
-    for (u, v, w, line) in edges {
-        for &x in &[u, v] {
-            if x >= n {
-                return Err(ParseGraphError::VertexOutOfRange { line, vertex: x, n });
-            }
-        }
+    let n = pending
+        .iter()
+        .map(|&(u, v, _)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = WeightedGraphBuilder::with_capacity(n, pending.len());
+    for (u, v, w) in pending {
         b.add_edge(u, v, w);
     }
     Ok(b.build())
@@ -327,12 +424,9 @@ pub fn write_weighted_edge_list<W: Write>(g: &WeightedGraph, mut w: W) -> std::i
 pub fn read_dimacs_sp<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraphError> {
     let mut n: Option<usize> = None;
     let mut builder: Option<WeightedGraphBuilder> = None;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let t = line.trim();
+    for_each_line(reader, |lineno, t| {
         if t.is_empty() || t.starts_with('c') || t.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let mut parts = t.split_whitespace();
         match parts.next() {
@@ -387,7 +481,8 @@ pub fn read_dimacs_sp<R: BufRead>(reader: R) -> Result<WeightedGraph, ParseGraph
                 })
             }
         }
-    }
+        Ok(())
+    })?;
     Ok(builder
         .map(|b| b.build())
         .unwrap_or_else(|| WeightedGraphBuilder::new(0).build()))
@@ -405,6 +500,120 @@ pub fn write_dimacs_sp<W: Write>(g: &WeightedGraph, mut w: W) -> std::io::Result
         writeln!(w, "a {} {} {}", u + 1, v + 1, wt)?;
     }
     Ok(())
+}
+
+/// Magic prefix of the compact binary format — callers sniff it off a
+/// stream's leading bytes to pick this format over the text loaders.
+pub const COMPACT_MAGIC: &[u8; 4] = b"NASC";
+/// Current compact binary format version.
+const COMPACT_VERSION: u8 = 1;
+
+/// Writes a [`CompactGraph`] in the compact binary format:
+///
+/// ```text
+/// "NASC" | version u8 | n u64 | m u64 | max_degree u64 | sample_every u32
+///        | data_len u64 | samples_len u64 | data bytes | samples (u64 LE each)
+/// ```
+///
+/// All integers little-endian. The payload is the store's delta/varint
+/// block stream and sampled offset index verbatim — writing is two bulk
+/// copies, and [`read_compact`] rebuilds the store without re-encoding.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_compact<W: Write>(g: &CompactGraph, mut w: W) -> std::io::Result<()> {
+    let (sample_every, data, samples) = g.raw_parts();
+    w.write_all(COMPACT_MAGIC)?;
+    w.write_all(&[COMPACT_VERSION])?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&(g.max_degree() as u64).to_le_bytes())?;
+    w.write_all(
+        &u32::try_from(sample_every)
+            .expect("sampling interval fits u32")
+            .to_le_bytes(),
+    )?;
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    w.write_all(&(samples.len() as u64).to_le_bytes())?;
+    w.write_all(data)?;
+    for &s in samples {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a [`CompactGraph`] written by [`write_compact`], revalidating the
+/// payload structurally ([`CompactGraph::from_parts`]): every block must
+/// decode cleanly, offsets must line up, and the arc multiset must be
+/// symmetric — a truncated or bit-flipped file is an error, never a
+/// malformed graph.
+///
+/// # Errors
+///
+/// [`ParseGraphError::BadHeader`] on a wrong magic/version,
+/// [`ParseGraphError::Corrupt`] when validation fails,
+/// [`ParseGraphError::Io`] on I/O failures (including short payloads).
+pub fn read_compact<R: Read>(mut r: R) -> Result<CompactGraph, ParseGraphError> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic[..4] != COMPACT_MAGIC {
+        return Err(ParseGraphError::BadHeader(format!(
+            "magic {:02x?} is not {COMPACT_MAGIC:02x?}",
+            &magic[..4]
+        )));
+    }
+    if magic[4] != COMPACT_VERSION {
+        return Err(ParseGraphError::BadHeader(format!(
+            "unsupported version {} (expected {COMPACT_VERSION})",
+            magic[4]
+        )));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let max_degree = read_u64(&mut r)? as usize;
+    let mut se = [0u8; 4];
+    r.read_exact(&mut se)?;
+    let sample_every = u32::from_le_bytes(se) as usize;
+    let data_len = read_u64(&mut r)? as usize;
+    let samples_len = read_u64(&mut r)? as usize;
+    // Bound the declared lengths before trusting them with an allocation:
+    // the sample count is determined by (n, interval), and no varint
+    // encoding of n degrees plus 2m deltas exceeds 10 bytes per value —
+    // the validator recomputes everything else.
+    if sample_every == 0 {
+        return Err(ParseGraphError::Corrupt(CompactError::BadSampleInterval));
+    }
+    if samples_len != n.div_ceil(sample_every) {
+        return Err(ParseGraphError::BadHeader(format!(
+            "sample count {samples_len} inconsistent with n = {n}, interval {sample_every}"
+        )));
+    }
+    if data_len > (n + 2 * m).saturating_mul(10) {
+        return Err(ParseGraphError::BadHeader(format!(
+            "data length {data_len} impossible for n = {n}, m = {m}"
+        )));
+    }
+    let mut data = vec![0u8; data_len];
+    r.read_exact(&mut data)?;
+    let mut samples = Vec::with_capacity(samples_len);
+    for _ in 0..samples_len {
+        samples.push(read_u64(&mut r)?);
+    }
+    Ok(CompactGraph::from_parts(
+        n,
+        m,
+        max_degree,
+        sample_every,
+        data,
+        samples,
+    )?)
 }
 
 #[cfg(test)]
@@ -548,6 +757,87 @@ mod tests {
     #[test]
     fn dimacs_sp_rejects_arc_before_header() {
         assert!(read_dimacs_sp("a 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn compact_binary_round_trip() {
+        for g in [
+            generators::gnp(60, 0.12, 5),
+            generators::path(17),
+            generators::grid2d(6, 8),
+            GraphBuilder::new(5).build(),
+            GraphBuilder::new(0).build(),
+        ] {
+            let c = CompactGraph::from_graph(&g);
+            let mut buf = Vec::new();
+            write_compact(&c, &mut buf).unwrap();
+            let back = read_compact(&buf[..]).unwrap();
+            assert_eq!(back.to_graph(), g);
+            assert_eq!(back.raw_parts().0, c.raw_parts().0);
+            assert_eq!(back.raw_parts().1, c.raw_parts().1);
+        }
+    }
+
+    #[test]
+    fn compact_binary_rejects_bad_magic_and_version() {
+        let c = CompactGraph::from_graph(&generators::path(5));
+        let mut buf = Vec::new();
+        write_compact(&c, &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_compact(&bad[..]),
+            Err(ParseGraphError::BadHeader(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_compact(&bad[..]),
+            Err(ParseGraphError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn compact_binary_rejects_truncation_and_corruption() {
+        let c = CompactGraph::from_graph(&generators::gnp(40, 0.2, 7));
+        let mut buf = Vec::new();
+        write_compact(&c, &mut buf).unwrap();
+        // Truncation anywhere is an I/O or corruption error, never a panic
+        // or a silently different graph.
+        for cut in [5usize, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(read_compact(&buf[..cut]).is_err(), "cut at {cut} passed");
+        }
+        // A flipped payload byte must fail validation (or, if it lands in
+        // the header, a header check).
+        let mut bad = buf.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(read_compact(&bad[..]).is_err());
+    }
+
+    #[test]
+    fn edge_list_streams_through_header() {
+        // Header-first (the streaming fast path) and header-after-edges
+        // (the buffered path) agree.
+        let a = read_edge_list("p 5\n0 1\n1 2\n".as_bytes()).unwrap();
+        let b = read_edge_list("0 1\n1 2\np 5\n".as_bytes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_vertices(), 5);
+        // Out-of-range under a header is reported at the offending line.
+        let err = read_edge_list("p 3\n0 1\n0 9\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseGraphError::VertexOutOfRange {
+                    line: 3,
+                    vertex: 9,
+                    n: 3
+                }
+            ),
+            "wrong error: {err}"
+        );
+        // A duplicate header is malformed.
+        assert!(read_edge_list("p 3\np 4\n".as_bytes()).is_err());
     }
 
     #[test]

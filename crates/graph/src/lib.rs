@@ -49,19 +49,23 @@
 pub mod apsp;
 pub mod bfs;
 pub mod builder;
+pub mod compact;
 pub mod connectivity;
 pub mod dist;
 pub mod edgeset;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod order;
 pub mod rng;
 pub mod sssp;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
+pub use compact::{CompactError, CompactGraph, CompactGraphBuilder, CompactWeightedGraph};
 pub use dist::{BatchScratch, BfsScratch, DistanceBatch, DistanceMap, EpochMarks, LaneScratch};
 pub use edgeset::{EdgeSet, FxBuildHasher, FxHasher};
 pub use graph::{Graph, GraphError};
+pub use order::Permutation;
 pub use sssp::{SsspBatchScratch, SsspScratch};
 pub use weighted::{WeightDist, WeightedGraph, WeightedGraphBuilder};

@@ -126,7 +126,7 @@ impl WeightedGraph {
     /// Assembles a weighted graph from a topology and its parallel weight
     /// array. Both directions of every edge must carry the same weight
     /// (checked with `debug_assert!`s, like the CSR invariants).
-    fn from_parts(graph: Graph, weights: Vec<u32>) -> Self {
+    pub(crate) fn from_parts(graph: Graph, weights: Vec<u32>) -> Self {
         assert_eq!(
             weights.len(),
             graph.degree_sum(),

@@ -14,7 +14,8 @@
 //!   guarantee with the pool active (pinned by `nas-congest`'s
 //!   `tests/zero_alloc.rs`).
 //! * Sharding helpers ([`for_each_part_mut`], [`for_each_part_mut2`],
-//!   [`for_each_worker`]) — run a closure over *contiguous, disjoint* parts
+//!   [`for_each_part_mut3`], [`for_each_worker`]) — run a closure over
+//!   *contiguous, disjoint* parts
 //!   of mutable slices, one part per worker. Contiguity is the determinism
 //!   lever: concatenating per-part results in part order reproduces exactly
 //!   the sequential left-to-right order.
@@ -502,6 +503,55 @@ pub fn for_each_part_mut2<A, B, F>(
     });
 }
 
+/// Three-slice variant of [`for_each_part_mut`]: runs
+/// `f(lane, &mut a[..], &mut b[..], &mut c[..])` with every slice
+/// partitioned independently by its own cut list.
+///
+/// # Panics
+///
+/// Panics if any cut list is not a valid partition, or if `f` panics on
+/// any lane.
+// Three (slice, cuts) pairs is the signature — bundling them into
+// tuples would only obscure the symmetry with the 1- and 2-slice
+// variants above.
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_part_mut3<A, B, C, F>(
+    pool: &WorkerPool,
+    a: &mut [A],
+    acuts: &[usize],
+    b: &mut [B],
+    bcuts: &[usize],
+    c: &mut [C],
+    ccuts: &[usize],
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    C: Send,
+    F: Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+{
+    check_cuts(acuts, pool.threads(), a.len(), "for_each_part_mut3 (a)");
+    check_cuts(bcuts, pool.threads(), b.len(), "for_each_part_mut3 (b)");
+    check_cuts(ccuts, pool.threads(), c.len(), "for_each_part_mut3 (c)");
+    let base_a = SharedBase(a.as_mut_ptr());
+    let base_b = SharedBase(b.as_mut_ptr());
+    let base_c = SharedBase(c.as_mut_ptr());
+    pool.broadcast(move |i| {
+        // SAFETY: all three cut lists are validated partitions, so each
+        // lane's ranges are in-bounds and mutually disjoint across lanes.
+        let pa = unsafe {
+            std::slice::from_raw_parts_mut(base_a.ptr().add(acuts[i]), acuts[i + 1] - acuts[i])
+        };
+        let pb = unsafe {
+            std::slice::from_raw_parts_mut(base_b.ptr().add(bcuts[i]), bcuts[i + 1] - bcuts[i])
+        };
+        let pc = unsafe {
+            std::slice::from_raw_parts_mut(base_c.ptr().add(ccuts[i]), ccuts[i + 1] - ccuts[i])
+        };
+        f(i, pa, pb, pc);
+    });
+}
+
 /// Runs `f(lane, &mut scratch[lane])` for every lane — the per-worker
 /// accumulator pattern (each lane owns exactly one scratch slot, merged by
 /// the caller in lane order after the call returns).
@@ -604,6 +654,40 @@ mod tests {
         assert_eq!(a.iter().filter(|&&x| x == 0).count(), 0);
         let total: u16 = b.iter().sum();
         assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn three_slice_partition_is_independent() {
+        let pool = WorkerPool::new(4);
+        let mut a = vec![0u8; 17];
+        let mut b = vec![0u16; 4];
+        let mut c = vec![0u32; 9];
+        let acuts = balanced_cuts(a.len(), 4);
+        let bcuts = balanced_cuts(b.len(), 4);
+        let ccuts = balanced_cuts(c.len(), 4);
+        for_each_part_mut3(
+            &pool,
+            &mut a,
+            &acuts,
+            &mut b,
+            &bcuts,
+            &mut c,
+            &ccuts,
+            |i, pa, pb, pc| {
+                for x in pa.iter_mut() {
+                    *x = i as u8 + 1;
+                }
+                for y in pb.iter_mut() {
+                    *y = pa.len() as u16;
+                }
+                for z in pc.iter_mut() {
+                    *z = i as u32 + 1;
+                }
+            },
+        );
+        assert_eq!(a.iter().filter(|&&x| x == 0).count(), 0);
+        assert_eq!(b.iter().sum::<u16>(), 17);
+        assert_eq!(c.iter().filter(|&&z| z == 0).count(), 0);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! answer distance/stretch queries over HTTP until told to stop.
 //!
 //! Usage: `serve [--addr HOST:PORT] [--conn-workers W] [--threads T]
-//!               [--workload gnp|grid|path|pref_attach|torus]
-//!               [--n N] [--deg D] [--seed S]
+//!               [--workload gnp|grid|path|pref_attach|torus|file]
+//!               [--path FILE] [--n N] [--deg D] [--seed S]
 //!               [--eps E] [--kappa K] [--rho R]
 //!               [--weights unit|uniform:C|range:LO:HI]
 //!               [--backend centralized|congest|local|full]`
@@ -28,8 +28,13 @@ fn main() {
     let mut spec = BuildSpec::default();
     if let Some(name) = cli.opt_str("--workload") {
         spec.workload = Workload::parse(&name).unwrap_or_else(|| {
-            panic!("--workload expects gnp, grid, path, pref_attach, or torus, got {name:?}")
+            panic!("--workload expects gnp, grid, path, pref_attach, torus, or file, got {name:?}")
         });
+    }
+    spec.path = cli.opt_str("--path");
+    if spec.path.is_some() {
+        // A graph file implies the file workload; no need to say it twice.
+        spec.workload = Workload::File;
     }
     spec.n = cli.n(spec.n);
     spec.deg = cli.opt_usize("--deg").unwrap_or(spec.deg);

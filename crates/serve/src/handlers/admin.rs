@@ -1,5 +1,5 @@
-//! `GET /health`, `GET /stats`, `POST /rebuild`, `POST /shutdown` — the
-//! operational surface.
+//! `GET /health`, `GET /stats`, `POST /rebuild`, `POST /reload`,
+//! `POST /shutdown` — the operational surface.
 
 use super::{Ctx, Metrics};
 use crate::http::{Request, Response};
@@ -25,7 +25,7 @@ pub fn stats(ctx: &Ctx<'_>) -> Response {
     let m = ctx.metrics;
     Response::json(format!(
         concat!(
-            "{{\"epoch\":{},\"workload\":{},\"n\":{},\"deg\":{},\"seed\":{},",
+            "{{\"epoch\":{},\"workload\":{},\"path\":{},\"n\":{},\"deg\":{},\"seed\":{},",
             "\"weighted\":{},\"weights\":{},\"backend\":{},",
             "\"graph_edges\":{},\"spanner_edges\":{},\"build_wall_ms\":{},",
             "\"rounds\":{},\"messages\":{},",
@@ -34,10 +34,14 @@ pub fn stats(ctx: &Ctx<'_>) -> Response {
             "\"threads\":{},",
             "\"oracles\":{{\"exact\":{},\"spanner\":{}}},",
             "\"server\":{{\"requests\":{},\"distance\":{},\"batch\":{},",
-            "\"batch_pairs\":{},\"rebuilds\":{},\"errors\":{}}}}}"
+            "\"batch_pairs\":{},\"rebuilds\":{},\"reloads\":{},\"errors\":{}}}}}"
         ),
         snap.epoch,
         escape(snap.spec.workload.name()),
+        snap.spec
+            .path
+            .as_deref()
+            .map_or_else(|| "null".to_string(), escape),
         snap.n,
         snap.spec.deg,
         snap.spec.seed,
@@ -63,6 +67,7 @@ pub fn stats(ctx: &Ctx<'_>) -> Response {
         Metrics::get(&m.batch),
         Metrics::get(&m.batch_pairs),
         Metrics::get(&m.rebuilds),
+        Metrics::get(&m.reloads),
         Metrics::get(&m.errors),
     ))
 }
@@ -109,6 +114,51 @@ pub fn rebuild(req: &Request, ctx: &Ctx<'_>) -> Response {
     }
 }
 
+/// `POST /reload` — stream a graph from a file on the server's disk and
+/// swap it in as a new epoch.
+///
+/// Body: a JSON object with a required `"path"` plus any `/rebuild`
+/// override (`"eps"`, `"weights"`, `"backend"`, …; `"path"` alone keeps
+/// the rest of the current spec). The file's leading bytes pick the
+/// format — the `NASC` magic selects the compact delta/varint binary,
+/// anything else parses as whitespace edge-list text — and both loaders
+/// stream, never buffering the file. The load, the spanner construction,
+/// and the oracle warm-up all run outside any lock; in-flight readers
+/// keep answering from the pre-swap snapshot and a failed reload leaves
+/// the epoch untouched.
+pub fn reload(req: &Request, ctx: &Ctx<'_>) -> Response {
+    let current = ctx.store.snapshot();
+    let mut spec = match parse_spec_overrides(&req.body, current.spec.clone()) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    spec.workload = Workload::File;
+    let Some(path) = spec.path.clone() else {
+        return Response::error(400, "reload needs a \"path\" to a graph file");
+    };
+    match ctx.store.rebuild(spec) {
+        Ok(snap) => {
+            Metrics::bump(&ctx.metrics.reloads);
+            Response::json(format!(
+                concat!(
+                    "{{\"epoch\":{},\"workload\":{},\"path\":{},\"n\":{},",
+                    "\"graph_edges\":{},\"weighted\":{},\"spanner_edges\":{},",
+                    "\"build_wall_ms\":{}}}"
+                ),
+                snap.epoch,
+                escape(snap.spec.workload.name()),
+                escape(&path),
+                snap.n,
+                snap.graph_edges,
+                snap.weighted(),
+                snap.spanner_edges,
+                num(snap.build_wall_ms),
+            ))
+        }
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
 /// `POST /shutdown` — acknowledge, then stop accepting and drain.
 pub fn shutdown(ctx: &Ctx<'_>) -> Response {
     ctx.shutdown.store(true, Ordering::SeqCst);
@@ -136,9 +186,18 @@ fn parse_spec_overrides(body: &[u8], mut base: BuildSpec) -> Result<BuildSpec, R
                 base.workload = Workload::parse(name).ok_or_else(|| {
                     Response::error(
                         400,
-                        &format!("unknown workload {name:?} (gnp, grid, path, pref_attach, torus)"),
+                        &format!(
+                            "unknown workload {name:?} (gnp, grid, path, pref_attach, torus, file)"
+                        ),
                     )
                 })?;
+            }
+            "path" => {
+                base.path = match value {
+                    Json::Null => None,
+                    Json::Str(p) => Some(p.clone()),
+                    _ => return Err(Response::error(400, "path must be a string or null")),
+                };
             }
             "n" => base.n = parse_usize(value, "n")?,
             "deg" => base.deg = parse_usize(value, "deg")?,

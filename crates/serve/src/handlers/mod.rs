@@ -10,7 +10,7 @@
 //! |----------|--------|
 //! | `GET /distance` | [`distance`] |
 //! | `POST /batch` | [`batch`] |
-//! | `GET /health`, `GET /stats`, `POST /rebuild`, `POST /shutdown` | [`admin`] |
+//! | `GET /health`, `GET /stats`, `POST /rebuild`, `POST /reload`, `POST /shutdown` | [`admin`] |
 
 pub mod admin;
 pub mod batch;
@@ -34,6 +34,8 @@ pub struct Metrics {
     pub batch_pairs: AtomicU64,
     /// Successful rebuilds.
     pub rebuilds: AtomicU64,
+    /// Successful from-disk reloads.
+    pub reloads: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
 }
@@ -71,10 +73,12 @@ pub fn route(req: &Request, ctx: &Ctx<'_>) -> Response {
         (Method::Get, "/distance") => distance::get(req, ctx),
         (Method::Post, "/batch") => batch::post(req, ctx),
         (Method::Post, "/rebuild") => admin::rebuild(req, ctx),
+        (Method::Post, "/reload") => admin::reload(req, ctx),
         (Method::Post, "/shutdown") => admin::shutdown(ctx),
-        (_, "/health" | "/stats" | "/distance" | "/batch" | "/rebuild" | "/shutdown") => {
-            Response::error(405, "method not allowed for this endpoint")
-        }
+        (
+            _,
+            "/health" | "/stats" | "/distance" | "/batch" | "/rebuild" | "/reload" | "/shutdown",
+        ) => Response::error(405, "method not allowed for this endpoint"),
         _ => Response::error(404, "no such endpoint"),
     };
     if response.status >= 400 {

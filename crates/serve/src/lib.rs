@@ -58,6 +58,7 @@
 //! | `GET /distance?src=&dst=[&mode=]` | one pair, exact/spanner/both |
 //! | `POST /batch` | many pairs through the pooled batch path |
 //! | `POST /rebuild` | build new snapshot off the reader path, swap |
+//! | `POST /reload` | stream a graph file off disk, build, swap |
 //! | `POST /shutdown` | stop accepting, drain, exit |
 
 #![forbid(unsafe_code)]

@@ -34,7 +34,8 @@ use std::time::Instant;
 /// Largest number of pairs one `/batch` request may carry.
 pub const MAX_BATCH_PAIRS: usize = 65_536;
 
-/// The synthetic graph families the daemon can build and rebuild.
+/// The graph sources the daemon can build and rebuild from: the synthetic
+/// families, plus graphs streamed off disk (`POST /reload`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Workload {
     /// `G(n, p)` with `p = deg / n`.
@@ -47,6 +48,10 @@ pub enum Workload {
     PrefAttach,
     /// A `√n × √n` torus.
     Torus,
+    /// A graph loaded from [`BuildSpec::path`] — compact binary (`NASC`
+    /// magic) or whitespace edge-list text, sniffed from the leading
+    /// bytes and streamed, never buffering the file.
+    File,
 }
 
 impl Workload {
@@ -58,6 +63,7 @@ impl Workload {
             Workload::Path => "path",
             Workload::PrefAttach => "pref_attach",
             Workload::Torus => "torus",
+            Workload::File => "file",
         }
     }
 
@@ -69,6 +75,7 @@ impl Workload {
             "path" => Some(Workload::Path),
             "pref_attach" => Some(Workload::PrefAttach),
             "torus" => Some(Workload::Torus),
+            "file" => Some(Workload::File),
             _ => None,
         }
     }
@@ -97,6 +104,10 @@ pub struct BuildSpec {
     /// the CONGEST backend additionally reports measured rounds in
     /// `/stats`).
     pub backend: Backend,
+    /// Graph file for the [`Workload::File`] source (ignored — and kept —
+    /// by the synthetic families, so a later `{"workload":"file"}` rebuild
+    /// can reuse it).
+    pub path: Option<String>,
 }
 
 impl Default for BuildSpec {
@@ -109,15 +120,17 @@ impl Default for BuildSpec {
             params: Params::practical(0.5, 4, 0.45),
             weights: None,
             backend: Backend::Centralized,
+            path: None,
         }
     }
 }
 
 impl BuildSpec {
-    /// Materializes the base graph this spec describes.
-    pub fn build_graph(&self) -> Graph {
+    /// Materializes the base graph this spec describes: generated for the
+    /// synthetic families, streamed off disk for [`Workload::File`].
+    pub fn build_graph(&self) -> Result<Graph, BuildError> {
         let side = (self.n as f64).sqrt().round().max(2.0) as usize;
-        match self.workload {
+        Ok(match self.workload {
             Workload::Gnp => generators::gnp(self.n, self.deg as f64 / self.n as f64, self.seed),
             Workload::Grid => generators::grid2d(side, side),
             Workload::Path => generators::path(self.n),
@@ -125,8 +138,35 @@ impl BuildSpec {
                 generators::preferential_attachment(self.n, (self.deg / 2).max(1), self.seed)
             }
             Workload::Torus => generators::torus2d(side, side),
-        }
+            Workload::File => {
+                let path = self.path.as_deref().ok_or_else(|| {
+                    BuildError::InvalidSpec("the file workload needs a path".to_string())
+                })?;
+                return load_graph(path);
+            }
+        })
     }
+}
+
+/// Streams a graph from disk. The leading bytes pick the format — the
+/// `NASC` magic selects the compact delta/varint binary, anything else
+/// parses as whitespace edge-list text — and both loaders in
+/// [`nas_graph::io`] read through a [`BufReader`](std::io::BufReader)
+/// without ever materializing the file in memory.
+fn load_graph(path: &str) -> Result<Graph, BuildError> {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path)
+        .map_err(|e| BuildError::InvalidSpec(format!("cannot open {path:?}: {e}")))?;
+    let mut reader = std::io::BufReader::new(file);
+    let head = reader
+        .fill_buf()
+        .map_err(|e| BuildError::InvalidSpec(format!("cannot read {path:?}: {e}")))?;
+    let result = if head.starts_with(nas_graph::io::COMPACT_MAGIC) {
+        nas_graph::io::read_compact(reader).map(|c| c.to_graph())
+    } else {
+        nas_graph::io::read_edge_list(reader)
+    };
+    result.map_err(|e| BuildError::InvalidSpec(format!("{path:?}: {e}")))
 }
 
 /// Why a build (initial or rebuild) failed.
@@ -349,14 +389,20 @@ impl Snapshot {
     /// Builds a snapshot from a spec: generate the graph, run the
     /// construction, and warm up the oracle pair.
     pub fn build(spec: BuildSpec, epoch: u64) -> Result<Snapshot, BuildError> {
-        if spec.n < 2 {
+        if spec.workload != Workload::File && spec.n < 2 {
             return Err(BuildError::InvalidSpec(format!(
                 "n = {} is too small to serve distances",
                 spec.n
             )));
         }
         let start = Instant::now();
-        let graph = spec.build_graph();
+        let graph = spec.build_graph()?;
+        if graph.num_vertices() < 2 {
+            return Err(BuildError::InvalidSpec(format!(
+                "n = {} is too small to serve distances",
+                graph.num_vertices()
+            )));
+        }
         let report = Session::on(&graph)
             .params(spec.params)
             .backend(spec.backend)
@@ -692,12 +738,116 @@ mod tests {
                     ..BuildSpec::default()
                 }
                 .build_graph()
+                .unwrap()
                 .num_vertices()
                     >= 99
             );
         }
+        assert_eq!(Workload::parse(Workload::File.name()), Some(Workload::File));
         assert_eq!(Workload::parse("mesh"), None);
         assert_eq!(QueryMode::parse("exact"), Some(QueryMode::Exact));
         assert_eq!(QueryMode::parse("nope"), None);
+    }
+
+    /// A scratch file under the system temp dir, removed on drop.
+    struct TempFile(std::path::PathBuf);
+
+    impl TempFile {
+        fn new(tag: &str, bytes: &[u8]) -> TempFile {
+            let path = std::env::temp_dir().join(format!(
+                "nas_serve_store_{}_{tag}.graph",
+                std::process::id()
+            ));
+            std::fs::write(&path, bytes).expect("write temp graph");
+            TempFile(path)
+        }
+
+        fn as_str(&self) -> &str {
+            self.0.to_str().expect("utf-8 temp path")
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_workload_streams_text_and_compact_binary() {
+        // Text edge list: a path on 40 vertices with an explicit header.
+        let mut text = String::from("p 40\n");
+        for v in 0..39 {
+            text.push_str(&format!("{v} {}\n", v + 1));
+        }
+        let text_file = TempFile::new("text", text.as_bytes());
+
+        // Compact binary: the same path graph through the NASC format.
+        let compact = nas_graph::CompactGraph::from_graph(&generators::path(40));
+        let mut bytes = Vec::new();
+        nas_graph::io::write_compact(&compact, &mut bytes).unwrap();
+        let bin_file = TempFile::new("bin", &bytes);
+
+        let spec = |path: &TempFile| BuildSpec {
+            workload: Workload::File,
+            path: Some(path.as_str().to_string()),
+            ..BuildSpec::default()
+        };
+        let store = Store::open_with_pool(spec(&text_file), Arc::new(WorkerPool::new(1))).unwrap();
+        let snap = store.snapshot();
+        assert_eq!(snap.n, 40);
+        assert_eq!(snap.graph_edges, 39);
+        // On a path the exact end-to-end distance is forced.
+        let a = snap.distance(0, 39, QueryMode::Both).unwrap();
+        assert_eq!(a.exact, Some(Some(39)));
+
+        // Reloading the binary twin swaps epochs and serves identically.
+        let rebuilt = store.rebuild(spec(&bin_file)).unwrap();
+        assert_eq!(rebuilt.epoch, 2);
+        assert_eq!(rebuilt.n, 40);
+        assert_eq!(rebuilt.graph_edges, 39);
+        assert_eq!(
+            rebuilt.distance(0, 39, QueryMode::Both).unwrap().exact,
+            Some(Some(39))
+        );
+    }
+
+    #[test]
+    fn file_workload_failures_are_typed_and_leave_the_store_intact() {
+        // No path at all.
+        let err = Snapshot::build(
+            BuildSpec {
+                workload: Workload::File,
+                ..BuildSpec::default()
+            },
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidSpec(ref m) if m.contains("path")));
+
+        // Missing file, corrupt binary, out-of-range text edge: each is a
+        // clean InvalidSpec naming the file, and a failed reload never
+        // bumps the epoch.
+        let store = Store::open_with_pool(small_spec(), Arc::new(WorkerPool::new(1))).unwrap();
+        let corrupt = TempFile::new("corrupt", b"NASC\x01garbage");
+        let bad_edge = TempFile::new("bad_edge", b"p 4\n0 9\n");
+        for path in [
+            "/nonexistent/no_such_graph.bin".to_string(),
+            corrupt.as_str().to_string(),
+            bad_edge.as_str().to_string(),
+        ] {
+            let err = store
+                .rebuild(BuildSpec {
+                    workload: Workload::File,
+                    path: Some(path.clone()),
+                    ..BuildSpec::default()
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, BuildError::InvalidSpec(ref m) if m.contains(path.rsplit('/').next().unwrap())),
+                "error for {path:?} should name the file: {err}"
+            );
+            assert_eq!(store.epoch(), 1);
+        }
     }
 }

@@ -258,6 +258,94 @@ fn inflight_reads_during_rebuild_stay_consistent() {
     stop(server);
 }
 
+/// `POST /reload` streams a graph off disk — text edge list and compact
+/// binary, sniffed by leading bytes — swaps epochs like a rebuild, and
+/// rejects bad paths without touching the serving snapshot.
+#[test]
+fn reload_streams_graphs_from_disk() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // A path on 64 vertices as whitespace edge-list text: end-to-end
+    // distance is forced to 63, so the answer proves the file was served.
+    let dir = std::env::temp_dir();
+    let text_path = dir.join(format!(
+        "nas_serve_reload_{}_text.graph",
+        std::process::id()
+    ));
+    let mut text = String::from("p 64\n");
+    for v in 0..63 {
+        text.push_str(&format!("{v} {}\n", v + 1));
+    }
+    std::fs::write(&text_path, text).expect("write text graph");
+
+    let body = format!("{{\"path\":{:?}}}", text_path.to_str().unwrap());
+    let resp = client.post("/reload", &body).expect("reload text");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.field("epoch"), Some("2"));
+    assert_eq!(resp.field("workload"), Some("\"file\""));
+    assert_eq!(resp.field("n"), Some("64"));
+    assert_eq!(resp.field("graph_edges"), Some("63"));
+    let resp = client.get("/distance?src=0&dst=63").expect("distance");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.field("exact"), Some("63"));
+
+    // The same graph through the NASC compact binary format.
+    let compact = nas_graph::CompactGraph::from_graph(&nas_graph::generators::path(64));
+    let mut bytes = Vec::new();
+    nas_graph::io::write_compact(&compact, &mut bytes).expect("encode");
+    let bin_path = dir.join(format!("nas_serve_reload_{}_bin.graph", std::process::id()));
+    std::fs::write(&bin_path, bytes).expect("write binary graph");
+    let body = format!("{{\"path\":{:?}}}", bin_path.to_str().unwrap());
+    let resp = client.post("/reload", &body).expect("reload binary");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.field("epoch"), Some("3"));
+    assert_eq!(resp.field("n"), Some("64"));
+
+    // /stats reflects the file source and counts the reloads.
+    let stats = client.get("/stats").expect("stats");
+    assert_eq!(stats.field("workload"), Some("\"file\""));
+    assert!(stats.body.contains("\"reloads\":2"), "body: {}", stats.body);
+
+    // An empty body re-reads the most recent path — the "file changed on
+    // disk, pick it up" case — and bumps the epoch again.
+    let resp = client.post("/reload", "{}").expect("re-read");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.field("epoch"), Some("4"));
+
+    // Failures are structured and never bump the epoch: an explicitly
+    // cleared path, a nonexistent file, and corrupt bytes behind a valid
+    // magic.
+    assert_eq!(
+        client
+            .post("/reload", "{\"path\":null}")
+            .expect("no path")
+            .status,
+        400
+    );
+    assert_eq!(
+        client
+            .post("/reload", "{\"path\":\"/nonexistent/nope.graph\"}")
+            .expect("bad file")
+            .status,
+        400
+    );
+    let corrupt_path = dir.join(format!(
+        "nas_serve_reload_{}_corrupt.graph",
+        std::process::id()
+    ));
+    std::fs::write(&corrupt_path, b"NASC\x01broken").expect("write corrupt graph");
+    let body = format!("{{\"path\":{:?}}}", corrupt_path.to_str().unwrap());
+    assert_eq!(client.post("/reload", &body).expect("corrupt").status, 400);
+    let health = client.get("/health").expect("health");
+    assert_eq!(health.field("epoch"), Some("4"));
+
+    for p in [&text_path, &bin_path, &corrupt_path] {
+        let _ = std::fs::remove_file(p);
+    }
+    stop(server);
+}
+
 #[test]
 fn shutdown_endpoint_stops_the_daemon() {
     let server = start_server();
